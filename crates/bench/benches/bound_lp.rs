@@ -1,0 +1,33 @@
+//! E2 — benchmarks the polymatroid-bound LP (Theorem 4.1) for the paper's
+//! full 4-cycle query under the statistics S_full of Eq. (16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_entropy::polymatroid_bound;
+use panda_workloads::{four_cycle_full, s_full_statistics};
+use std::time::Duration;
+
+fn bench_bound_lp(c: &mut Criterion) {
+    let query = four_cycle_full();
+    let mut group = c.benchmark_group("polymatroid_bound_qfull");
+    for c_exp in [0u32, 10, 20] {
+        let stats = s_full_statistics(1 << 20, 1 << c_exp);
+        group.bench_with_input(BenchmarkId::new("C=2^", c_exp), &stats, |b, stats| {
+            b.iter(|| {
+                polymatroid_bound(query.all_vars(), query.all_vars(), stats)
+                    .unwrap()
+                    .log_bound
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_bound_lp }
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E7 — benchmarks the evaluation of the disjunctive datalog rule of
+//! Eq. (38) on the fhtw-hard double-star instance (Table 2's heavy/light
+//! partitioning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::DdrEvaluator;
+use panda_entropy::StatisticsSet;
+use panda_query::{BagSelector, DisjunctiveRule, Var, VarSet};
+use panda_workloads::{double_star_db, four_cycle_projected};
+use std::time::Duration;
+
+fn bench_ddr(c: &mut Criterion) {
+    let query = four_cycle_projected();
+    let selector = BagSelector::new(vec![
+        VarSet::from_iter([Var(0), Var(1), Var(2)]),
+        VarSet::from_iter([Var(1), Var(2), Var(3)]),
+    ]);
+    let rule = DisjunctiveRule::for_bag_selector(&query, &selector);
+    let mut group = c.benchmark_group("ddr_eq38_double_star");
+    for half in [128u64, 512] {
+        let db = double_star_db(half);
+        let stats = StatisticsSet::measure(&query, &db);
+        let evaluator = DdrEvaluator::plan(&rule, &stats).unwrap();
+        group.bench_with_input(BenchmarkId::new("N", half * 2), &db, |b, db| {
+            b.iter(|| evaluator.evaluate(db).max_target_size());
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_ddr }
+criterion_main!(benches);

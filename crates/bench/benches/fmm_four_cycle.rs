@@ -1,0 +1,31 @@
+//! E12 — Boolean 4-cycle detection: matrix-product strategy vs the
+//! combinatorial hash-join strategy (Section 9.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_fmm::{detect_four_cycle_fmm, detect_four_cycle_join};
+use panda_workloads::erdos_renyi_db;
+use std::time::Duration;
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boolean_four_cycle_detection");
+    for n in [300u64, 900] {
+        let db = erdos_renyi_db(&["R", "S", "T", "U"], n, (3 * n) as usize, 4);
+        group.bench_with_input(BenchmarkId::new("matrix_products", n), &db, |b, db| {
+            b.iter(|| detect_four_cycle_fmm(db));
+        });
+        group.bench_with_input(BenchmarkId::new("hash_joins", n), &db, |b, db| {
+            b.iter(|| detect_four_cycle_join(db));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_detection }
+criterion_main!(benches);

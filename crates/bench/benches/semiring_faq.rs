@@ -1,0 +1,36 @@
+//! E10 — FAQ aggregates over different semirings (Section 9.1): counting
+//! and minimum-weight on acyclic and cyclic bodies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use panda_core::faq;
+use panda_query::parse_query;
+use panda_workloads::{erdos_renyi_db, four_cycle_boolean, path_instance};
+use std::time::Duration;
+
+fn bench_faq(c: &mut Criterion) {
+    let path = parse_query("P() :- R(A,B), S(B,C), T(C,D)").unwrap();
+    let path_db = path_instance(4000, 4, 5);
+    let cycle = four_cycle_boolean();
+    let cycle_db = erdos_renyi_db(&["R", "S", "T", "U"], 60, 700, 9);
+    let mut group = c.benchmark_group("faq_semirings");
+    group.bench_function("count_acyclic_path", |b| {
+        b.iter(|| faq::count_assignments(&path, &path_db));
+    });
+    group.bench_function("min_weight_acyclic_path", |b| {
+        b.iter(|| faq::min_weight(&path, &path_db, &|_, row| (row[0] + row[1]) as i64));
+    });
+    group.bench_function("count_cyclic_four_cycle", |b| {
+        b.iter(|| faq::count_assignments(&cycle, &cycle_db));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_faq }
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E9 — worst-case-optimal join vs binary joins on the triangle query
+//! (the AGM-bound experiment of Section 2.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::{BinaryJoinPlan, GenericJoin};
+use panda_workloads::{erdos_renyi_db, triangle_query, zipf_graph_db};
+use std::time::Duration;
+
+fn bench_triangle(c: &mut Criterion) {
+    let query = triangle_query();
+    let instances = [
+        ("erdos_renyi", erdos_renyi_db(&["R", "S", "T"], 400, 4000, 1)),
+        ("zipf_skew", zipf_graph_db(&["R", "S", "T"], 400, 4000, 1.1, 2)),
+    ];
+    let mut group = c.benchmark_group("triangle_join");
+    for (label, db) in &instances {
+        group.bench_with_input(BenchmarkId::new("wcoj", label), db, |b, db| {
+            b.iter(|| GenericJoin::evaluate(&query, db).len());
+        });
+        group.bench_with_input(BenchmarkId::new("binary", label), db, |b, db| {
+            b.iter(|| BinaryJoinPlan::new().evaluate(&query, db).len());
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_triangle }
+criterion_main!(benches);

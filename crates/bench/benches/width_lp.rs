@@ -1,0 +1,27 @@
+//! E3/E4 — benchmarks the fhtw and subw computations (Eq. 22 and Eq. 41)
+//! for the paper's 4-cycle query, including TD enumeration, the bag-selector
+//! cross product and all the LPs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use panda_entropy::{fhtw, subw};
+use panda_workloads::{four_cycle_projected, s_square_statistics};
+use std::time::Duration;
+
+fn bench_widths(c: &mut Criterion) {
+    let query = four_cycle_projected();
+    let stats = s_square_statistics(1 << 20);
+    let mut group = c.benchmark_group("width_lps_four_cycle");
+    group.bench_function("fhtw", |b| b.iter(|| fhtw(&query, &stats).unwrap().value));
+    group.bench_function("subw", |b| b.iter(|| subw(&query, &stats).unwrap().value));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_widths }
+criterion_main!(benches);

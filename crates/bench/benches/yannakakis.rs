@@ -1,0 +1,34 @@
+//! E13 — Yannakakis on free-connex acyclic queries: the runtime should grow
+//! linearly in N + OUT (Section 3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::{BinaryJoinPlan, EvaluationStrategy, Panda};
+use panda_query::parse_query;
+use panda_workloads::path_instance;
+use std::time::Duration;
+
+fn bench_yannakakis(c: &mut Criterion) {
+    let query = parse_query("P(A,B,C,D) :- R(A,B), S(B,C), T(C,D)").unwrap();
+    let panda = Panda::new(query.clone());
+    let mut group = c.benchmark_group("yannakakis_path");
+    for n in [4_000u64, 16_000] {
+        let db = path_instance(n, 4, 3);
+        group.bench_with_input(BenchmarkId::new("yannakakis", n), &db, |b, db| {
+            b.iter(|| panda.evaluate_with(db, EvaluationStrategy::Yannakakis).len());
+        });
+        group.bench_with_input(BenchmarkId::new("binary_join", n), &db, |b, db| {
+            b.iter(|| BinaryJoinPlan::new().evaluate(&query, db).len());
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_yannakakis }
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Shared helpers for the experiment harness and the Criterion benches.
+
+use std::time::Instant;
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Fits the slope of `log(y)` against `log(x)` by least squares — the
+/// empirical exponent of a power law `y ≈ c · x^slope`.  Used to check that
+/// runtimes scale like `N^{3/2}` vs `N^2` (experiment E8).
+#[must_use]
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return 0.0;
+    }
+    (n * sxy - sx * sy) / denom
+}
+
+/// Renders a simple aligned text table (used by the `experiments` binary to
+/// print paper-style tables).
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_a_perfect_power_law() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = (1 << i) as f64;
+            (x, 3.0 * x.powf(1.5))
+        }).collect();
+        let slope = log_log_slope(&pts);
+        assert!((slope - 1.5).abs() < 1e-9, "slope {slope}");
+        assert_eq!(log_log_slope(&[]), 0.0);
+        assert_eq!(log_log_slope(&[(2.0, 4.0)]), 0.0);
+    }
+
+    #[test]
+    fn timing_returns_result_and_elapsed() {
+        let (v, secs) = time_it(|| (0..1000u64).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = render_table(&["a", "bbbb"], &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]]);
+        assert!(t.contains("bbbb"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

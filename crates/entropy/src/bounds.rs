@@ -1,0 +1,616 @@
+//! The polymatroid bound, the DDR bound, and the width measures.
+//!
+//! All of these are linear programs over the polymatroid cone constrained
+//! by the input statistics (`h ⊨ S, Γ_n` in the paper's notation):
+//!
+//! * [`polymatroid_bound`] — `max h(F)` (Theorem 4.1, right-most term),
+//! * [`ddr_polymatroid_bound`] — `max min_B h(B)` (Theorem 5.1),
+//! * [`fhtw`] — `min_T max_{B ∈ bags(T)} max_h h(B)` (Eq. 22),
+//! * [`subw`] — `max_{B ∈ BS(Q)} max_h min_{B ∈ B} h(B)` (Eq. 41),
+//! * [`agm_bound`] — the all-cardinalities special case of the polymatroid
+//!   bound (the AGM bound / fractional edge cover).
+//!
+//! Every bound comes back as a [`BoundReport`] carrying the optimal value
+//! *and* the dual certificate as a verified [`ShannonFlow`].
+
+use panda_lp::{ConstraintOp, LinearProgram, LpOutcome};
+use panda_query::{BagSelector, ConjunctiveQuery, TreeDecomposition, VarSet};
+use panda_rational::Rat;
+
+use crate::constraints::{StatKind, Statistic, StatisticsSet};
+use crate::elemental::Elemental;
+use crate::shannon::ShannonFlow;
+use crate::varspace::EntropyVarSpace;
+
+/// Errors produced by the bound computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundError {
+    /// The statistics do not bound the target: the LP is unbounded, i.e.
+    /// the worst-case output size is infinite (e.g. a variable not covered
+    /// by any constraint).
+    Unbounded,
+    /// The underlying LP solver failed (iteration limit); indicates a bug.
+    Solver(String),
+}
+
+impl std::fmt::Display for BoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundError::Unbounded => write!(
+                f,
+                "the statistics do not bound the target (the polymatroid LP is unbounded)"
+            ),
+            BoundError::Solver(msg) => write!(f, "LP solver failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BoundError {}
+
+/// The result of one bound computation: the optimal log-scale value and the
+/// Shannon-flow certificate extracted from the LP dual.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundReport {
+    /// The bound in `log_N` scale (the exponent of `N`), e.g. `3/2`.
+    pub log_bound: Rat,
+    /// The dual certificate.
+    pub flow: ShannonFlow,
+}
+
+impl BoundReport {
+    /// The bound in tuples: `Π_c N_c^{w_c}` (Theorem 6.2).
+    #[must_use]
+    pub fn tuple_bound(&self) -> f64 {
+        self.flow.tuple_bound()
+    }
+}
+
+/// The fractional-hypertree-width report (Eq. 22).
+#[derive(Debug, Clone)]
+pub struct FhtwReport {
+    /// `fhtw(Q, S)`.
+    pub value: Rat,
+    /// Index (into `per_td`) of a decomposition achieving the minimum.
+    pub best: usize,
+    /// Per-TD costs: `(decomposition, cost, per-bag bounds)`.
+    pub per_td: Vec<(TreeDecomposition, Rat, Vec<(VarSet, Rat)>)>,
+}
+
+impl FhtwReport {
+    /// The optimal (single-TD) decomposition.
+    #[must_use]
+    pub fn best_td(&self) -> &TreeDecomposition {
+        &self.per_td[self.best].0
+    }
+}
+
+/// The bound of one bag selector inside a [`SubwReport`].
+#[derive(Debug, Clone)]
+pub struct SelectorBound {
+    /// The bag selector.
+    pub selector: BagSelector,
+    /// The DDR bound report for this selector.
+    pub report: BoundReport,
+}
+
+/// The submodular-width report (Eq. 41).
+#[derive(Debug, Clone)]
+pub struct SubwReport {
+    /// `subw(Q, S)`.
+    pub value: Rat,
+    /// The tree decompositions used (`TD(Q)`).
+    pub tds: Vec<TreeDecomposition>,
+    /// One DDR bound per bag selector in `BS(Q)`.
+    pub per_selector: Vec<SelectorBound>,
+}
+
+impl SubwReport {
+    /// The selector attaining the maximum (the "hardest" DDR).
+    #[must_use]
+    pub fn hardest(&self) -> &SelectorBound {
+        self.per_selector
+            .iter()
+            .max_by(|a, b| a.report.log_bound.cmp(&b.report.log_bound))
+            .expect("a submodular width report always has at least one selector")
+    }
+}
+
+/// Internal: the Γ_n-plus-statistics LP with bookkeeping for dual
+/// extraction.
+struct GammaLp {
+    space: EntropyVarSpace,
+    lp: LinearProgram,
+    stat_rows: Vec<usize>,
+    elemental_rows: Vec<(usize, Elemental)>,
+    /// `(row, bag)` rows of the form `t − h(B) ≤ 0` (empty when a single
+    /// target is maximised directly).
+    target_rows: Vec<(usize, VarSet)>,
+    /// Index of the auxiliary `t` variable, if any.
+    t_var: Option<usize>,
+}
+
+impl GammaLp {
+    /// Builds the LP `max h(target)` (single target) or `max t` with
+    /// `t ≤ h(B)` for every target (DDR form), subject to `h ⊨ S, Γ_n`.
+    fn build(universe: VarSet, stats: &StatisticsSet, targets: &[VarSet]) -> Self {
+        assert!(!targets.is_empty(), "at least one target set is required");
+        for t in targets {
+            assert!(
+                t.is_subset_of(universe),
+                "target {t:?} is not contained in the universe {universe:?}"
+            );
+            assert!(!t.is_empty(), "target sets must be non-empty");
+        }
+        let space = EntropyVarSpace::new(universe);
+        let use_t = targets.len() > 1;
+        let num_vars = space.num_lp_vars() + usize::from(use_t);
+        let t_var = use_t.then_some(space.num_lp_vars());
+        let mut lp = LinearProgram::new(num_vars);
+
+        // Objective.
+        if let Some(t) = t_var {
+            lp.set_objective_coeff(t, Rat::ONE);
+        } else {
+            lp.set_objective_coeff(space.index_of(targets[0]), Rat::ONE);
+        }
+
+        // Statistics rows (h ⊨ S), Eq. (8) and Eq. (73).
+        let mut stat_rows = Vec::with_capacity(stats.len());
+        for stat in stats.stats() {
+            let mut coeffs: Vec<(usize, Rat)> = Vec::with_capacity(3);
+            match stat.kind {
+                StatKind::Degree { cond, subj } => {
+                    space.add_conditional_term(&mut coeffs, cond, subj, Rat::ONE);
+                }
+                StatKind::LpNorm { cond, subj, k } => {
+                    // (1/k)·h(X) + h(XY) − h(X) ≤ log value.
+                    let joint = cond.union(subj);
+                    if !joint.is_empty() {
+                        coeffs.push((space.index_of(joint), Rat::ONE));
+                    }
+                    if !cond.is_empty() {
+                        coeffs.push((
+                            space.index_of(cond),
+                            Rat::new(1, i128::from(k)) - Rat::ONE,
+                        ));
+                    }
+                }
+            }
+            let row = lp.add_constraint(coeffs, ConstraintOp::Le, stat.log_value);
+            stat_rows.push(row);
+        }
+
+        // Target rows `t − h(B) ≤ 0`.
+        let mut target_rows = Vec::new();
+        if let Some(t) = t_var {
+            for &bag in targets {
+                let row = lp.add_constraint(
+                    vec![(t, Rat::ONE), (space.index_of(bag), -Rat::ONE)],
+                    ConstraintOp::Le,
+                    Rat::ZERO,
+                );
+                target_rows.push((row, bag));
+            }
+        }
+
+        // Elemental Shannon inequalities `expr_e(h) ≥ 0`.
+        let mut elemental_rows = Vec::new();
+        for elemental in Elemental::enumerate(universe) {
+            let coeffs: Vec<(usize, Rat)> = elemental
+                .coefficients()
+                .into_iter()
+                .map(|(s, c)| (space.index_of(s), Rat::from_int(i128::from(c))))
+                .collect();
+            let row = lp.add_constraint(coeffs, ConstraintOp::Ge, Rat::ZERO);
+            elemental_rows.push((row, elemental));
+        }
+
+        GammaLp { space, lp, stat_rows, elemental_rows, target_rows, t_var }
+    }
+
+    /// Solves the LP and converts the dual into a verified [`ShannonFlow`].
+    fn solve(&self, stats: &StatisticsSet, targets: &[VarSet]) -> Result<BoundReport, BoundError> {
+        let outcome = self
+            .lp
+            .solve()
+            .map_err(|e| BoundError::Solver(e.to_string()))?;
+        let solution = match outcome {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Unbounded => return Err(BoundError::Unbounded),
+            LpOutcome::Infeasible => {
+                return Err(BoundError::Solver(
+                    "polymatroid LP reported infeasible, which is impossible (h = 0 is feasible)"
+                        .to_string(),
+                ))
+            }
+        };
+
+        // λ: multipliers of the target rows (or 1 on the single target).
+        let targets_with_lambda: Vec<(VarSet, Rat)> = if self.t_var.is_some() {
+            self.target_rows
+                .iter()
+                .map(|(row, bag)| (*bag, solution.duals[*row]))
+                .filter(|(_, l)| !l.is_zero())
+                .collect()
+        } else {
+            vec![(targets[0], Rat::ONE)]
+        };
+
+        // w: multipliers of the statistics rows.
+        let sources: Vec<(Statistic, Rat)> = self
+            .stat_rows
+            .iter()
+            .zip(stats.stats())
+            .map(|(row, stat)| (stat.clone(), solution.duals[*row]))
+            .filter(|(_, w)| !w.is_zero())
+            .collect();
+
+        // μ: multipliers of the elemental rows (`≥` rows have non-positive
+        // duals under the solver's sign convention, so negate).
+        let witness: Vec<(Elemental, Rat)> = self
+            .elemental_rows
+            .iter()
+            .map(|(row, e)| (*e, -solution.duals[*row]))
+            .filter(|(_, mu)| !mu.is_zero())
+            .collect();
+
+        // Residuals: per-subset slack of the dual-feasibility rows, which
+        // corresponds to unused `h(S) ≥ 0` capacity.
+        let mut flow = ShannonFlow {
+            universe: self.space.universe(),
+            targets: targets_with_lambda,
+            sources,
+            witness,
+            residuals: Vec::new(),
+        };
+        flow.residuals = residuals_for(&flow, &self.space);
+        if let Err(e) = flow.verify_identity() {
+            return Err(BoundError::Solver(format!(
+                "extracted Shannon flow failed verification: {e}"
+            )));
+        }
+
+        Ok(BoundReport { log_bound: solution.objective, flow })
+    }
+}
+
+/// Computes the per-subset residuals `r_S ≥ 0` that close the identity
+/// `Σ w_c h(Y_c|X_c) = Σ λ_B h(B) + Σ μ_e expr_e + Σ r_S h(S)`.
+fn residuals_for(flow: &ShannonFlow, space: &EntropyVarSpace) -> Vec<(VarSet, Rat)> {
+    let mut residuals = Vec::new();
+    for s in space.subsets() {
+        let mut lhs = Rat::ZERO;
+        for (stat, w) in &flow.sources {
+            match stat.kind {
+                StatKind::Degree { cond, subj } => {
+                    if cond.union(subj) == s {
+                        lhs += *w;
+                    }
+                    if cond == s {
+                        lhs -= *w;
+                    }
+                }
+                StatKind::LpNorm { cond, subj, k } => {
+                    if cond.union(subj) == s {
+                        lhs += *w;
+                    }
+                    if cond == s {
+                        lhs += *w * (Rat::new(1, i128::from(k)) - Rat::ONE);
+                    }
+                }
+            }
+        }
+        let mut rhs = Rat::ZERO;
+        for (b, l) in &flow.targets {
+            if *b == s {
+                rhs += *l;
+            }
+        }
+        for (e, mu) in &flow.witness {
+            for (set, c) in e.coefficients() {
+                if set == s {
+                    rhs += *mu * Rat::from_int(i128::from(c));
+                }
+            }
+        }
+        let r = lhs - rhs;
+        if !r.is_zero() {
+            residuals.push((s, r));
+        }
+    }
+    residuals
+}
+
+/// The polymatroid bound of a conjunctive-query output (Theorem 4.1):
+/// `max { h(target) : h ⊨ S, Γ_n }` over the given variable universe.
+pub fn polymatroid_bound(
+    target: VarSet,
+    universe: VarSet,
+    stats: &StatisticsSet,
+) -> Result<BoundReport, BoundError> {
+    let lp = GammaLp::build(universe, stats, &[target]);
+    lp.solve(stats, &[target])
+}
+
+/// The polymatroid bound of a disjunctive datalog rule (Theorem 5.1):
+/// `max { min_B h(B) : h ⊨ S, Γ_n }`.
+pub fn ddr_polymatroid_bound(
+    targets: &[VarSet],
+    universe: VarSet,
+    stats: &StatisticsSet,
+) -> Result<BoundReport, BoundError> {
+    let lp = GammaLp::build(universe, stats, targets);
+    lp.solve(stats, targets)
+}
+
+/// The AGM bound of a query under per-relation cardinalities: the
+/// polymatroid bound with only cardinality constraints, which the paper
+/// notes collapses to the fractional edge cover bound and is tight.
+///
+/// `sizes` maps relation symbols to their cardinalities; atoms missing from
+/// the map are given size `base`.  The target is the full variable set.
+pub fn agm_bound(
+    query: &ConjunctiveQuery,
+    sizes: &[(&str, u64)],
+    base: u64,
+) -> Result<BoundReport, BoundError> {
+    let mut stats = StatisticsSet::new(base.max(2));
+    for atom in query.atoms() {
+        let size = sizes
+            .iter()
+            .find(|(name, _)| *name == atom.relation)
+            .map_or(base, |(_, s)| *s);
+        stats.add_cardinality(atom.relation.clone(), atom.var_set(), size);
+    }
+    polymatroid_bound(query.all_vars(), query.all_vars(), &stats)
+}
+
+/// The fractional hypertree width of a query under statistics (Eq. 22),
+/// using the query's enumerated free-connex tree decompositions.
+pub fn fhtw(query: &ConjunctiveQuery, stats: &StatisticsSet) -> Result<FhtwReport, BoundError> {
+    let tds = TreeDecomposition::enumerate(query);
+    fhtw_with_tds(query, &tds, stats)
+}
+
+/// [`fhtw`] over an explicit set of tree decompositions.
+pub fn fhtw_with_tds(
+    query: &ConjunctiveQuery,
+    tds: &[TreeDecomposition],
+    stats: &StatisticsSet,
+) -> Result<FhtwReport, BoundError> {
+    assert!(!tds.is_empty(), "fhtw requires at least one tree decomposition");
+    let universe = query.all_vars();
+    let mut per_td = Vec::with_capacity(tds.len());
+    for td in tds {
+        let mut worst = Rat::ZERO;
+        let mut per_bag = Vec::with_capacity(td.num_bags());
+        for &bag in td.bags() {
+            let report = polymatroid_bound(bag, universe, stats)?;
+            worst = worst.max(report.log_bound);
+            per_bag.push((bag, report.log_bound));
+        }
+        per_td.push((td.clone(), worst, per_bag));
+    }
+    let best = per_td
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .1.cmp(&b.1 .1))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    Ok(FhtwReport { value: per_td[best].1, best, per_td })
+}
+
+/// The submodular width of a query under statistics (Eq. 41), using the
+/// query's enumerated free-connex tree decompositions.
+pub fn subw(query: &ConjunctiveQuery, stats: &StatisticsSet) -> Result<SubwReport, BoundError> {
+    let tds = TreeDecomposition::enumerate(query);
+    subw_with_tds(query, &tds, stats)
+}
+
+/// [`subw`] over an explicit set of tree decompositions.
+pub fn subw_with_tds(
+    query: &ConjunctiveQuery,
+    tds: &[TreeDecomposition],
+    stats: &StatisticsSet,
+) -> Result<SubwReport, BoundError> {
+    assert!(!tds.is_empty(), "subw requires at least one tree decomposition");
+    let universe = query.all_vars();
+    let selectors = BagSelector::enumerate(tds);
+    let mut per_selector = Vec::with_capacity(selectors.len());
+    let mut value = Rat::ZERO;
+    for selector in selectors {
+        let report = ddr_polymatroid_bound(selector.bags(), universe, stats)?;
+        value = value.max(report.log_bound);
+        per_selector.push(SelectorBound { selector, report });
+    }
+    Ok(SubwReport { value, tds: tds.to_vec(), per_selector })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_query::{parse_query, Var};
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    fn four_cycle() -> ConjunctiveQuery {
+        parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap()
+    }
+
+    fn s_square(n: u64) -> StatisticsSet {
+        StatisticsSet::identical_cardinalities(&four_cycle(), n)
+    }
+
+    #[test]
+    fn triangle_agm_bound_is_three_halves() {
+        let q = parse_query("Tri(A,B,C) :- R(A,B), S(B,C), T(A,C)").unwrap();
+        let n = 10_000;
+        let report = agm_bound(&q, &[("R", n), ("S", n), ("T", n)], n).unwrap();
+        assert_eq!(report.log_bound, Rat::new(3, 2));
+        let expected = (n as f64).powf(1.5);
+        assert!((report.tuple_bound() - expected).abs() / expected < 1e-6);
+        report.flow.verify_identity().unwrap();
+        assert_eq!(report.flow.lambda_total(), Rat::ONE);
+    }
+
+    #[test]
+    fn four_cycle_agm_bound_is_two() {
+        let q = four_cycle().with_free(vs(&[0, 1, 2, 3]));
+        let report = agm_bound(&q, &[], 1000).unwrap();
+        assert_eq!(report.log_bound, Rat::from_int(2));
+        report.flow.verify_identity().unwrap();
+    }
+
+    #[test]
+    fn single_bag_bounds_of_the_four_cycle_are_two() {
+        // Section 4.3: max h(XYZ) = max h(ZWX) = 2 under S□.
+        let stats = s_square(1000);
+        let universe = vs(&[0, 1, 2, 3]);
+        for bag in [vs(&[0, 1, 2]), vs(&[0, 2, 3]), vs(&[1, 2, 3]), vs(&[0, 1, 3])] {
+            let report = polymatroid_bound(bag, universe, &stats).unwrap();
+            assert_eq!(report.log_bound, Rat::from_int(2), "bag {bag:?}");
+            report.flow.verify_identity().unwrap();
+        }
+    }
+
+    #[test]
+    fn fhtw_of_the_four_cycle_is_two() {
+        // Section 4.3: fhtw(Q□, S□) = 2.
+        let q = four_cycle();
+        let stats = s_square(1000);
+        let report = fhtw(&q, &stats).unwrap();
+        assert_eq!(report.value, Rat::from_int(2));
+        assert_eq!(report.per_td.len(), 2);
+        for (_, cost, _) in &report.per_td {
+            assert_eq!(*cost, Rat::from_int(2));
+        }
+        assert_eq!(report.best_td().num_bags(), 2);
+    }
+
+    #[test]
+    fn ddr_bound_of_eq38_is_three_halves() {
+        // Eq. (45)/(61): max min(h(XYZ), h(YZW)) = 3/2 under S□.
+        let stats = s_square(1000);
+        let universe = vs(&[0, 1, 2, 3]);
+        let report =
+            ddr_polymatroid_bound(&[vs(&[0, 1, 2]), vs(&[1, 2, 3])], universe, &stats).unwrap();
+        assert_eq!(report.log_bound, Rat::new(3, 2));
+        let flow = &report.flow;
+        flow.verify_identity().unwrap();
+        assert_eq!(flow.lambda_total(), Rat::ONE);
+        // Eq. (55): λ = (1/2, 1/2); Σ w = 3/2 with the U-relation unused.
+        assert_eq!(flow.targets.len(), 2);
+        assert!(flow.targets.iter().all(|(_, l)| *l == Rat::new(1, 2)));
+        let total_w: Rat = flow.sources.iter().map(|(_, w)| *w).sum();
+        assert_eq!(total_w, Rat::new(3, 2));
+        assert_eq!(flow.weight_of("|U| ≤ 1000"), Rat::ZERO);
+        // The bound in tuples is N^{3/2} (Eq. 61).
+        let expected = 1000f64.powf(1.5);
+        assert!((report.tuple_bound() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn subw_of_the_four_cycle_is_three_halves() {
+        // Eq. (44): subw(Q□, S□) = 3/2, attained by all four bag selectors.
+        let q = four_cycle();
+        let stats = s_square(1000);
+        let report = subw(&q, &stats).unwrap();
+        assert_eq!(report.value, Rat::new(3, 2));
+        assert_eq!(report.per_selector.len(), 4);
+        for sel in &report.per_selector {
+            assert_eq!(sel.report.log_bound, Rat::new(3, 2));
+            sel.report.flow.verify_identity().unwrap();
+        }
+        assert_eq!(report.hardest().report.log_bound, Rat::new(3, 2));
+        // subw ≤ fhtw (Section 6).
+        let f = fhtw(&q, &stats).unwrap();
+        assert!(report.value <= f.value);
+    }
+
+    #[test]
+    fn boolean_four_cycle_has_the_same_widths() {
+        let q = parse_query("Q() :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let stats = StatisticsSet::identical_cardinalities(&q, 1 << 20);
+        assert_eq!(subw(&q, &stats).unwrap().value, Rat::new(3, 2));
+        assert_eq!(fhtw(&q, &stats).unwrap().value, Rat::from_int(2));
+    }
+
+    #[test]
+    fn functional_dependencies_tighten_the_full_four_cycle_bound() {
+        // S_full of Eq. (16) with C = 1 (a hard FD both ways): the paper's
+        // Shannon inequality (20) gives h(XYZW) ≤ 3/2.
+        let q = four_cycle().with_free(vs(&[0, 1, 2, 3]));
+        let n: u64 = 1 << 20;
+        let (x, w) = (Var(0), Var(3));
+        let mut stats = StatisticsSet::identical_cardinalities(&q, n);
+        stats.add_functional_dependency("U", VarSet::singleton(w), VarSet::singleton(x));
+        stats.add_functional_dependency("U", VarSet::singleton(x), VarSet::singleton(w));
+        let report = polymatroid_bound(q.all_vars(), q.all_vars(), &stats).unwrap();
+        assert_eq!(report.log_bound, Rat::new(3, 2));
+        report.flow.verify_identity().unwrap();
+        // Without the FDs the bound is the AGM bound 2.
+        let plain = polymatroid_bound(
+            q.all_vars(),
+            q.all_vars(),
+            &StatisticsSet::identical_cardinalities(&q, n),
+        )
+        .unwrap();
+        assert_eq!(plain.log_bound, Rat::from_int(2));
+    }
+
+    #[test]
+    fn lp_norm_constraints_tighten_bounds() {
+        // Section 9.2 / Cauchy–Schwarz: for the 2-path join R(X,Y) ⋈ S(Y,Z)
+        // with ℓ2-norm bounds √N on the degree sequences of the *join*
+        // variable — ‖deg_R(X|Y=y)‖₂ ≤ √N and ‖deg_S(Z|Y=y)‖₂ ≤ √N — the
+        // output bound drops from the AGM value N² to N, because
+        // h(XYZ) ≤ ½h(Y)+h(X|Y) + ½h(Y)+h(Z|Y) ≤ 1.
+        let q = parse_query("P(X,Y,Z) :- R(X,Y), S(Y,Z)").unwrap();
+        let n: u64 = 1 << 20;
+        let x = q.var_by_name("X").unwrap();
+        let y = q.var_by_name("Y").unwrap();
+        let z = q.var_by_name("Z").unwrap();
+        let mut stats = StatisticsSet::identical_cardinalities(&q, n);
+        let plain = polymatroid_bound(q.all_vars(), q.all_vars(), &stats).unwrap();
+        assert_eq!(plain.log_bound, Rat::from_int(2));
+        stats.add_lp_norm("R", VarSet::singleton(y), VarSet::singleton(x), 2, 1 << 10);
+        stats.add_lp_norm("S", VarSet::singleton(y), VarSet::singleton(z), 2, 1 << 10);
+        let tightened = polymatroid_bound(q.all_vars(), q.all_vars(), &stats).unwrap();
+        assert_eq!(tightened.log_bound, Rat::ONE);
+        tightened.flow.verify_identity().unwrap();
+    }
+
+    #[test]
+    fn unbounded_when_a_variable_is_unconstrained() {
+        let q = parse_query("Q(X,Y) :- R(X), S(Y)").unwrap();
+        let mut stats = StatisticsSet::new(100);
+        stats.add_cardinality("R", VarSet::singleton(Var(0)), 100);
+        // S's variable Y is unconstrained ⇒ the output can be arbitrarily large.
+        let err = polymatroid_bound(q.all_vars(), q.all_vars(), &stats).unwrap_err();
+        assert_eq!(err, BoundError::Unbounded);
+    }
+
+    #[test]
+    fn acyclic_query_fhtw_is_one() {
+        let q = parse_query("P(A,B,C) :- R(A,B), S(B,C)").unwrap();
+        let stats = StatisticsSet::identical_cardinalities(&q, 4096);
+        let report = fhtw(&q, &stats).unwrap();
+        assert_eq!(report.value, Rat::ONE);
+        let s = subw(&q, &stats).unwrap();
+        assert_eq!(s.value, Rat::ONE);
+    }
+
+    #[test]
+    fn bound_report_flows_are_integralisable() {
+        let stats = s_square(1000);
+        let universe = vs(&[0, 1, 2, 3]);
+        let report =
+            ddr_polymatroid_bound(&[vs(&[0, 1, 2]), vs(&[1, 2, 3])], universe, &stats).unwrap();
+        let integral = report.flow.to_integral().unwrap();
+        integral.verify_identity().unwrap();
+        assert!(integral.scale >= 1);
+        assert_eq!(integral.num_target_occurrences() % integral.targets.len() as u64, 0);
+    }
+}

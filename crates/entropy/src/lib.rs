@@ -1,0 +1,47 @@
+//! Information-theoretic cardinality bounds and width measures.
+//!
+//! This crate implements the "optimizer brain" of the PANDA framework
+//! (Sections 3–6 and 9 of the paper):
+//!
+//! * [`Statistic`] / [`StatisticsSet`] — degree constraints
+//!   `deg_R(Y|X) ≤ N_{Y|X}` (cardinality constraints and functional
+//!   dependencies as special cases) and ℓ_k-norm constraints on degree
+//!   sequences (Section 9.2), together with helpers that *measure* them on a
+//!   concrete database instance,
+//! * [`Elemental`] — the elemental Shannon inequalities generating the
+//!   polymatroid cone Γ_n,
+//! * [`polymatroid_bound`] — the polymatroid bound of a conjunctive query
+//!   (Theorem 4.1), with the AGM bound as the all-cardinalities special
+//!   case ([`agm_bound`]),
+//! * [`ddr_polymatroid_bound`] — the polymatroid bound of a disjunctive
+//!   datalog rule (Theorem 5.1),
+//! * [`fhtw`] / [`subw`] — the fractional hypertree width (Eq. 22) and the
+//!   submodular width (Eq. 41) generalized to arbitrary statistics and
+//!   arbitrary (non-Boolean) CQs,
+//! * [`ShannonFlow`] — the dual certificate of each bound: a Shannon-flow
+//!   inequality (Lemma 6.1) together with an explicit witness as a
+//!   non-negative combination of elemental inequalities, which
+//!   `panda-proof` turns into a proof sequence and `panda-core` turns into
+//!   a query plan,
+//! * [`mm`] — the information-theoretic matrix-multiplication cost term
+//!   `MM(X;Y;Z)` and the ω-submodular width of the 4-cycle (Section 9.3).
+//!
+//! Everything is computed exactly over rationals; the LP solver is
+//! `panda-lp`.
+
+pub mod bounds;
+pub mod constraints;
+pub mod elemental;
+pub mod mm;
+pub mod shannon;
+pub mod varspace;
+
+pub use bounds::{
+    agm_bound, ddr_polymatroid_bound, fhtw, fhtw_with_tds, polymatroid_bound, subw, subw_with_tds,
+    BoundError, BoundReport, FhtwReport, SelectorBound, SubwReport,
+};
+pub use constraints::{exact_log, StatKind, Statistic, StatisticsSet};
+pub use elemental::Elemental;
+pub use mm::{mm_cost_log, omega_subw_square, MATRIX_MULT_OMEGA};
+pub use shannon::{CondTerm, IntegralShannonFlow, ShannonFlow};
+pub use varspace::EntropyVarSpace;

@@ -1,0 +1,198 @@
+//! Mapping between variable subsets and LP variables.
+
+use panda_query::{Var, VarSet};
+
+/// The variable space of an entropy LP: a fixed universe `V` of query
+/// variables, and a dense numbering of the `2^|V| − 1` non-empty subsets of
+/// `V` (the LP variables `h(S)`).
+///
+/// The universe need not be a contiguous range of [`Var`] indices; subsets
+/// are re-encoded into a dense bitset internally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntropyVarSpace {
+    universe: VarSet,
+    /// `positions[i]` is the dense position of the i-th lowest variable of
+    /// the universe.
+    members: Vec<Var>,
+}
+
+impl EntropyVarSpace {
+    /// Creates the space for a universe of variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe has more than 16 variables: the LP would have
+    /// at least `2^16` variables, far past the point where the exact dense
+    /// simplex solver is appropriate (the paper's examples use 4–6).
+    #[must_use]
+    pub fn new(universe: VarSet) -> Self {
+        assert!(
+            universe.len() <= 16,
+            "entropy LPs over more than 16 variables are not supported (got {})",
+            universe.len()
+        );
+        EntropyVarSpace { universe, members: universe.to_vec() }
+    }
+
+    /// The universe `V`.
+    #[must_use]
+    pub fn universe(&self) -> VarSet {
+        self.universe
+    }
+
+    /// The number of variables in the universe.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The number of LP variables, `2^n − 1`.
+    #[must_use]
+    pub fn num_lp_vars(&self) -> usize {
+        (1usize << self.members.len()) - 1
+    }
+
+    /// Converts a subset of the universe into its dense bit representation.
+    fn dense_bits(&self, set: VarSet) -> u32 {
+        debug_assert!(
+            set.is_subset_of(self.universe),
+            "{set:?} is not a subset of the universe {:?}",
+            self.universe
+        );
+        let mut bits = 0u32;
+        for (pos, v) in self.members.iter().enumerate() {
+            if set.contains(*v) {
+                bits |= 1 << pos;
+            }
+        }
+        bits
+    }
+
+    /// The LP variable index of `h(set)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty (the LP has no variable for `h(∅) = 0`) or
+    /// not a subset of the universe.
+    #[must_use]
+    pub fn index_of(&self, set: VarSet) -> usize {
+        assert!(!set.is_empty(), "h(∅) is identically zero and has no LP variable");
+        assert!(
+            set.is_subset_of(self.universe),
+            "{set:?} is not a subset of the universe {:?}",
+            self.universe
+        );
+        self.dense_bits(set) as usize - 1
+    }
+
+    /// The subset corresponding to an LP variable index (inverse of
+    /// [`EntropyVarSpace::index_of`]).
+    #[must_use]
+    pub fn set_of(&self, index: usize) -> VarSet {
+        let bits = (index + 1) as u32;
+        let mut set = VarSet::EMPTY;
+        for (pos, v) in self.members.iter().enumerate() {
+            if bits & (1 << pos) != 0 {
+                set = set.with(*v);
+            }
+        }
+        set
+    }
+
+    /// Iterates over every non-empty subset of the universe in LP-variable
+    /// order.
+    pub fn subsets(&self) -> impl Iterator<Item = VarSet> + '_ {
+        (0..self.num_lp_vars()).map(|i| self.set_of(i))
+    }
+
+    /// Adds the coefficients of the conditional term `h(subj | cond)` —
+    /// i.e. `+1 · h(cond ∪ subj) − 1 · h(cond)` — to a sparse coefficient
+    /// list, skipping `h(∅)`.
+    pub fn add_conditional_term(
+        &self,
+        coeffs: &mut Vec<(usize, panda_rational::Rat)>,
+        cond: VarSet,
+        subj: VarSet,
+        scale: panda_rational::Rat,
+    ) {
+        let joint = cond.union(subj);
+        if !joint.is_empty() {
+            coeffs.push((self.index_of(joint), scale));
+        }
+        if !cond.is_empty() {
+            coeffs.push((self.index_of(cond), -scale));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_rational::Rat;
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    #[test]
+    fn contiguous_universe_round_trips() {
+        let space = EntropyVarSpace::new(vs(&[0, 1, 2, 3]));
+        assert_eq!(space.num_vars(), 4);
+        assert_eq!(space.num_lp_vars(), 15);
+        for i in 0..space.num_lp_vars() {
+            assert_eq!(space.index_of(space.set_of(i)), i);
+        }
+        assert_eq!(space.index_of(vs(&[0])), 0);
+        assert_eq!(space.index_of(vs(&[0, 1, 2, 3])), 14);
+    }
+
+    #[test]
+    fn non_contiguous_universe_round_trips() {
+        let space = EntropyVarSpace::new(vs(&[2, 5, 9]));
+        assert_eq!(space.num_lp_vars(), 7);
+        for i in 0..space.num_lp_vars() {
+            let s = space.set_of(i);
+            assert!(s.is_subset_of(space.universe()));
+            assert_eq!(space.index_of(s), i);
+        }
+    }
+
+    #[test]
+    fn subsets_enumerates_everything_once() {
+        let space = EntropyVarSpace::new(vs(&[0, 1, 2]));
+        let all: Vec<VarSet> = space.subsets().collect();
+        assert_eq!(all.len(), 7);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 7);
+    }
+
+    #[test]
+    fn conditional_term_coefficients() {
+        let space = EntropyVarSpace::new(vs(&[0, 1, 2]));
+        let mut coeffs = Vec::new();
+        space.add_conditional_term(&mut coeffs, vs(&[0]), vs(&[1]), Rat::ONE);
+        assert_eq!(coeffs.len(), 2);
+        assert!(coeffs.contains(&(space.index_of(vs(&[0, 1])), Rat::ONE)));
+        assert!(coeffs.contains(&(space.index_of(vs(&[0])), -Rat::ONE)));
+        // unconditional term only adds the joint entry
+        let mut coeffs = Vec::new();
+        space.add_conditional_term(&mut coeffs, VarSet::EMPTY, vs(&[2]), Rat::from_int(2));
+        assert_eq!(coeffs, vec![(space.index_of(vs(&[2])), Rat::from_int(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "h(∅)")]
+    fn empty_set_has_no_index() {
+        let space = EntropyVarSpace::new(vs(&[0, 1]));
+        let _ = space.index_of(VarSet::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn oversized_universe_rejected() {
+        let universe: VarSet = (0..17).map(Var).collect();
+        let _ = EntropyVarSpace::new(universe);
+    }
+}

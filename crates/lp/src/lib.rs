@@ -1,0 +1,95 @@
+//! An exact linear-programming solver for `panda-rs`.
+//!
+//! Every width notion in the paper — the polymatroid bound (Theorem 4.1),
+//! the fractional hypertree width (Eq. 22), the submodular width (Eq. 41)
+//! and the ω-submodular width (Sec. 9.3) — is a small linear program over
+//! the polymatroid cone Γ_n.  Their *dual* optimal solutions are the
+//! Shannon-flow inequalities (Lemma 6.1) from which PANDA derives its query
+//! plans, so the duals must be exact rational numbers, not floats.
+//!
+//! This crate implements a dense-tableau, two-phase primal simplex method
+//! over [`panda_rational::Rat`]:
+//!
+//! * maximisation problems with non-negative variables,
+//! * `≤`, `≥` and `=` constraints with arbitrary right-hand sides,
+//! * Dantzig pricing with an automatic switch to Bland's rule so the many
+//!   degenerate rows of polymatroid LPs cannot cause cycling,
+//! * exact dual values recovered by solving `Bᵀy = c_B` over the final
+//!   basis, with the sign conventions documented on [`Solution::duals`].
+//!
+//! The solver is deliberately simple (dense rational tableau) because the
+//! LPs produced by the paper's queries have at most a few hundred rows and
+//! columns; exactness and auditability matter far more than raw speed here.
+//!
+//! # Example
+//!
+//! ```
+//! use panda_lp::{ConstraintOp, LinearProgram, LpOutcome};
+//! use panda_rational::Rat;
+//!
+//! // maximise 3x + 5y  subject to  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0
+//! let mut lp = LinearProgram::new(2);
+//! lp.set_objective(vec![Rat::from_int(3), Rat::from_int(5)]);
+//! lp.add_constraint(vec![(0, Rat::ONE)], ConstraintOp::Le, Rat::from_int(4));
+//! lp.add_constraint(vec![(1, Rat::from_int(2))], ConstraintOp::Le, Rat::from_int(12));
+//! lp.add_constraint(
+//!     vec![(0, Rat::from_int(3)), (1, Rat::from_int(2))],
+//!     ConstraintOp::Le,
+//!     Rat::from_int(18),
+//! );
+//! let solution = match lp.solve().unwrap() {
+//!     LpOutcome::Optimal(s) => s,
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! };
+//! assert_eq!(solution.objective, Rat::from_int(36));
+//! assert_eq!(solution.primal[0], Rat::from_int(2));
+//! assert_eq!(solution.primal[1], Rat::from_int(6));
+//! ```
+
+mod problem;
+mod simplex;
+mod solution;
+
+pub use problem::{Constraint, ConstraintOp, LinearProgram};
+pub use solution::{LpOutcome, Solution};
+
+/// Errors reported by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The objective vector length does not match the number of variables.
+    ObjectiveDimensionMismatch {
+        /// Number of variables declared in the program.
+        expected: usize,
+        /// Length of the supplied objective vector.
+        got: usize,
+    },
+    /// A constraint references a variable index outside the program.
+    VariableOutOfRange {
+        /// The offending variable index.
+        index: usize,
+        /// Number of variables declared in the program.
+        num_vars: usize,
+    },
+    /// The simplex iteration limit was exceeded (should not happen with
+    /// Bland's rule; indicates a bug or a pathological input).
+    IterationLimit(usize),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::ObjectiveDimensionMismatch { expected, got } => write!(
+                f,
+                "objective has {got} coefficients but the program has {expected} variables"
+            ),
+            LpError::VariableOutOfRange { index, num_vars } => {
+                write!(f, "variable index {index} out of range (program has {num_vars} variables)")
+            }
+            LpError::IterationLimit(limit) => {
+                write!(f, "simplex exceeded the iteration limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

@@ -1,0 +1,246 @@
+//! Linear-program construction.
+
+use panda_rational::Rat;
+
+use crate::simplex::Simplex;
+use crate::solution::LpOutcome;
+use crate::LpError;
+
+/// The relational operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintOp {
+    /// `a · x ≤ b`
+    Le,
+    /// `a · x ≥ b`
+    Ge,
+    /// `a · x = b`
+    Eq,
+}
+
+/// A single linear constraint `a · x {≤,≥,=} b` stored sparsely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Sparse coefficient list `(variable index, coefficient)`.
+    pub coeffs: Vec<(usize, Rat)>,
+    /// The relational operator.
+    pub op: ConstraintOp,
+    /// The right-hand side.
+    pub rhs: Rat,
+}
+
+impl Constraint {
+    /// Evaluates the left-hand side on a point.
+    #[must_use]
+    pub fn lhs_at(&self, point: &[Rat]) -> Rat {
+        self.coeffs
+            .iter()
+            .map(|(j, c)| *c * point.get(*j).copied().unwrap_or(Rat::ZERO))
+            .sum()
+    }
+
+    /// Returns `true` iff the point satisfies the constraint exactly.
+    #[must_use]
+    pub fn is_satisfied_by(&self, point: &[Rat]) -> bool {
+        let lhs = self.lhs_at(point);
+        match self.op {
+            ConstraintOp::Le => lhs <= self.rhs,
+            ConstraintOp::Ge => lhs >= self.rhs,
+            ConstraintOp::Eq => lhs == self.rhs,
+        }
+    }
+}
+
+/// A linear program `maximise c · x  subject to  constraints, x ≥ 0`.
+///
+/// All variables are implicitly non-negative, which matches every LP built
+/// by the entropy crate (entropy values and the auxiliary `t` variable of
+/// the submodular-width LP are non-negative).
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    num_vars: usize,
+    objective: Vec<Rat>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates a program with `num_vars` non-negative variables and a zero
+    /// objective.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        LinearProgram {
+            num_vars,
+            objective: vec![Rat::ZERO; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints added so far.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The constraints added so far.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The dense objective vector.
+    #[must_use]
+    pub fn objective(&self) -> &[Rat] {
+        &self.objective
+    }
+
+    /// Sets the (maximisation) objective from a dense coefficient vector.
+    ///
+    /// Returns an error if the length does not match the variable count,
+    /// but leaves the previous objective untouched in that case.
+    pub fn set_objective(&mut self, coeffs: Vec<Rat>) -> &mut Self {
+        assert_eq!(
+            coeffs.len(),
+            self.num_vars,
+            "objective has {} coefficients but the program has {} variables",
+            coeffs.len(),
+            self.num_vars
+        );
+        self.objective = coeffs;
+        self
+    }
+
+    /// Sets a single objective coefficient.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: Rat) -> &mut Self {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.objective[var] = coeff;
+        self
+    }
+
+    /// Adds a constraint given sparsely as `(variable, coefficient)` pairs.
+    /// Duplicate variable entries are summed.  Returns the constraint index,
+    /// which identifies the constraint's dual value in [`crate::Solution`].
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<(usize, Rat)>,
+        op: ConstraintOp,
+        rhs: Rat,
+    ) -> usize {
+        for (j, _) in &coeffs {
+            assert!(
+                *j < self.num_vars,
+                "constraint references variable {j} but the program has {} variables",
+                self.num_vars
+            );
+        }
+        // Merge duplicates so the dense tableau rows stay canonical.
+        let mut merged: Vec<(usize, Rat)> = Vec::with_capacity(coeffs.len());
+        for (j, c) in coeffs {
+            if let Some(entry) = merged.iter_mut().find(|(k, _)| *k == j) {
+                entry.1 += c;
+            } else {
+                merged.push((j, c));
+            }
+        }
+        merged.retain(|(_, c)| !c.is_zero());
+        self.constraints.push(Constraint { coeffs: merged, op, rhs });
+        self.constraints.len() - 1
+    }
+
+    /// Validates internal consistency; called by [`LinearProgram::solve`].
+    fn validate(&self) -> Result<(), LpError> {
+        if self.objective.len() != self.num_vars {
+            return Err(LpError::ObjectiveDimensionMismatch {
+                expected: self.num_vars,
+                got: self.objective.len(),
+            });
+        }
+        for constraint in &self.constraints {
+            for (j, _) in &constraint.coeffs {
+                if *j >= self.num_vars {
+                    return Err(LpError::VariableOutOfRange {
+                        index: *j,
+                        num_vars: self.num_vars,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    pub fn solve(&self) -> Result<LpOutcome, LpError> {
+        self.validate()?;
+        Simplex::new(self).run()
+    }
+
+    /// Checks whether a point is feasible (satisfies every constraint and
+    /// non-negativity).  Useful in tests and for auditing LP certificates.
+    #[must_use]
+    pub fn is_feasible(&self, point: &[Rat]) -> bool {
+        point.len() == self.num_vars
+            && point.iter().all(|v| !v.is_negative())
+            && self.constraints.iter().all(|c| c.is_satisfied_by(point))
+    }
+
+    /// Evaluates the objective at a point.
+    #[must_use]
+    pub fn objective_at(&self, point: &[Rat]) -> Rat {
+        self.objective
+            .iter()
+            .zip(point.iter())
+            .map(|(c, x)| *c * *x)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_duplicate_coefficients() {
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(
+            vec![(0, Rat::ONE), (0, Rat::ONE), (1, Rat::from_int(2))],
+            ConstraintOp::Le,
+            Rat::from_int(5),
+        );
+        let c = &lp.constraints()[0];
+        assert_eq!(c.coeffs.len(), 2);
+        assert!(c.coeffs.contains(&(0, Rat::from_int(2))));
+    }
+
+    #[test]
+    fn drops_zero_coefficients() {
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(
+            vec![(0, Rat::ONE), (0, -Rat::ONE), (1, Rat::ONE)],
+            ConstraintOp::Le,
+            Rat::from_int(5),
+        );
+        assert_eq!(lp.constraints()[0].coeffs, vec![(1, Rat::ONE)]);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(vec![Rat::ONE, Rat::ONE]);
+        lp.add_constraint(vec![(0, Rat::ONE), (1, Rat::ONE)], ConstraintOp::Le, Rat::from_int(3));
+        assert!(lp.is_feasible(&[Rat::ONE, Rat::ONE]));
+        assert!(!lp.is_feasible(&[Rat::from_int(2), Rat::from_int(2)]));
+        assert!(!lp.is_feasible(&[-Rat::ONE, Rat::ZERO]));
+        assert_eq!(lp.objective_at(&[Rat::ONE, Rat::from_int(2)]), Rat::from_int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "references variable")]
+    fn out_of_range_variable_panics() {
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![(3, Rat::ONE)], ConstraintOp::Le, Rat::ONE);
+    }
+}

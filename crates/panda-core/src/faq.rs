@@ -1,0 +1,292 @@
+//! Functional aggregate queries over semirings (Section 9.1).
+//!
+//! A FAQ annotates every input tuple with an element of a commutative
+//! semiring `(K, ⊕, ⊗)` and asks for `⊕_{assignments} ⊗_{atoms}
+//! annotation(atom tuple)`.  Instantiating the semiring yields the Boolean
+//! query (∨/∧), the counting query `#CQ` (+/×), minimum-weight matching
+//! (min/+), and bottleneck matching (max/min).
+//!
+//! For acyclic queries the aggregate is computed by dynamic programming
+//! over a join tree (the FAQ/variable-elimination algorithm); for cyclic
+//! queries this module falls back to enumerating the full join with the
+//! worst-case-optimal join — the paper's open problem (Section 10) is
+//! precisely that non-idempotent semirings cannot simply reuse PANDA's
+//! overlapping partitions.
+
+use std::collections::HashMap;
+
+use panda_query::hypergraph::join_tree_of;
+use panda_query::{ConjunctiveQuery, Var, VarSet};
+use panda_relation::{AnnotatedRelation, Database, Semiring, Value};
+
+use crate::binding::VarRelation;
+use crate::generic_join::GenericJoin;
+
+/// An annotation function: given the relation symbol and a tuple, returns
+/// its semiring annotation.
+pub type AnnotationFn<'a, S> = dyn Fn(&str, &[Value]) -> <S as Semiring>::Elem + 'a;
+
+/// An annotated relation bound to query variables.
+struct AnnotatedVarRelation<S: Semiring> {
+    vars: Vec<Var>,
+    rel: AnnotatedRelation<S>,
+}
+
+impl<S: Semiring> AnnotatedVarRelation<S> {
+    fn from_atom(
+        atom: &panda_query::Atom,
+        db: &Database,
+        annotate: &AnnotationFn<'_, S>,
+    ) -> Self {
+        let bound = VarRelation::from_atom(atom, db);
+        let mut rel = AnnotatedRelation::new(bound.vars.len());
+        // Annotations are looked up on the *original* tuple layout of the
+        // atom, which may repeat variables; reconstruct it per row.
+        for row in bound.rel.iter() {
+            let original: Vec<Value> = atom
+                .vars
+                .iter()
+                .map(|v| {
+                    let col = bound
+                        .vars
+                        .iter()
+                        .position(|w| w == v)
+                        .expect("atom variable bound");
+                    row[col]
+                })
+                .collect();
+            rel.push(row.to_vec(), annotate(&atom.relation, &original));
+        }
+        AnnotatedVarRelation { vars: bound.vars, rel: rel.normalized() }
+    }
+
+    fn var_set(&self) -> VarSet {
+        self.vars.iter().copied().collect()
+    }
+
+    fn column_of(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|w| *w == v)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        let on: Vec<(usize, usize)> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.column_of(*v).map(|j| (i, j)))
+            .collect();
+        let joined = self.rel.join(&other.rel, &on);
+        let mut vars = self.vars.clone();
+        let joined_cols: Vec<usize> = on.iter().map(|&(_, j)| j).collect();
+        for (j, v) in other.vars.iter().enumerate() {
+            if !joined_cols.contains(&j) {
+                vars.push(*v);
+            }
+        }
+        AnnotatedVarRelation { vars, rel: joined }
+    }
+
+    fn aggregate_to(&self, keep: VarSet) -> Self {
+        let kept: Vec<Var> = self.vars.iter().copied().filter(|v| keep.contains(*v)).collect();
+        let cols: Vec<usize> = kept
+            .iter()
+            .map(|v| self.column_of(*v).expect("kept variable bound"))
+            .collect();
+        AnnotatedVarRelation { vars: kept, rel: self.rel.aggregate_onto(&cols) }
+    }
+}
+
+/// Computes the total FAQ aggregate `⊕` over all assignments to *all*
+/// variables of `⊗` over the atoms' annotations.
+///
+/// With [`panda_relation::CountingSemiring`] and the constant annotation 1
+/// this is the number of homomorphisms (the `#CQ` answer for a Boolean
+/// head); with [`panda_relation::MinPlusSemiring`] and per-tuple weights it
+/// is the minimum total weight of any satisfying assignment.
+pub fn faq_total<S: Semiring>(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    annotate: &AnnotationFn<'_, S>,
+) -> S::Elem {
+    let schemas: Vec<VarSet> = query.atoms().iter().map(panda_query::Atom::var_set).collect();
+    if let Some(tree) = join_tree_of(&schemas) {
+        // Acyclic: join-tree dynamic programming.
+        let mut nodes: Vec<Option<AnnotatedVarRelation<S>>> = query
+            .atoms()
+            .iter()
+            .map(|a| Some(AnnotatedVarRelation::from_atom(a, db, annotate)))
+            .collect();
+        let mut messages: Vec<Option<AnnotatedVarRelation<S>>> = (0..nodes.len()).map(|_| None).collect();
+        for &node in &tree.bottom_up {
+            let mut acc = nodes[node].take().expect("each node visited once");
+            for &child in &tree.children[node] {
+                let msg = messages[child].take().expect("children before parents");
+                acc = acc.join(&msg);
+            }
+            let keep = match tree.parent[node] {
+                Some(parent) => acc.var_set().intersect(schemas[parent]),
+                None => VarSet::EMPTY,
+            };
+            messages[node] = Some(acc.aggregate_to(keep));
+        }
+        let root = messages[tree.root].take().expect("root message");
+        root.rel.total()
+    } else {
+        // Cyclic: enumerate the full join and aggregate explicitly.
+        let all = query.all_vars();
+        let inputs = VarRelation::bind_all(query, db);
+        let full = GenericJoin::new(all).join(&inputs, &all.to_vec());
+        let var_order: Vec<Var> = all.to_vec();
+        let mut total = S::zero();
+        for row in full.rel.iter() {
+            let assignment: HashMap<Var, Value> =
+                var_order.iter().copied().zip(row.iter().copied()).collect();
+            let mut product = S::one();
+            for atom in query.atoms() {
+                let tuple: Vec<Value> = atom.vars.iter().map(|v| assignment[v]).collect();
+                product = S::mul(&product, &annotate(&atom.relation, &tuple));
+            }
+            total = S::add(&total, &product);
+        }
+        total
+    }
+}
+
+/// Counts the satisfying assignments to all variables of the query body
+/// (`#CQ` with a Boolean head), using the counting semiring.
+#[must_use]
+pub fn count_assignments(query: &ConjunctiveQuery, db: &Database) -> u64 {
+    faq_total::<panda_relation::CountingSemiring>(query, db, &|_, _| 1)
+}
+
+/// The minimum total weight over satisfying assignments, where each atom
+/// tuple's weight is given by `weight` (min-plus semiring);
+/// `None` if the query is unsatisfiable.
+pub fn min_weight(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    weight: &dyn Fn(&str, &[Value]) -> i64,
+) -> Option<i64> {
+    let total = faq_total::<panda_relation::MinPlusSemiring>(query, db, &|rel, row| weight(rel, row));
+    if total >= panda_relation::semiring::MIN_PLUS_INFINITY {
+        None
+    } else {
+        Some(total)
+    }
+}
+
+/// Boolean satisfiability of the body (any satisfying assignment at all),
+/// via the Boolean semiring.
+#[must_use]
+pub fn is_satisfiable(query: &ConjunctiveQuery, db: &Database) -> bool {
+    faq_total::<panda_relation::BoolSemiring>(query, db, &|_, _| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_query::parse_query;
+    use panda_relation::Relation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn path_db() -> Database {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, vec![[1, 2], [1, 3], [4, 3]]));
+        db.insert("S", Relation::from_rows(2, vec![[2, 5], [3, 5], [3, 6]]));
+        db
+    }
+
+    #[test]
+    fn counting_a_path_query() {
+        // assignments: (1,2,5), (1,3,5), (1,3,6), (4,3,5), (4,3,6) = 5.
+        let q = parse_query("Q() :- R(A,B), S(B,C)").unwrap();
+        assert_eq!(count_assignments(&q, &path_db()), 5);
+        assert!(is_satisfiable(&q, &path_db()));
+    }
+
+    #[test]
+    fn counting_agrees_with_enumeration_on_cyclic_queries() {
+        let q = parse_query("Q() :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut db = Database::new();
+        for name in ["R", "S", "T", "U"] {
+            db.insert(
+                name,
+                Relation::from_rows(
+                    2,
+                    (0..40).map(|_| [rng.gen_range(0..6u64), rng.gen_range(0..6u64)]),
+                )
+                .deduped(),
+            );
+        }
+        let count = count_assignments(&q, &db);
+        let full = GenericJoin::evaluate(&q.with_free(q.all_vars()), &db);
+        assert_eq!(count, full.len() as u64);
+    }
+
+    #[test]
+    fn counting_semiring_needs_multiplicity_not_idempotence() {
+        // Two different B-paths from 1 to 5 must count as 2, not 1.
+        let q = parse_query("Q() :- R(A,B), S(B,C)").unwrap();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, vec![[1, 2], [1, 3]]));
+        db.insert("S", Relation::from_rows(2, vec![[2, 5], [3, 5]]));
+        assert_eq!(count_assignments(&q, &db), 2);
+    }
+
+    #[test]
+    fn min_weight_path() {
+        // Weight of an edge (a,b) is a+b; cheapest 2-path in path_db is
+        // 1→2→5 with weight (1+2)+(2+5) = 10.
+        let q = parse_query("Q() :- R(A,B), S(B,C)").unwrap();
+        let w = |_: &str, row: &[Value]| (row[0] + row[1]) as i64;
+        assert_eq!(min_weight(&q, &path_db(), &w), Some(10));
+        // Unsatisfiable instance.
+        let mut db = path_db();
+        db.insert("S", Relation::from_rows(2, vec![[99, 1]]));
+        assert_eq!(min_weight(&q, &db, &w), None);
+        assert!(!is_satisfiable(&q, &db));
+    }
+
+    #[test]
+    fn min_weight_four_cycle_matches_brute_force() {
+        let q = parse_query("Q() :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut db = Database::new();
+        for name in ["R", "S", "T", "U"] {
+            db.insert(
+                name,
+                Relation::from_rows(
+                    2,
+                    (0..30).map(|_| [rng.gen_range(0..5u64), rng.gen_range(0..5u64)]),
+                )
+                .deduped(),
+            );
+        }
+        let w = |_: &str, row: &[Value]| (2 * row[0] + 3 * row[1]) as i64;
+        let fast = min_weight(&q, &db, &w);
+        // Brute force over the full join.
+        let full = GenericJoin::evaluate(&q.with_free(q.all_vars()), &db);
+        let brute = full
+            .rel
+            .iter()
+            .map(|row| {
+                // row order: X,Y,Z,W
+                let (x, y, z, wv) = (row[0], row[1], row[2], row[3]);
+                w("R", &[x, y]) + w("S", &[y, z]) + w("T", &[z, wv]) + w("U", &[wv, x])
+            })
+            .min();
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn empty_input_counts_zero() {
+        let q = parse_query("Q() :- R(A,B), S(B,C)").unwrap();
+        let mut db = Database::new();
+        db.insert("R", Relation::new(2));
+        db.insert("S", Relation::new(2));
+        assert_eq!(count_assignments(&q, &db), 0);
+        assert!(!is_satisfiable(&q, &db));
+    }
+}

@@ -1,0 +1,42 @@
+//! The PANDA query engine: turning information-theoretic bounds into query
+//! plans.
+//!
+//! This crate ties the whole workspace together (Sections 4, 5 and 8 of the
+//! paper):
+//!
+//! * [`VarRelation`] — a relation whose columns are bound to query
+//!   variables; the common currency of every evaluator,
+//! * [`GenericJoin`] — a worst-case-optimal join (the AGM-bound runtime of
+//!   Section 2.1) used to materialise bags,
+//! * [`yannakakis`] — the classic linear-time algorithm for free-connex
+//!   acyclic queries (the final step of every static or adaptive plan,
+//!   Eq. 12/29),
+//! * [`StaticTdPlan`] — the single-tree-decomposition (fhtw) plan of
+//!   Section 4,
+//! * [`DdrEvaluator`] — evaluation of disjunctive datalog rules with
+//!   degree-based data partitioning (Section 8.2),
+//! * [`PandaEvaluator`] — the adaptive multi-TD plan of Section 5: the
+//!   proof-sequence decompositions decide which degrees to partition on,
+//!   every branch is re-costed, and the cheapest decomposition evaluates
+//!   it,
+//! * [`BinaryJoinPlan`] — a textbook binary-join baseline,
+//! * [`faq`] — FAQ / semiring aggregate evaluation over join trees
+//!   (Section 9.1),
+//! * [`Panda`] — the end-to-end facade: `Panda::new(query).evaluate(&db)`.
+
+pub mod binary;
+pub mod binding;
+pub mod ddr_eval;
+pub mod faq;
+pub mod generic_join;
+pub mod panda;
+pub mod plans;
+pub mod yannakakis;
+
+pub use binary::BinaryJoinPlan;
+pub use binding::VarRelation;
+pub use ddr_eval::{DdrEvaluator, DdrModel};
+pub use generic_join::GenericJoin;
+pub use panda::{EvaluationStrategy, Panda, PlanReport};
+pub use plans::{PandaEvaluator, StaticTdPlan};
+pub use yannakakis::yannakakis_free_connex;

@@ -1,0 +1,293 @@
+//! The end-to-end PANDA facade.
+//!
+//! [`Panda`] bundles the whole pipeline of the paper: given a conjunctive
+//! query and (measured or supplied) statistics it computes the width
+//! measures, picks a strategy, and evaluates the query:
+//!
+//! * free-connex acyclic queries run Yannakakis directly (`O(N + OUT)`),
+//! * cyclic queries whose submodular width is strictly below their
+//!   fractional hypertree width run the adaptive multi-TD plan
+//!   ([`crate::PandaEvaluator`]),
+//! * other cyclic queries run the best single-TD plan
+//!   ([`crate::StaticTdPlan`]).
+
+use panda_entropy::{BoundError, StatisticsSet};
+use panda_query::hypergraph::is_acyclic;
+use panda_query::{ConjunctiveQuery, TreeDecomposition};
+use panda_rational::Rat;
+use panda_relation::Database;
+
+use crate::binary::BinaryJoinPlan;
+use crate::binding::VarRelation;
+use crate::generic_join::GenericJoin;
+use crate::plans::{PandaEvaluator, PartitionSpec, StaticTdPlan};
+use crate::yannakakis::yannakakis_query;
+
+/// The evaluation strategies exposed by [`Panda`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvaluationStrategy {
+    /// Choose automatically from the query structure and statistics.
+    Auto,
+    /// Yannakakis over the atoms (requires an acyclic query).
+    Yannakakis,
+    /// The best single-tree-decomposition (fhtw) plan.
+    StaticTd,
+    /// The adaptive multi-tree-decomposition (submodular width) plan.
+    Adaptive,
+    /// A single worst-case-optimal join over all atoms.
+    GenericJoin,
+    /// A greedy binary-join plan (the classical baseline).
+    BinaryJoin,
+}
+
+/// A report of the planning decisions for a query.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The strategy `Auto` resolved to.
+    pub strategy: EvaluationStrategy,
+    /// The fractional hypertree width under the planning statistics.
+    pub fhtw: Rat,
+    /// The submodular width under the planning statistics.
+    pub subw: Rat,
+    /// The free-connex tree decompositions considered.
+    pub tds: Vec<TreeDecomposition>,
+    /// The degree partitions the adaptive plan would use.
+    pub partitions: Vec<PartitionSpec>,
+}
+
+/// The end-to-end query evaluator.
+#[derive(Debug, Clone)]
+pub struct Panda {
+    query: ConjunctiveQuery,
+    statistics: Option<StatisticsSet>,
+}
+
+impl Panda {
+    /// Creates an evaluator for a query.  Statistics are measured from the
+    /// data at evaluation time unless supplied with
+    /// [`Panda::with_statistics`].
+    #[must_use]
+    pub fn new(query: ConjunctiveQuery) -> Self {
+        Panda { query, statistics: None }
+    }
+
+    /// Uses the given statistics for planning instead of measuring them.
+    #[must_use]
+    pub fn with_statistics(mut self, statistics: StatisticsSet) -> Self {
+        self.statistics = Some(statistics);
+        self
+    }
+
+    /// The query being evaluated.
+    #[must_use]
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    fn stats_for(&self, db: &Database) -> StatisticsSet {
+        self.statistics
+            .clone()
+            .unwrap_or_else(|| StatisticsSet::measure(&self.query, db))
+    }
+
+    /// `true` iff the query is acyclic *and* free-connex, i.e. eligible for
+    /// the direct Yannakakis fast path (Section 3.4).
+    #[must_use]
+    pub fn is_free_connex_acyclic(&self) -> bool {
+        let mut edges = self.query.edges();
+        let acyclic = is_acyclic(&edges);
+        edges.push(self.query.free_vars());
+        acyclic && is_acyclic(&edges)
+    }
+
+    /// Produces the planning report (widths, decompositions, partitions)
+    /// for the given database.
+    pub fn plan_report(&self, db: &Database) -> Result<PlanReport, BoundError> {
+        let stats = self.stats_for(db);
+        let tds = TreeDecomposition::enumerate(&self.query);
+        let fhtw = panda_entropy::fhtw_with_tds(&self.query, &tds, &stats)?.value;
+        let subw = panda_entropy::subw_with_tds(&self.query, &tds, &stats)?.value;
+        let strategy = if self.is_free_connex_acyclic() {
+            EvaluationStrategy::Yannakakis
+        } else if subw < fhtw {
+            EvaluationStrategy::Adaptive
+        } else {
+            EvaluationStrategy::StaticTd
+        };
+        let partitions = if strategy == EvaluationStrategy::Adaptive {
+            PandaEvaluator::plan(&self.query, &stats)?.partitions
+        } else {
+            Vec::new()
+        };
+        Ok(PlanReport { strategy, fhtw, subw, tds, partitions })
+    }
+
+    /// Evaluates the query with the automatically chosen strategy.
+    #[must_use]
+    pub fn evaluate(&self, db: &Database) -> VarRelation {
+        self.evaluate_with(db, EvaluationStrategy::Auto)
+    }
+
+    /// Evaluates the query with an explicit strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Yannakakis` is requested for a cyclic query.
+    #[must_use]
+    pub fn evaluate_with(&self, db: &Database, strategy: EvaluationStrategy) -> VarRelation {
+        match strategy {
+            EvaluationStrategy::Auto => {
+                if self.is_free_connex_acyclic() {
+                    return self.evaluate_with(db, EvaluationStrategy::Yannakakis);
+                }
+                let stats = self.stats_for(db);
+                match (
+                    panda_entropy::subw(&self.query, &stats),
+                    panda_entropy::fhtw(&self.query, &stats),
+                ) {
+                    (Ok(s), Ok(f)) if s.value < f.value => {
+                        self.evaluate_with(db, EvaluationStrategy::Adaptive)
+                    }
+                    (Ok(_), Ok(_)) => self.evaluate_with(db, EvaluationStrategy::StaticTd),
+                    _ => self.evaluate_with(db, EvaluationStrategy::GenericJoin),
+                }
+            }
+            EvaluationStrategy::Yannakakis => yannakakis_query(&self.query, db)
+                .expect("Yannakakis requires an acyclic query"),
+            EvaluationStrategy::StaticTd => {
+                let stats = self.stats_for(db);
+                let plan = StaticTdPlan::best_for(&self.query, &stats).unwrap_or_else(|_| {
+                    StaticTdPlan::new(TreeDecomposition::new(vec![self.query.all_vars()]))
+                });
+                plan.evaluate(&self.query, db)
+            }
+            EvaluationStrategy::Adaptive => {
+                let stats = self.stats_for(db);
+                match PandaEvaluator::plan(&self.query, &stats) {
+                    Ok(evaluator) => evaluator.evaluate(&self.query, db),
+                    Err(_) => GenericJoin::evaluate(&self.query, db),
+                }
+            }
+            EvaluationStrategy::GenericJoin => GenericJoin::evaluate(&self.query, db),
+            EvaluationStrategy::BinaryJoin => BinaryJoinPlan::new().evaluate(&self.query, db),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_query::{parse_query, Var};
+    use panda_relation::Relation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_db(n: u64, edges: usize, seed: u64) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = Database::new();
+        for name in ["R", "S", "T", "U"] {
+            db.insert(
+                name,
+                Relation::from_rows(
+                    2,
+                    (0..edges).map(|_| [rng.gen_range(0..n), rng.gen_range(0..n)]),
+                )
+                .deduped(),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn auto_strategy_picks_yannakakis_for_free_connex_acyclic_queries() {
+        // Q(A,B) over the 2-path is free-connex; Q(A,C) over the same body
+        // is the classic non-free-connex example (its head atom closes a
+        // triangle with the body).
+        let q = parse_query("Q(A,B) :- R(A,B), S(B,C)").unwrap();
+        let panda = Panda::new(q.clone())
+            .with_statistics(StatisticsSet::identical_cardinalities(&q, 1000));
+        assert!(panda.is_free_connex_acyclic());
+        let db = random_db(10, 40, 1);
+        let report = panda.plan_report(&db).unwrap();
+        assert_eq!(report.strategy, EvaluationStrategy::Yannakakis);
+        assert_eq!(report.fhtw, Rat::ONE);
+
+        let not_fc = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        assert!(!Panda::new(not_fc).is_free_connex_acyclic());
+    }
+
+    #[test]
+    fn auto_strategy_picks_adaptive_for_the_four_cycle() {
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let panda = Panda::new(q.clone())
+            .with_statistics(StatisticsSet::identical_cardinalities(&q, 1 << 12));
+        let db = random_db(10, 50, 2);
+        let report = panda.plan_report(&db).unwrap();
+        assert_eq!(report.strategy, EvaluationStrategy::Adaptive);
+        assert_eq!(report.fhtw, Rat::from_int(2));
+        assert_eq!(report.subw, Rat::new(3, 2));
+        assert_eq!(report.tds.len(), 2);
+        assert!(!report.partitions.is_empty());
+    }
+
+    #[test]
+    fn a_non_free_connex_projection_uses_a_static_plan() {
+        // Q(X,Y) :- R(X,Z), S(Z,Y) is acyclic but not free-connex; the only
+        // free-connex TD is the trivial one, so subw = fhtw and the static
+        // plan is chosen.
+        let q = parse_query("Q(X,Y) :- R(X,Z), S(Z,Y)").unwrap();
+        let panda = Panda::new(q);
+        assert!(!panda.is_free_connex_acyclic());
+        let db = random_db(10, 40, 3);
+        let report = panda.plan_report(&db).unwrap();
+        assert_eq!(report.strategy, EvaluationStrategy::StaticTd);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_the_four_cycle() {
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let panda = Panda::new(q.clone());
+        let db = random_db(9, 45, 4);
+        let order: Vec<Var> = q.free_vars().to_vec();
+        let reference = panda
+            .evaluate_with(&db, EvaluationStrategy::GenericJoin)
+            .canonical_rows_ordered(&order);
+        for strategy in [
+            EvaluationStrategy::Auto,
+            EvaluationStrategy::StaticTd,
+            EvaluationStrategy::Adaptive,
+            EvaluationStrategy::BinaryJoin,
+        ] {
+            let got = panda.evaluate_with(&db, strategy).canonical_rows_ordered(&order);
+            assert_eq!(got, reference, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_an_acyclic_query() {
+        let q = parse_query("Q(A,C) :- R(A,B), S(B,C), T(C,D)").unwrap();
+        let panda = Panda::new(q.clone());
+        let db = random_db(12, 50, 5);
+        let order: Vec<Var> = q.free_vars().to_vec();
+        let reference = panda
+            .evaluate_with(&db, EvaluationStrategy::GenericJoin)
+            .canonical_rows_ordered(&order);
+        for strategy in [
+            EvaluationStrategy::Auto,
+            EvaluationStrategy::Yannakakis,
+            EvaluationStrategy::StaticTd,
+            EvaluationStrategy::BinaryJoin,
+        ] {
+            let got = panda.evaluate_with(&db, strategy).canonical_rows_ordered(&order);
+            assert_eq!(got, reference, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn yannakakis_on_a_cyclic_query_panics() {
+        let q = parse_query("Tri() :- R(A,B), S(B,C), T(C,A)").unwrap();
+        let db = random_db(5, 10, 6);
+        let _ = Panda::new(q).evaluate_with(&db, EvaluationStrategy::Yannakakis);
+    }
+}

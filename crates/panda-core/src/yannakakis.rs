@@ -1,0 +1,209 @@
+//! The Yannakakis algorithm for free-connex acyclic joins.
+//!
+//! Given relations whose schemas form an α-acyclic hypergraph with a join
+//! tree, the classic algorithm performs a bottom-up and a top-down semijoin
+//! pass (after which every remaining tuple participates in some answer) and
+//! then assembles the answer bottom-up, projecting onto the free variables
+//! plus whatever the parent still needs.  For free-connex instances this
+//! runs in `O(Σ|R_i| + |output|)` up to logarithmic factors — the guarantee
+//! the paper invokes for the final step of every static and adaptive plan
+//! (Eq. 12 and Eq. 29).
+
+use panda_query::hypergraph::join_tree_of;
+use panda_query::{Var, VarSet};
+use panda_relation::Relation;
+
+use crate::binding::VarRelation;
+
+/// Evaluates the join of `relations` projected onto `free`, assuming their
+/// schemas form an acyclic hypergraph.  Returns `None` if they do not (the
+/// caller should fall back to a different strategy).
+#[must_use]
+pub fn yannakakis_free_connex(relations: &[VarRelation], free: VarSet) -> Option<VarRelation> {
+    if relations.is_empty() {
+        return Some(VarRelation::boolean(true));
+    }
+    let schemas: Vec<VarSet> = relations.iter().map(VarRelation::var_set).collect();
+    let tree = join_tree_of(&schemas)?;
+
+    let mut nodes: Vec<VarRelation> = relations.to_vec();
+
+    // Pass 1: bottom-up semijoin reduction (children filter parents).
+    for &node in &tree.bottom_up {
+        if let Some(parent) = tree.parent[node] {
+            nodes[parent] = nodes[parent].semijoin(&nodes[node]);
+        }
+    }
+    // Pass 2: top-down semijoin reduction (parents filter children).
+    for &node in &tree.top_down() {
+        let parent_rel = tree.parent[node].map(|p| nodes[p].clone());
+        if let Some(parent_rel) = parent_rel {
+            nodes[node] = nodes[node].semijoin(&parent_rel);
+        }
+    }
+
+    // Pass 3: bottom-up assembly with projection.  At each node we keep the
+    // free variables seen so far plus the variables shared with the parent.
+    let mut partial: Vec<Option<VarRelation>> = vec![None; nodes.len()];
+    for &node in &tree.bottom_up {
+        let mut acc = nodes[node].clone();
+        for &child in &tree.children[node] {
+            let child_rel = partial[child].take().expect("children processed before parents");
+            acc = acc.natural_join(&child_rel);
+        }
+        let keep: VarSet = match tree.parent[node] {
+            Some(parent) => free.union(acc.var_set().intersect(nodes[parent].var_set())),
+            None => free,
+        };
+        partial[node] = Some(acc.project_to_set(keep.intersect(acc.var_set())));
+    }
+    let root_result = partial[tree.root].take().expect("root processed last");
+
+    // The root result covers every free variable that occurs in the inputs;
+    // free variables not occurring at all (ill-formed input) are rejected.
+    let covered: VarSet = schemas.iter().fold(VarSet::EMPTY, |acc, s| acc.union(*s));
+    if !free.is_subset_of(covered) {
+        return None;
+    }
+    let order: Vec<Var> = free.to_vec();
+    Some(root_result.project_onto(&order))
+}
+
+/// Convenience wrapper: evaluates a free-connex acyclic *query* directly
+/// from its atoms (used as the fast path of the end-to-end evaluator and as
+/// the E13 baseline).  Returns `None` when the atom schemas are not
+/// acyclic.
+#[must_use]
+pub fn yannakakis_query(
+    query: &panda_query::ConjunctiveQuery,
+    db: &panda_relation::Database,
+) -> Option<VarRelation> {
+    let bound = VarRelation::bind_all(query, db);
+    yannakakis_free_connex(&bound, query.free_vars())
+}
+
+/// Builds an empty result with the given free variables — shared helper for
+/// evaluators that detect an empty input early.
+#[must_use]
+pub fn empty_result(free: VarSet) -> VarRelation {
+    let vars = free.to_vec();
+    let arity = vars.len();
+    VarRelation::new(vars, Relation::new(arity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic_join::GenericJoin;
+    use panda_query::parse_query;
+    use panda_relation::Database;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn path_db(n: u64, fanout: u64) -> Database {
+        let mut db = Database::new();
+        let mut r = Relation::new(2);
+        let mut s = Relation::new(2);
+        let mut t = Relation::new(2);
+        for i in 0..n {
+            r.push_row(&[i, i % fanout]);
+            s.push_row(&[i % fanout, i % 7]);
+            t.push_row(&[i % 7, i]);
+        }
+        db.insert("R", r.deduped());
+        db.insert("S", s.deduped());
+        db.insert("T", t.deduped());
+        db
+    }
+
+    #[test]
+    fn path_query_matches_generic_join() {
+        let q = parse_query("Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D)").unwrap();
+        let db = path_db(40, 5);
+        let yann = yannakakis_query(&q, &db).expect("acyclic");
+        let wcoj = GenericJoin::evaluate(&q, &db);
+        assert_eq!(
+            yann.canonical_rows_ordered(&q.free_vars().to_vec()),
+            wcoj.canonical_rows_ordered(&q.free_vars().to_vec())
+        );
+    }
+
+    #[test]
+    fn projected_path_query() {
+        let q = parse_query("Q(A,D) :- R(A,B), S(B,C), T(C,D)").unwrap();
+        let db = path_db(40, 5);
+        let yann = yannakakis_query(&q, &db).expect("acyclic");
+        let wcoj = GenericJoin::evaluate(&q, &db);
+        assert_eq!(
+            yann.canonical_rows_ordered(&[Var(0), Var(3)]),
+            wcoj.canonical_rows_ordered(&[Var(0), Var(3)])
+        );
+    }
+
+    #[test]
+    fn boolean_acyclic_query() {
+        let q = parse_query("Q() :- R(A,B), S(B,C)").unwrap();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, vec![[1, 2]]));
+        db.insert("S", Relation::from_rows(2, vec![[9, 9]]));
+        let out = yannakakis_query(&q, &db).unwrap();
+        assert_eq!(out.len(), 0);
+        db.insert("S", Relation::from_rows(2, vec![[2, 5]]));
+        let out = yannakakis_query(&q, &db).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn cyclic_queries_are_rejected() {
+        let q = parse_query("Tri(A,B,C) :- R(A,B), S(B,C), T(A,C)").unwrap();
+        let db = path_db(10, 3);
+        let mut db = db;
+        db.insert("T", Relation::from_rows(2, vec![[1, 2]]));
+        assert!(yannakakis_query(&q, &db).is_none());
+    }
+
+    #[test]
+    fn star_query_with_dangling_tuples() {
+        // Star: center A joined with three satellites; dangling tuples in
+        // the satellites must not appear.
+        let q = parse_query("Q(A,B,C,D) :- R(A,B), S(A,C), T(A,D)").unwrap();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, vec![[1, 10], [2, 20], [3, 30]]));
+        db.insert("S", Relation::from_rows(2, vec![[1, 100], [2, 200]]));
+        db.insert("T", Relation::from_rows(2, vec![[1, 1000], [9, 9000]]));
+        let out = yannakakis_query(&q, &db).unwrap();
+        assert_eq!(out.rel.canonical_rows(), vec![vec![1, 10, 100, 1000]]);
+    }
+
+    #[test]
+    fn random_acyclic_queries_agree_with_wcoj() {
+        let q = parse_query("Q(A,C) :- R(A,B), S(B,C), U(B,D)").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let mut db = Database::new();
+            for name in ["R", "S", "U"] {
+                let rel = Relation::from_rows(
+                    2,
+                    (0..50).map(|_| [rng.gen_range(0..6u64), rng.gen_range(0..6u64)]),
+                )
+                .deduped();
+                db.insert(name, rel);
+            }
+            let yann = yannakakis_query(&q, &db).unwrap();
+            let wcoj = GenericJoin::evaluate(&q, &db);
+            assert_eq!(
+                yann.canonical_rows_ordered(&[Var(0), Var(2)]),
+                wcoj.canonical_rows_ordered(&[Var(0), Var(2)])
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_or_true() {
+        assert_eq!(yannakakis_free_connex(&[], VarSet::EMPTY).unwrap().len(), 1);
+        let r = VarRelation::new(vec![Var(0)], Relation::new(1));
+        let out = yannakakis_free_connex(&[r], VarSet::singleton(Var(0))).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(empty_result(VarSet::singleton(Var(3))).len(), 0);
+    }
+}

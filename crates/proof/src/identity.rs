@@ -1,0 +1,302 @@
+//! The identity form of an integral Shannon-flow inequality (Eq. 63).
+
+use std::collections::BTreeMap;
+
+use panda_entropy::{CondTerm, Elemental, IntegralShannonFlow};
+use panda_query::VarSet;
+
+/// The identity form of an integral Shannon-flow inequality:
+///
+/// ```text
+///   Σ (targets)  =  Σ (sources)  +  Σ (negated witness inequalities)
+/// ```
+///
+/// where targets are unconditional terms `h(B)` (with multiplicity),
+/// sources are conditional terms `h(Y|X)` (with multiplicity), and each
+/// witness entry is a basic Shannon inequality whose negation appears on
+/// the right-hand side (so the identity holds *as a formal linear
+/// identity*, Eq. 63).
+///
+/// Both the proof-sequence construction (Section 7.1) and the Reset Lemma
+/// (Section 7.2) operate on this representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermIdentity {
+    /// The variable universe.
+    pub universe: VarSet,
+    /// Target terms `h(B)` with multiplicities.
+    pub targets: BTreeMap<VarSet, u64>,
+    /// Source terms `h(Y|X)` with multiplicities.
+    pub sources: BTreeMap<CondTerm, u64>,
+    /// Witness inequalities (each `expr ≥ 0`) appearing negated on the RHS,
+    /// with multiplicities.
+    pub witness: BTreeMap<Elemental, u64>,
+}
+
+impl TermIdentity {
+    /// Builds the identity form from an integral Shannon flow.
+    #[must_use]
+    pub fn from_flow(flow: &IntegralShannonFlow) -> Self {
+        let mut targets: BTreeMap<VarSet, u64> = BTreeMap::new();
+        for (b, c) in &flow.targets {
+            if *c > 0 {
+                *targets.entry(*b).or_default() += c;
+            }
+        }
+        let mut sources: BTreeMap<CondTerm, u64> = BTreeMap::new();
+        for (t, c, _) in &flow.sources {
+            if *c > 0 {
+                *sources.entry(*t).or_default() += c;
+            }
+        }
+        let mut witness: BTreeMap<Elemental, u64> = BTreeMap::new();
+        for (e, c) in &flow.witness {
+            if *c > 0 {
+                *witness.entry(*e).or_default() += c;
+            }
+        }
+        TermIdentity { universe: flow.universe, targets, sources, witness }
+    }
+
+    /// Total number of target occurrences.
+    #[must_use]
+    pub fn num_targets(&self) -> u64 {
+        self.targets.values().sum()
+    }
+
+    /// Total number of unconditional source occurrences.
+    #[must_use]
+    pub fn num_unconditional_sources(&self) -> u64 {
+        self.sources
+            .iter()
+            .filter(|(t, _)| t.is_unconditional())
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Verifies that the identity holds as a formal linear identity:
+    /// for every non-empty subset `S`,
+    /// `coeff_targets(S) = coeff_sources(S) − coeff_witness(S)`.
+    pub fn verify(&self) -> Result<(), String> {
+        let mut balance: BTreeMap<VarSet, i128> = BTreeMap::new();
+        let mut add = |set: VarSet, c: i128| {
+            if set.is_empty() || c == 0 {
+                return;
+            }
+            *balance.entry(set).or_insert(0) += c;
+        };
+        for (b, c) in &self.targets {
+            add(*b, -i128::from(*c));
+        }
+        for (t, c) in &self.sources {
+            add(t.joint(), i128::from(*c));
+            add(t.cond, -i128::from(*c));
+        }
+        for (e, mu) in &self.witness {
+            if !e.is_well_formed() {
+                return Err(format!("malformed witness inequality {e:?}"));
+            }
+            for (s, coeff) in e.coefficients() {
+                // witness appears negated on the RHS: sources − expr.
+                add(s, -i128::from(*mu) * i128::from(coeff));
+            }
+        }
+        for (s, v) in balance {
+            if v != 0 {
+                return Err(format!("identity does not balance at {s:?}: residue {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The counting invariant of Section 7.1: as long as the identity has a
+    /// target term, it has at least one unconditional source term.  (The
+    /// all-ones polymatroid argument of the paper.)
+    #[must_use]
+    pub fn has_unconditional_source(&self) -> bool {
+        self.num_unconditional_sources() > 0
+    }
+
+    /// Removes one occurrence of a source term.  Returns `false` if absent.
+    pub(crate) fn take_source(&mut self, term: CondTerm) -> bool {
+        match self.sources.get_mut(&term) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.sources.remove(&term);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Adds one occurrence of a source term (no-op for the empty term).
+    pub(crate) fn put_source(&mut self, term: CondTerm) {
+        if term.joint().is_empty() {
+            return;
+        }
+        *self.sources.entry(term).or_default() += 1;
+    }
+
+    /// Removes one occurrence of a witness inequality.  Returns `false` if
+    /// absent.
+    pub(crate) fn take_witness(&mut self, e: Elemental) -> bool {
+        match self.witness.get_mut(&e) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.witness.remove(&e);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Adds one occurrence of a witness inequality.
+    pub(crate) fn put_witness(&mut self, e: Elemental) {
+        *self.witness.entry(e).or_default() += 1;
+    }
+
+    /// Removes one occurrence of a target.  Returns `false` if absent.
+    pub(crate) fn take_target(&mut self, b: VarSet) -> bool {
+        match self.targets.get_mut(&b) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.targets.remove(&b);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Pretty-prints the identity with variable names.
+    #[must_use]
+    pub fn display_with(&self, names: &[String]) -> String {
+        let t: Vec<String> = self
+            .targets
+            .iter()
+            .map(|(b, c)| format!("{c}·h{}", b.display_with(names)))
+            .collect();
+        let s: Vec<String> = self
+            .sources
+            .iter()
+            .map(|(term, c)| format!("{c}·{}", term.display_with(names)))
+            .collect();
+        let w: Vec<String> = self
+            .witness
+            .iter()
+            .map(|(e, c)| format!("{c}·[{}]", e.display_with(names)))
+            .collect();
+        format!("{} = {} − ({})", t.join(" + "), s.join(" + "), w.join(" + "))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use panda_query::{Var, VarSet};
+
+    pub(crate) fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    /// The paper's identity (63):
+    /// `h(XYZ) + h(YZW) = h(XY) + h(YZ) + h(ZW)
+    ///                    − submod(X;Z|Y) − submod(Y;ZW|∅)`.
+    pub(crate) fn paper_identity_63() -> TermIdentity {
+        let mut targets = BTreeMap::new();
+        targets.insert(vs(&[0, 1, 2]), 1);
+        targets.insert(vs(&[1, 2, 3]), 1);
+        let mut sources = BTreeMap::new();
+        sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[0, 1])), 1);
+        sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[1, 2])), 1);
+        sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[2, 3])), 1);
+        let mut witness = BTreeMap::new();
+        witness.insert(
+            Elemental::Submodular { a: vs(&[0]), b: vs(&[2]), ctx: vs(&[1]) },
+            1,
+        );
+        witness.insert(
+            Elemental::Submodular { a: vs(&[1]), b: vs(&[2, 3]), ctx: VarSet::EMPTY },
+            1,
+        );
+        TermIdentity {
+            universe: vs(&[0, 1, 2, 3]),
+            targets,
+            sources,
+            witness,
+        }
+    }
+
+    #[test]
+    fn identity_63_verifies() {
+        let id = paper_identity_63();
+        id.verify().expect("Eq. (63) is a valid identity");
+        assert_eq!(id.num_targets(), 2);
+        assert_eq!(id.num_unconditional_sources(), 3);
+        assert!(id.has_unconditional_source());
+    }
+
+    #[test]
+    fn broken_identities_are_rejected() {
+        let mut id = paper_identity_63();
+        id.targets.insert(vs(&[0, 3]), 1);
+        assert!(id.verify().is_err());
+
+        let mut id2 = paper_identity_63();
+        id2.witness.clear();
+        assert!(id2.verify().is_err());
+    }
+
+    #[test]
+    fn multiset_mutators_round_trip() {
+        let mut id = paper_identity_63();
+        let term = CondTerm::new(VarSet::EMPTY, vs(&[0, 1]));
+        assert!(id.take_source(term));
+        assert!(!id.sources.contains_key(&term));
+        id.put_source(term);
+        assert_eq!(id.sources[&term], 1);
+        assert!(!id.take_source(CondTerm::new(VarSet::EMPTY, vs(&[0, 3]))));
+
+        let e = Elemental::Submodular { a: vs(&[0]), b: vs(&[2]), ctx: vs(&[1]) };
+        assert!(id.take_witness(e));
+        assert!(!id.take_witness(e));
+        id.put_witness(e);
+        assert!(id.take_witness(e));
+
+        assert!(id.take_target(vs(&[0, 1, 2])));
+        assert!(!id.take_target(vs(&[0, 1, 2])));
+        assert_eq!(id.num_targets(), 1);
+
+        // putting the empty term is a no-op
+        id.put_source(CondTerm::new(VarSet::EMPTY, VarSet::EMPTY));
+        assert_eq!(id.sources.len(), 3);
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let names: Vec<String> = ["X", "Y", "Z", "W"].iter().map(|s| s.to_string()).collect();
+        let text = paper_identity_63().display_with(&names);
+        assert!(text.contains("h{X,Y,Z}"));
+        assert!(text.contains("h{Z,W}"));
+        assert!(text.contains("≥"));
+    }
+
+    #[test]
+    fn from_flow_on_the_lp_extracted_certificate() {
+        use panda_entropy::{ddr_polymatroid_bound, StatisticsSet};
+        use panda_query::parse_query;
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let stats = StatisticsSet::identical_cardinalities(&q, 1000);
+        let report =
+            ddr_polymatroid_bound(&[vs(&[0, 1, 2]), vs(&[1, 2, 3])], q.all_vars(), &stats)
+                .unwrap();
+        let integral = report.flow.to_integral().unwrap();
+        let id = TermIdentity::from_flow(&integral);
+        id.verify().expect("LP-extracted identity verifies");
+        assert!(id.num_unconditional_sources() >= id.num_targets());
+    }
+}

@@ -1,0 +1,29 @@
+//! Proof sequences for Shannon-flow inequalities (Section 7 of the paper).
+//!
+//! The bridge between the *bound* and the *algorithm* in PANDA is the
+//! observation that every integral Shannon-flow inequality can be proved by
+//! a sequence of four kinds of local rewrite steps — decomposition,
+//! composition, monotonicity and submodularity (Eq. 64–67) — that transform
+//! the source terms of the inequality into its target terms.  Each step has
+//! a direct relational-operator interpretation (Section 8), which is how
+//! `panda-core` turns a proof into a query plan.
+//!
+//! This crate provides:
+//!
+//! * [`TermIdentity`] — the *identity form* of an integral Shannon-flow
+//!   inequality (Eq. 63): targets = sources + negated witness, as exact
+//!   multisets,
+//! * [`ProofStep`] / [`ProofSequence`] — the four step kinds, the
+//!   constructive proof-sequence extraction of Section 7.1 (reproducing
+//!   Table 1 on the paper's running example), and a machine verifier that
+//!   replays a sequence against the source terms,
+//! * [`reset`] — the Reset Lemma of Section 7.2: dropping an unconditional
+//!   source term from a valid inequality loses at most one target term.
+
+pub mod identity;
+pub mod reset;
+pub mod sequence;
+
+pub use identity::TermIdentity;
+pub use reset::{reset_drop_source, ResetOutcome};
+pub use sequence::{ProofSequence, ProofStep};

@@ -1,0 +1,230 @@
+//! The Reset Lemma (Section 7.2).
+//!
+//! Given an integral Shannon-flow inequality in identity form, dropping any
+//! *unconditional* source term yields another valid inequality that loses
+//! **at most one** target term.  PANDAExpress uses this during execution:
+//! when the sub-probability mass of one intermediate term drops below the
+//! budget `1/B`, the term is dropped and the remaining terms still certify
+//! the bound for the remaining targets (Section 8.2).
+
+use panda_entropy::{CondTerm, Elemental};
+use panda_query::VarSet;
+
+use crate::identity::TermIdentity;
+
+/// The result of applying the Reset Lemma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetOutcome {
+    /// The new, still-valid identity.
+    pub identity: TermIdentity,
+    /// The (at most one) target term that had to be given up.
+    pub lost_target: Option<VarSet>,
+}
+
+/// Drops one occurrence of the unconditional source term `h(drop)` from the
+/// identity, returning a new valid identity that loses at most one target
+/// (the Reset Lemma, Section 7.2).
+///
+/// # Errors
+///
+/// Returns an error if `h(drop)` is not an unconditional source of the
+/// identity, or if the identity itself is invalid.
+pub fn reset_drop_source(identity: &TermIdentity, drop: VarSet) -> Result<ResetOutcome, String> {
+    identity.verify()?;
+    let mut id = identity.clone();
+    let drop_term = CondTerm::new(VarSet::EMPTY, drop);
+    if id.sources.get(&drop_term).copied().unwrap_or(0) == 0 {
+        return Err(format!("{drop:?} is not an unconditional source term of the identity"));
+    }
+
+    // Invariant: `current` is an unconditional source term present in `id`
+    // that we are trying to eliminate while keeping the identity balanced.
+    let mut current = drop;
+    let iteration_limit =
+        id.sources.values().sum::<u64>() as usize + id.witness.values().sum::<u64>() as usize + 4;
+
+    for _ in 0..=iteration_limit {
+        let current_term = CondTerm::new(VarSet::EMPTY, current);
+
+        // (a) `current` is a target: cancel it on both sides; one target lost.
+        if id.targets.get(&current).copied().unwrap_or(0) > 0 {
+            id.take_target(current);
+            id.take_source(current_term);
+            id.verify()?;
+            return Ok(ResetOutcome { identity: id, lost_target: Some(current) });
+        }
+
+        // (b) a conditional source `h(Z|current)` exists: merge the two
+        //     sources into `h(current ∪ Z)` and continue with that term.
+        if let Some(term) = id
+            .sources
+            .iter()
+            .find(|(t, c)| t.cond == current && !t.subj.is_empty() && **c > 0)
+            .map(|(t, _)| *t)
+        {
+            id.take_source(current_term);
+            id.take_source(term);
+            let merged = current.union(term.subj);
+            id.put_source(CondTerm::new(VarSet::EMPTY, merged));
+            current = merged;
+            continue;
+        }
+
+        // (c) a witness submodularity with one side equal to `current`:
+        //     replace the source by `h(A∪B∪ctx)` and the submodularity by
+        //     the monotonicity `h(other∪ctx) ≥ h(ctx)` (the paper's move).
+        if let Some((e, other, ctx, full)) = id.witness.iter().find_map(|(e, c)| {
+            if *c == 0 {
+                return None;
+            }
+            match *e {
+                Elemental::Submodular { a, b, ctx } if ctx.union(a) == current => {
+                    Some((*e, b, ctx, ctx.union(a).union(b)))
+                }
+                Elemental::Submodular { a, b, ctx } if ctx.union(b) == current => {
+                    Some((*e, a, ctx, ctx.union(a).union(b)))
+                }
+                _ => None,
+            }
+        }) {
+            id.take_witness(e);
+            id.take_source(current_term);
+            id.put_source(CondTerm::new(VarSet::EMPTY, full));
+            id.put_witness(Elemental::Monotone { from: ctx.union(other), to: ctx });
+            current = full;
+            continue;
+        }
+
+        // (d) a witness monotonicity starting at `current`: follow it down.
+        if let Some((e, to)) = id.witness.iter().find_map(|(e, c)| {
+            if *c == 0 {
+                return None;
+            }
+            match *e {
+                Elemental::Monotone { from, to } if from == current => Some((*e, to)),
+                _ => None,
+            }
+        }) {
+            id.take_witness(e);
+            id.take_source(current_term);
+            if to.is_empty() {
+                // The term vanished into h(∅) = 0: no target lost at all.
+                id.verify()?;
+                return Ok(ResetOutcome { identity: id, lost_target: None });
+            }
+            id.put_source(CondTerm::new(VarSet::EMPTY, to));
+            current = to;
+            continue;
+        }
+
+        return Err(format!(
+            "reset got stuck at term {current:?}; the identity appears to be invalid"
+        ));
+    }
+    Err("reset did not terminate within the iteration limit".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::tests::{paper_identity_63, vs};
+    use crate::sequence::ProofSequence;
+
+    #[test]
+    fn papers_reset_example_drops_h_xy_and_loses_only_h_xyz() {
+        // Section 7.2: dropping h(XY) from Eq. (62) yields Eq. (68)
+        // h(YZW) ≤ h(YZ) + h(ZW), losing the target h(XYZ) but never both.
+        let id = paper_identity_63();
+        let outcome = reset_drop_source(&id, vs(&[0, 1])).unwrap();
+        assert_eq!(outcome.lost_target, Some(vs(&[0, 1, 2])));
+        let new_id = &outcome.identity;
+        new_id.verify().unwrap();
+        // Remaining target: h(YZW) only.
+        assert_eq!(new_id.num_targets(), 1);
+        assert_eq!(new_id.targets.get(&vs(&[1, 2, 3])).copied(), Some(1));
+        // Remaining sources: h(YZ) and h(ZW) (Eq. 68's right-hand side).
+        assert_eq!(new_id.num_unconditional_sources(), 2);
+        assert!(new_id.sources.contains_key(&CondTerm::new(VarSet::EMPTY, vs(&[1, 2]))));
+        assert!(new_id.sources.contains_key(&CondTerm::new(VarSet::EMPTY, vs(&[2, 3]))));
+        // The paper's witness: the monotonicity −h(YZ)+h(Y) ≤ 0 appears.
+        assert!(new_id
+            .witness
+            .keys()
+            .any(|e| matches!(e, Elemental::Monotone { from, to } if *from == vs(&[1, 2]) && *to == vs(&[1]))));
+        // And the reduced inequality still has a proof sequence.
+        let seq = ProofSequence::derive(new_id).unwrap();
+        seq.verify().unwrap();
+    }
+
+    #[test]
+    fn reset_on_every_source_of_eq62_loses_at_most_one_target() {
+        let id = paper_identity_63();
+        for source in [vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3])] {
+            let outcome = reset_drop_source(&id, source).unwrap();
+            outcome.identity.verify().unwrap();
+            let lost = u64::from(outcome.lost_target.is_some());
+            assert_eq!(outcome.identity.num_targets() + lost, id.num_targets());
+            // Exactly one unconditional source occurrence is consumed.
+            assert_eq!(
+                outcome.identity.num_unconditional_sources(),
+                id.num_unconditional_sources() - 1
+            );
+        }
+    }
+
+    #[test]
+    fn dropping_a_non_source_is_an_error() {
+        let id = paper_identity_63();
+        assert!(reset_drop_source(&id, vs(&[0, 3])).is_err());
+        assert!(reset_drop_source(&id, vs(&[0, 1, 2])).is_err());
+    }
+
+    #[test]
+    fn reset_can_lose_no_target_when_the_term_dissolves() {
+        // Identity: h(X) = h(X) + h(Y) − [h(Y) ≥ h(∅)]: dropping h(Y) loses
+        // nothing.
+        let mut id = paper_identity_63();
+        id.targets.clear();
+        id.sources.clear();
+        id.witness.clear();
+        id.targets.insert(vs(&[0]), 1);
+        id.sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[0])), 1);
+        id.sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[1])), 1);
+        id.witness.insert(Elemental::Monotone { from: vs(&[1]), to: VarSet::EMPTY }, 1);
+        id.verify().unwrap();
+        let outcome = reset_drop_source(&id, vs(&[1])).unwrap();
+        assert_eq!(outcome.lost_target, None);
+        assert_eq!(outcome.identity.num_targets(), 1);
+    }
+
+    #[test]
+    fn reset_applies_to_lp_extracted_flows() {
+        use crate::identity::TermIdentity;
+        use panda_entropy::{ddr_polymatroid_bound, StatisticsSet};
+        use panda_query::parse_query;
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let stats = StatisticsSet::identical_cardinalities(&q, 4096);
+        let report = ddr_polymatroid_bound(
+            &[vs(&[0, 1, 2]), vs(&[1, 2, 3])],
+            q.all_vars(),
+            &stats,
+        )
+        .unwrap();
+        let id = TermIdentity::from_flow(&report.flow.to_integral().unwrap());
+        // Drop each unconditional source in turn; at most one target is lost
+        // every time and the result remains a valid identity.
+        let sources: Vec<_> = id
+            .sources
+            .keys()
+            .filter(|t| t.is_unconditional())
+            .map(|t| t.subj)
+            .collect();
+        assert!(!sources.is_empty());
+        for s in sources {
+            let outcome = reset_drop_source(&id, s).unwrap();
+            outcome.identity.verify().unwrap();
+            let lost = u64::from(outcome.lost_target.is_some());
+            assert!(id.num_targets() - outcome.identity.num_targets() <= lost);
+        }
+    }
+}

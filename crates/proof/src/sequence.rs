@@ -1,0 +1,453 @@
+//! Proof-sequence construction (Section 7.1) and verification.
+
+use std::collections::BTreeMap;
+
+use panda_entropy::{CondTerm, Elemental};
+use panda_query::VarSet;
+
+use crate::identity::TermIdentity;
+
+/// One proof step (Eq. 64–67 of the paper).  Each step replaces one or two
+/// entropy terms by one or two *smaller* terms, and has a direct relational
+/// interpretation used by the PANDA evaluator:
+///
+/// | step | entropy rewrite | relational interpretation |
+/// |------|-----------------|---------------------------|
+/// | decomposition | `h(XY) → h(X) + h(Y∣X)` | partition the guard of `XY` by the degree of `Y` given `X` |
+/// | composition | `h(X) + h(Y∣X) → h(XY)` | join the guard of `X` with the (conditional) guard of `Y∣X` |
+/// | monotonicity | `h(XY) → h(X)` | project the guard onto `X` |
+/// | submodularity | `h(Y∣X) → h(Y∣XZ)` | reinterpret the conditional guard with a larger condition |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofStep {
+    /// `h(joint) → h(cond) + h(joint ∖ cond | cond)` with `cond ⊂ joint`.
+    Decomposition {
+        /// The unconditional term being decomposed.
+        joint: VarSet,
+        /// The conditioning part kept unconditional.
+        cond: VarSet,
+    },
+    /// `h(cond) + h(subj | cond) → h(cond ∪ subj)`.
+    Composition {
+        /// The unconditional part.
+        cond: VarSet,
+        /// The conditional part's subject.
+        subj: VarSet,
+    },
+    /// `h(from) → h(to)` with `to ⊆ from`.
+    Monotonicity {
+        /// The larger set.
+        from: VarSet,
+        /// The smaller set.
+        to: VarSet,
+    },
+    /// `h(subj | cond_from) → h(subj | cond_to)` with `cond_from ⊆ cond_to`.
+    Submodularity {
+        /// The subject set.
+        subj: VarSet,
+        /// The original condition.
+        cond_from: VarSet,
+        /// The enlarged condition.
+        cond_to: VarSet,
+    },
+}
+
+impl ProofStep {
+    /// Pretty-prints the step with variable names, in the notation of
+    /// Table 1 of the paper.
+    #[must_use]
+    pub fn display_with(&self, names: &[String]) -> String {
+        let t = |cond: VarSet, subj: VarSet| CondTerm::new(cond, subj).display_with(names);
+        match *self {
+            ProofStep::Decomposition { joint, cond } => format!(
+                "{} → {} + {}",
+                t(VarSet::EMPTY, joint),
+                t(VarSet::EMPTY, cond),
+                t(cond, joint.difference(cond))
+            ),
+            ProofStep::Composition { cond, subj } => format!(
+                "{} + {} → {}",
+                t(VarSet::EMPTY, cond),
+                t(cond, subj),
+                t(VarSet::EMPTY, cond.union(subj))
+            ),
+            ProofStep::Monotonicity { from, to } => {
+                format!("{} → {}", t(VarSet::EMPTY, from), t(VarSet::EMPTY, to))
+            }
+            ProofStep::Submodularity { subj, cond_from, cond_to } => {
+                format!("{} → {}", t(cond_from, subj), t(cond_to, subj))
+            }
+        }
+    }
+}
+
+/// A proof sequence for an integral Shannon-flow inequality: applying the
+/// steps to the multiset of source terms produces (a superset of) the
+/// multiset of target terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofSequence {
+    /// The identity the sequence proves.
+    pub identity: TermIdentity,
+    /// The steps, in order.
+    pub steps: Vec<ProofStep>,
+}
+
+impl ProofSequence {
+    /// The number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff the sequence has no steps (the targets are already among
+    /// the sources).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Counts the steps of each kind
+    /// `(decompositions, compositions, monotonicities, submodularities)`.
+    #[must_use]
+    pub fn step_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for s in &self.steps {
+            match s {
+                ProofStep::Decomposition { .. } => counts.0 += 1,
+                ProofStep::Composition { .. } => counts.1 += 1,
+                ProofStep::Monotonicity { .. } => counts.2 += 1,
+                ProofStep::Submodularity { .. } => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Constructs a proof sequence from the identity form of an integral
+    /// Shannon-flow inequality, following the cancellation procedure of
+    /// Section 7.1 (illustrated in Table 1): repeatedly pick an
+    /// unconditional source term and either cancel it against a target, or
+    /// rewrite it using the witness inequality / conditional source that
+    /// cancels it in the identity.
+    pub fn derive(identity: &TermIdentity) -> Result<ProofSequence, String> {
+        identity.verify()?;
+        let mut id = identity.clone();
+        let mut steps = Vec::new();
+        // Generous bound: every step removes a witness entry, merges two
+        // sources, or cancels a target.
+        let step_limit = 4
+            * (id.num_targets()
+                + id.sources.values().sum::<u64>()
+                + id.witness.values().sum::<u64>()) as usize
+            + 16;
+
+        let mut iterations = 0usize;
+        while id.num_targets() > 0 {
+            iterations += 1;
+            if iterations > step_limit {
+                return Err("proof sequence derivation did not terminate".to_string());
+            }
+            let candidates: Vec<VarSet> = id
+                .sources
+                .iter()
+                .filter(|(t, c)| t.is_unconditional() && **c > 0)
+                .map(|(t, _)| t.subj)
+                .collect();
+            if candidates.is_empty() {
+                return Err(
+                    "no unconditional source term available, yet targets remain".to_string()
+                );
+            }
+            let mut progressed = false;
+            for y in candidates {
+                if Self::try_consume(&mut id, y, &mut steps) {
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                return Err(format!(
+                    "stuck: no unconditional source term can be rewritten in {id:?}"
+                ));
+            }
+        }
+        let sequence = ProofSequence { identity: identity.clone(), steps };
+        sequence.verify()?;
+        Ok(sequence)
+    }
+
+    /// Attempts to make progress on the unconditional source term `h(y)`;
+    /// returns `true` and appends the emitted steps if it did.
+    fn try_consume(id: &mut TermIdentity, y: VarSet, steps: &mut Vec<ProofStep>) -> bool {
+        let y_term = CondTerm::new(VarSet::EMPTY, y);
+
+        // (a) `y` is a target: cancel it from both sides.
+        if id.targets.get(&y).copied().unwrap_or(0) > 0 {
+            id.take_target(y);
+            id.take_source(y_term);
+            return true;
+        }
+
+        // (b) a conditional source `h(Z|y)` exists: composition step.
+        if let Some(term) = id
+            .sources
+            .iter()
+            .find(|(t, c)| t.cond == y && !t.subj.is_empty() && **c > 0)
+            .map(|(t, _)| *t)
+        {
+            id.take_source(y_term);
+            id.take_source(term);
+            id.put_source(CondTerm::new(VarSet::EMPTY, y.union(term.subj)));
+            steps.push(ProofStep::Composition { cond: y, subj: term.subj });
+            return true;
+        }
+
+        // (c) a witness submodularity with one side equal to `y`:
+        //     decomposition (if the context is non-empty) + submodularity.
+        if let Some((e, blk, other, ctx)) = id.witness.iter().find_map(|(e, c)| {
+            if *c == 0 {
+                return None;
+            }
+            match *e {
+                Elemental::Submodular { a, b, ctx } if ctx.union(a) == y => Some((*e, a, b, ctx)),
+                Elemental::Submodular { a, b, ctx } if ctx.union(b) == y => Some((*e, b, a, ctx)),
+                _ => None,
+            }
+        }) {
+            id.take_witness(e);
+            id.take_source(y_term);
+            if !ctx.is_empty() {
+                steps.push(ProofStep::Decomposition { joint: y, cond: ctx });
+                id.put_source(CondTerm::new(VarSet::EMPTY, ctx));
+            }
+            steps.push(ProofStep::Submodularity {
+                subj: blk,
+                cond_from: ctx,
+                cond_to: ctx.union(other),
+            });
+            id.put_source(CondTerm::new(ctx.union(other), blk));
+            return true;
+        }
+
+        // (d) a witness monotonicity starting at `y`.
+        if let Some((e, to)) = id.witness.iter().find_map(|(e, c)| {
+            if *c == 0 {
+                return None;
+            }
+            match *e {
+                Elemental::Monotone { from, to } if from == y => Some((*e, to)),
+                _ => None,
+            }
+        }) {
+            id.take_witness(e);
+            id.take_source(y_term);
+            steps.push(ProofStep::Monotonicity { from: y, to });
+            if !to.is_empty() {
+                id.put_source(CondTerm::new(VarSet::EMPTY, to));
+            }
+            return true;
+        }
+
+        false
+    }
+
+    /// Verifies the sequence by replaying it: starting from the multiset of
+    /// source terms, every step must find the terms it rewrites, and at the
+    /// end every target term (with multiplicity) must be present among the
+    /// remaining unconditional terms.
+    pub fn verify(&self) -> Result<(), String> {
+        let mut terms: BTreeMap<CondTerm, u64> = self.identity.sources.clone();
+        let take = |terms: &mut BTreeMap<CondTerm, u64>, t: CondTerm| -> Result<(), String> {
+            match terms.get_mut(&t) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    if *c == 0 {
+                        terms.remove(&t);
+                    }
+                    Ok(())
+                }
+                _ => Err(format!("replay failed: term {t:?} not available")),
+            }
+        };
+        let put = |terms: &mut BTreeMap<CondTerm, u64>, t: CondTerm| {
+            if !t.joint().is_empty() {
+                *terms.entry(t).or_default() += 1;
+            }
+        };
+        for (i, step) in self.steps.iter().enumerate() {
+            let res = match *step {
+                ProofStep::Decomposition { joint, cond } => {
+                    if !cond.is_subset_of(joint) || cond == joint {
+                        return Err(format!("step {i}: malformed decomposition"));
+                    }
+                    take(&mut terms, CondTerm::new(VarSet::EMPTY, joint)).map(|()| {
+                        put(&mut terms, CondTerm::new(VarSet::EMPTY, cond));
+                        put(&mut terms, CondTerm::new(cond, joint.difference(cond)));
+                    })
+                }
+                ProofStep::Composition { cond, subj } => take(&mut terms, CondTerm::new(VarSet::EMPTY, cond))
+                    .and_then(|()| take(&mut terms, CondTerm::new(cond, subj)))
+                    .map(|()| put(&mut terms, CondTerm::new(VarSet::EMPTY, cond.union(subj)))),
+                ProofStep::Monotonicity { from, to } => {
+                    if !to.is_subset_of(from) {
+                        return Err(format!("step {i}: malformed monotonicity"));
+                    }
+                    take(&mut terms, CondTerm::new(VarSet::EMPTY, from))
+                        .map(|()| put(&mut terms, CondTerm::new(VarSet::EMPTY, to)))
+                }
+                ProofStep::Submodularity { subj, cond_from, cond_to } => {
+                    if !cond_from.is_subset_of(cond_to) {
+                        return Err(format!("step {i}: malformed submodularity"));
+                    }
+                    take(&mut terms, CondTerm::new(cond_from, subj))
+                        .map(|()| put(&mut terms, CondTerm::new(cond_to, subj.difference(cond_to))))
+                }
+            };
+            res.map_err(|e| format!("step {i} ({step:?}): {e}"))?;
+        }
+        // Every target must now be present among the unconditional terms.
+        for (target, needed) in &self.identity.targets {
+            let available = terms
+                .get(&CondTerm::new(VarSet::EMPTY, *target))
+                .copied()
+                .unwrap_or(0);
+            if available < *needed {
+                return Err(format!(
+                    "replay produced only {available} of the {needed} required copies of {target:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty-prints the whole sequence, one step per line (Table 1 style).
+    #[must_use]
+    pub fn display_with(&self, names: &[String]) -> String {
+        self.steps
+            .iter()
+            .map(|s| s.display_with(names))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::tests::{paper_identity_63, vs};
+
+    #[test]
+    fn table1_proof_sequence_for_identity_63() {
+        // Reproduces Table 1: the proof sequence for Eq. (62)/(63) consists
+        // of 1 decomposition, 2 submodularities and 2 compositions, and
+        // replaying it produces both targets h(XYZ) and h(YZW).
+        let id = paper_identity_63();
+        let seq = ProofSequence::derive(&id).expect("derivation succeeds");
+        seq.verify().expect("sequence verifies");
+        assert_eq!(seq.len(), 5);
+        let (dec, comp, mono, sub) = seq.step_counts();
+        assert_eq!((dec, comp, mono, sub), (1, 2, 0, 2));
+        // The decomposition splits one of the three input cardinalities on a
+        // single shared variable.
+        assert!(seq.steps.iter().any(|s| matches!(
+            s,
+            ProofStep::Decomposition { joint, cond } if joint.len() == 2 && cond.len() == 1
+        )));
+    }
+
+    #[test]
+    fn derived_sequence_prints_in_table1_notation() {
+        let id = paper_identity_63();
+        let seq = ProofSequence::derive(&id).unwrap();
+        let names: Vec<String> = ["X", "Y", "Z", "W"].iter().map(|s| s.to_string()).collect();
+        let text = seq.display_with(&names);
+        assert!(text.contains("→"));
+        assert!(text.lines().count() == 5);
+    }
+
+    #[test]
+    fn trivial_identity_needs_no_steps() {
+        // h(XY) ≤ h(XY): target equals source.
+        let mut id = paper_identity_63();
+        id.targets.clear();
+        id.sources.clear();
+        id.witness.clear();
+        id.targets.insert(vs(&[0, 1]), 1);
+        id.sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[0, 1])), 1);
+        id.verify().unwrap();
+        let seq = ProofSequence::derive(&id).unwrap();
+        assert!(seq.is_empty());
+        seq.verify().unwrap();
+    }
+
+    #[test]
+    fn monotonicity_witnesses_become_projection_steps() {
+        // h(X) ≤ h(XY): witnessed by the monotonicity h(XY) ≥ h(X).
+        let mut id = paper_identity_63();
+        id.targets.clear();
+        id.sources.clear();
+        id.witness.clear();
+        id.targets.insert(vs(&[0]), 1);
+        id.sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[0, 1])), 1);
+        id.witness.insert(
+            panda_entropy::Elemental::Monotone { from: vs(&[0, 1]), to: vs(&[0]) },
+            1,
+        );
+        id.verify().unwrap();
+        let seq = ProofSequence::derive(&id).unwrap();
+        assert_eq!(seq.len(), 1);
+        assert!(matches!(seq.steps[0], ProofStep::Monotonicity { .. }));
+    }
+
+    #[test]
+    fn lp_extracted_flows_have_verifiable_proof_sequences() {
+        // End-to-end: subw LP ⇒ dual ⇒ integral flow ⇒ identity ⇒ proof
+        // sequence, for every bag selector of the 4-cycle.
+        use panda_entropy::{subw, StatisticsSet};
+        use panda_query::parse_query;
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let stats = StatisticsSet::identical_cardinalities(&q, 4096);
+        let report = subw(&q, &stats).unwrap();
+        assert_eq!(report.per_selector.len(), 4);
+        for sel in &report.per_selector {
+            let integral = sel.report.flow.to_integral().unwrap();
+            let id = TermIdentity::from_flow(&integral);
+            id.verify().unwrap();
+            let seq = ProofSequence::derive(&id).expect("derivation for every selector");
+            seq.verify().unwrap();
+            assert!(!seq.is_empty());
+        }
+    }
+
+    #[test]
+    fn broken_sequences_are_rejected() {
+        let id = paper_identity_63();
+        let mut seq = ProofSequence::derive(&id).unwrap();
+        // Tamper: drop the last step ⇒ some target is no longer produced.
+        seq.steps.pop();
+        assert!(seq.verify().is_err());
+        // Tamper: insert a composition whose operands don't exist.
+        let mut seq2 = ProofSequence::derive(&id).unwrap();
+        seq2.steps.insert(
+            0,
+            ProofStep::Composition { cond: vs(&[0, 3]), subj: vs(&[1]) },
+        );
+        assert!(seq2.verify().is_err());
+    }
+
+    #[test]
+    fn fd_flows_produce_sequences_with_fd_terms() {
+        // The full 4-cycle with a two-way FD between W and X (the C = 1 case
+        // of S_full) has bound 3/2; its proof sequence uses conditional
+        // source terms h(X|W), h(W|X) directly.
+        use panda_entropy::{polymatroid_bound, StatisticsSet};
+        use panda_query::{parse_query, Var, VarSet as VS};
+        let q = parse_query("Q(X,Y,Z,W) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let mut stats = StatisticsSet::identical_cardinalities(&q, 4096);
+        stats.add_functional_dependency("U", VS::singleton(Var(3)), VS::singleton(Var(0)));
+        stats.add_functional_dependency("U", VS::singleton(Var(0)), VS::singleton(Var(3)));
+        let report = polymatroid_bound(q.all_vars(), q.all_vars(), &stats).unwrap();
+        let id = TermIdentity::from_flow(&report.flow.to_integral().unwrap());
+        id.verify().unwrap();
+        let seq = ProofSequence::derive(&id).unwrap();
+        seq.verify().unwrap();
+    }
+}

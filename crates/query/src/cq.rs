@@ -1,0 +1,333 @@
+//! Conjunctive queries and atoms.
+
+use std::fmt;
+
+use crate::var::{Var, VarSet};
+
+/// One atom `R(X₁,…,X_k)` of a conjunctive query: a relation symbol plus an
+/// ordered list of variables.  The *order* matters for binding the atom to
+/// a [`panda_relation::Relation`] instance (column `i` ↔ `vars[i]`); the
+/// unordered [`Atom::var_set`] is what the information-theoretic machinery
+/// uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation symbol.
+    pub relation: String,
+    /// The variables, in column order.
+    pub vars: Vec<Var>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    #[must_use]
+    pub fn new(relation: impl Into<String>, vars: Vec<Var>) -> Self {
+        Atom { relation: relation.into(), vars }
+    }
+
+    /// The atom's variables as a set.
+    #[must_use]
+    pub fn var_set(&self) -> VarSet {
+        self.vars.iter().copied().collect()
+    }
+
+    /// The arity of the atom.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The column positions (within this atom) of the given variables, in
+    /// the order the variables appear in `vars_wanted`.  Returns `None` for
+    /// variables not present.
+    #[must_use]
+    pub fn positions_of(&self, vars_wanted: &[Var]) -> Vec<Option<usize>> {
+        vars_wanted
+            .iter()
+            .map(|v| self.vars.iter().position(|w| w == v))
+            .collect()
+    }
+
+    /// The column position of a single variable, if present.
+    #[must_use]
+    pub fn position_of(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|w| *w == v)
+    }
+}
+
+/// A conjunctive query
+/// `Q(F) :- R₁(X₁) ∧ … ∧ R_m(X_m)` (Eq. 3 of the paper).
+///
+/// Construct queries either programmatically via [`ConjunctiveQuery::build`]
+/// or from text via [`crate::parse_query`]:
+///
+/// ```
+/// use panda_query::parse_query;
+///
+/// let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+/// assert_eq!(q.num_vars(), 4);
+/// assert_eq!(q.atoms().len(), 4);
+/// assert!(!q.is_full());
+/// assert!(!q.is_boolean());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    name: String,
+    var_names: Vec<String>,
+    free: VarSet,
+    atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an atom or the free set references a variable index with no
+    /// name, or if more than [`crate::var::MAX_VARS`] variables are used.
+    #[must_use]
+    pub fn build(
+        name: impl Into<String>,
+        var_names: Vec<String>,
+        free: VarSet,
+        atoms: Vec<Atom>,
+    ) -> Self {
+        assert!(
+            var_names.len() <= crate::var::MAX_VARS,
+            "queries with more than {} variables are not supported",
+            crate::var::MAX_VARS
+        );
+        let declared: VarSet = (0..var_names.len() as u32).map(Var).collect();
+        assert!(
+            free.is_subset_of(declared),
+            "free variables must be declared in var_names"
+        );
+        for atom in &atoms {
+            assert!(
+                atom.var_set().is_subset_of(declared),
+                "atom {} uses undeclared variables",
+                atom.relation
+            );
+        }
+        ConjunctiveQuery { name: name.into(), var_names, free, atoms }
+    }
+
+    /// The query's name (head predicate).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of variables in the query.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// All variables of the query as a set (the paper's `V`).
+    #[must_use]
+    pub fn all_vars(&self) -> VarSet {
+        (0..self.var_names.len() as u32).map(Var).collect()
+    }
+
+    /// The free variables `F ⊆ V`.
+    #[must_use]
+    pub fn free_vars(&self) -> VarSet {
+        self.free
+    }
+
+    /// The existentially-quantified variables `V ∖ F`.
+    #[must_use]
+    pub fn existential_vars(&self) -> VarSet {
+        self.all_vars().difference(self.free)
+    }
+
+    /// The atoms of the body.
+    #[must_use]
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The variable names, indexed by [`Var`].
+    #[must_use]
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// The name of one variable.
+    #[must_use]
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Looks a variable up by name.
+    #[must_use]
+    pub fn var_by_name(&self, name: &str) -> Option<Var> {
+        self.var_names.iter().position(|n| n == name).map(|i| Var(i as u32))
+    }
+
+    /// `true` iff the query is *Boolean* (no free variables).
+    #[must_use]
+    pub fn is_boolean(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// `true` iff the query is *full* (all variables free).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.free == self.all_vars()
+    }
+
+    /// Returns a copy of this query with a different free-variable set —
+    /// e.g. the *full* version used when materialising a bag of a tree
+    /// decomposition (Eq. 13 of the paper).
+    #[must_use]
+    pub fn with_free(&self, free: VarSet) -> Self {
+        assert!(free.is_subset_of(self.all_vars()), "free set must be a subset of the variables");
+        ConjunctiveQuery {
+            name: self.name.clone(),
+            var_names: self.var_names.clone(),
+            free,
+            atoms: self.atoms.clone(),
+        }
+    }
+
+    /// Returns the hyperedges of the query hypergraph: one variable set per
+    /// atom.
+    #[must_use]
+    pub fn edges(&self) -> Vec<VarSet> {
+        self.atoms.iter().map(Atom::var_set).collect()
+    }
+
+    /// `true` iff the query has a self-join (two atoms over the same
+    /// relation symbol).
+    #[must_use]
+    pub fn has_self_join(&self) -> bool {
+        for (i, a) in self.atoms.iter().enumerate() {
+            for b in &self.atoms[i + 1..] {
+                if a.relation == b.relation {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let free_names: Vec<&str> =
+            self.free.iter().map(|v| self.var_name(v)).collect();
+        write!(f, "{}({}) :- ", self.name, free_names.join(","))?;
+        let body: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let vars: Vec<&str> = a.vars.iter().map(|v| self.var_name(*v)).collect();
+                format!("{}({})", a.relation, vars.join(","))
+            })
+            .collect();
+        write!(f, "{}", body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four_cycle() -> ConjunctiveQuery {
+        let names = vec!["X".into(), "Y".into(), "Z".into(), "W".into()];
+        let (x, y, z, w) = (Var(0), Var(1), Var(2), Var(3));
+        ConjunctiveQuery::build(
+            "Q",
+            names,
+            VarSet::from_iter([x, y]),
+            vec![
+                Atom::new("R", vec![x, y]),
+                Atom::new("S", vec![y, z]),
+                Atom::new("T", vec![z, w]),
+                Atom::new("U", vec![w, x]),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let q = four_cycle();
+        assert_eq!(q.num_vars(), 4);
+        assert_eq!(q.all_vars().len(), 4);
+        assert_eq!(q.free_vars().len(), 2);
+        assert_eq!(q.existential_vars().len(), 2);
+        assert_eq!(q.atoms().len(), 4);
+        assert!(!q.is_boolean());
+        assert!(!q.is_full());
+        assert!(!q.has_self_join());
+        assert_eq!(q.var_by_name("Z"), Some(Var(2)));
+        assert_eq!(q.var_by_name("Q"), None);
+        assert_eq!(q.var_name(Var(3)), "W");
+    }
+
+    #[test]
+    fn with_free_changes_only_the_head() {
+        let q = four_cycle();
+        let full = q.with_free(q.all_vars());
+        assert!(full.is_full());
+        assert_eq!(full.atoms(), q.atoms());
+        let boolean = q.with_free(VarSet::EMPTY);
+        assert!(boolean.is_boolean());
+    }
+
+    #[test]
+    fn atom_positions() {
+        let q = four_cycle();
+        let s = &q.atoms()[1]; // S(Y, Z)
+        assert_eq!(s.position_of(Var(1)), Some(0));
+        assert_eq!(s.position_of(Var(2)), Some(1));
+        assert_eq!(s.position_of(Var(0)), None);
+        assert_eq!(s.positions_of(&[Var(2), Var(0)]), vec![Some(1), None]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.var_set(), VarSet::from_iter([Var(1), Var(2)]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = four_cycle();
+        assert_eq!(q.to_string(), "Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)");
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let names = vec!["X".into(), "Y".into(), "Z".into()];
+        let q = ConjunctiveQuery::build(
+            "Q",
+            names,
+            VarSet::EMPTY,
+            vec![
+                Atom::new("E", vec![Var(0), Var(1)]),
+                Atom::new("E", vec![Var(1), Var(2)]),
+            ],
+        );
+        assert!(q.has_self_join());
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared")]
+    fn undeclared_variable_panics() {
+        let _ = ConjunctiveQuery::build(
+            "Q",
+            vec!["X".into()],
+            VarSet::EMPTY,
+            vec![Atom::new("R", vec![Var(0), Var(1)])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "free variables")]
+    fn free_not_declared_panics() {
+        let _ = ConjunctiveQuery::build(
+            "Q",
+            vec!["X".into()],
+            VarSet::singleton(Var(3)),
+            vec![Atom::new("R", vec![Var(0)])],
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Disjunctive datalog rules and bag selectors (Section 5.1).
+//!
+//! An adaptive query plan commits to a *set* of tree decompositions and
+//! asks, for every tuple satisfying the body, that at least one TD's bags
+//! cover it (rule 28 of the paper).  Rewriting the disjunction-of-
+//! conjunctions head into a conjunction-of-disjunctions (Eq. 32) yields one
+//! *disjunctive datalog rule* (DDR) per *bag selector* — a choice of one
+//! bag from every TD (Eq. 34).  Each DDR is costed by the polymatroid bound
+//! of Theorem 5.1, and the maximum over bag selectors is the submodular
+//! width.
+
+use crate::cq::{Atom, ConjunctiveQuery};
+use crate::td::TreeDecomposition;
+use crate::var::VarSet;
+
+/// A bag selector: one bag chosen from each tree decomposition of the
+/// adaptive plan.  Duplicate bags are kept only once (choosing the same bag
+/// from two TDs yields the same disjunct twice).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BagSelector {
+    bags: Vec<VarSet>,
+}
+
+impl BagSelector {
+    /// Creates a selector from the chosen bags (deduplicated, sorted).
+    #[must_use]
+    pub fn new(mut bags: Vec<VarSet>) -> Self {
+        bags.sort_unstable();
+        bags.dedup();
+        BagSelector { bags }
+    }
+
+    /// The distinct bags of the selector.
+    #[must_use]
+    pub fn bags(&self) -> &[VarSet] {
+        &self.bags
+    }
+
+    /// Number of distinct bags.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// `true` iff the selector is empty (only possible with no TDs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// Enumerates `BS(Q)`: every way of choosing one bag from each of the
+    /// given tree decompositions.  Selectors that end up with the same set
+    /// of distinct bags are merged.
+    #[must_use]
+    pub fn enumerate(tds: &[TreeDecomposition]) -> Vec<BagSelector> {
+        if tds.is_empty() {
+            return Vec::new();
+        }
+        let mut selectors: Vec<Vec<VarSet>> = vec![Vec::new()];
+        for td in tds {
+            let mut next = Vec::with_capacity(selectors.len() * td.num_bags());
+            for partial in &selectors {
+                for &bag in td.bags() {
+                    let mut choice = partial.clone();
+                    choice.push(bag);
+                    next.push(choice);
+                }
+            }
+            selectors = next;
+        }
+        let mut result: Vec<BagSelector> = selectors.into_iter().map(BagSelector::new).collect();
+        result.sort();
+        result.dedup();
+        result
+    }
+}
+
+/// A disjunctive datalog rule
+/// `⋁_{B ∈ head} Q_B(B)  :-  ⋀_{R(X) ∈ body} R(X)` (Eq. 34).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjunctiveRule {
+    /// The head disjuncts: each is a set of variables (the schema of one
+    /// target relation `Q_B`).
+    head: Vec<VarSet>,
+    /// The body atoms.
+    body: Vec<Atom>,
+    /// Variable names (shared with the originating query) for display.
+    var_names: Vec<String>,
+}
+
+impl DisjunctiveRule {
+    /// Creates a DDR from head variable sets and body atoms.
+    #[must_use]
+    pub fn new(head: Vec<VarSet>, body: Vec<Atom>, var_names: Vec<String>) -> Self {
+        let mut head = head;
+        head.sort_unstable();
+        head.dedup();
+        DisjunctiveRule { head, body, var_names }
+    }
+
+    /// Builds the DDR of a query for a given bag selector: the head is the
+    /// selector's bags, the body is the query's body.
+    #[must_use]
+    pub fn for_bag_selector(query: &ConjunctiveQuery, selector: &BagSelector) -> Self {
+        DisjunctiveRule::new(
+            selector.bags().to_vec(),
+            query.atoms().to_vec(),
+            query.var_names().to_vec(),
+        )
+    }
+
+    /// The head disjuncts (target schemas).
+    #[must_use]
+    pub fn head(&self) -> &[VarSet] {
+        &self.head
+    }
+
+    /// The body atoms.
+    #[must_use]
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// Variable names for display.
+    #[must_use]
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// All body variables.
+    #[must_use]
+    pub fn body_vars(&self) -> VarSet {
+        self.body
+            .iter()
+            .fold(VarSet::EMPTY, |acc, a| acc.union(a.var_set()))
+    }
+
+    /// `true` iff the rule is simply a conjunctive query (single disjunct).
+    #[must_use]
+    pub fn is_conjunctive(&self) -> bool {
+        self.head.len() == 1
+    }
+
+    /// Pretty-prints the rule, e.g.
+    /// `A0(X,Y,Z) ∨ A1(Y,Z,W) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)`.
+    #[must_use]
+    pub fn display(&self) -> String {
+        let head: Vec<String> = self
+            .head
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let vars: Vec<&str> = b
+                    .iter()
+                    .map(|v| self.var_names.get(v.index()).map_or("?", String::as_str))
+                    .collect();
+                format!("A{i}({})", vars.join(","))
+            })
+            .collect();
+        let body: Vec<String> = self
+            .body
+            .iter()
+            .map(|a| {
+                let vars: Vec<&str> = a
+                    .vars
+                    .iter()
+                    .map(|v| self.var_names.get(v.index()).map_or("?", String::as_str))
+                    .collect();
+                format!("{}({})", a.relation, vars.join(","))
+            })
+            .collect();
+        format!("{} :- {}", head.join(" ∨ "), body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::var::Var;
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    fn four_cycle_tds() -> (ConjunctiveQuery, Vec<TreeDecomposition>) {
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let tds = TreeDecomposition::enumerate(&q);
+        (q, tds)
+    }
+
+    #[test]
+    fn four_cycle_has_four_bag_selectors() {
+        // Section 5.1: BS(Q□) consists of four bag selectors (one bag from
+        // each of the two TDs of Figure 1).
+        let (_, tds) = four_cycle_tds();
+        let selectors = BagSelector::enumerate(&tds);
+        assert_eq!(selectors.len(), 4);
+        for s in &selectors {
+            assert_eq!(s.len(), 2);
+            assert!(!s.is_empty());
+        }
+        // Each selector pairs one bag of T1 with one bag of T2.
+        let t1_bags = [vs(&[0, 1, 2]), vs(&[0, 2, 3])];
+        let t2_bags = [vs(&[1, 2, 3]), vs(&[0, 1, 3])];
+        for s in &selectors {
+            assert!(s.bags().iter().any(|b| t1_bags.contains(b)));
+            assert!(s.bags().iter().any(|b| t2_bags.contains(b)));
+        }
+    }
+
+    #[test]
+    fn selectors_with_shared_bags_are_merged() {
+        let td1 = TreeDecomposition::new(vec![vs(&[0, 1]), vs(&[1, 2])]);
+        let td2 = TreeDecomposition::new(vec![vs(&[0, 1]), vs(&[2, 3])]);
+        let selectors = BagSelector::enumerate(&[td1, td2]);
+        // Raw cross product has 4 choices; the {0,1}+{0,1} choice collapses
+        // to a single-bag selector.
+        assert!(selectors.iter().any(|s| s.len() == 1));
+        assert_eq!(selectors.len(), 4);
+    }
+
+    #[test]
+    fn no_tds_gives_no_selectors() {
+        assert!(BagSelector::enumerate(&[]).is_empty());
+    }
+
+    #[test]
+    fn ddr_for_selector_reproduces_eq_38() {
+        // The DDR A11(X,Y,Z) ∨ A21(Y,Z,W) :- R(X,Y),S(Y,Z),T(Z,W),U(W,X).
+        let (q, _) = four_cycle_tds();
+        let selector = BagSelector::new(vec![vs(&[0, 1, 2]), vs(&[1, 2, 3])]);
+        let ddr = DisjunctiveRule::for_bag_selector(&q, &selector);
+        assert_eq!(ddr.head().len(), 2);
+        assert_eq!(ddr.body().len(), 4);
+        assert!(!ddr.is_conjunctive());
+        assert_eq!(ddr.body_vars(), q.all_vars());
+        assert_eq!(
+            ddr.display(),
+            "A0(X,Y,Z) ∨ A1(Y,Z,W) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)"
+        );
+    }
+
+    #[test]
+    fn single_disjunct_rule_is_conjunctive() {
+        let (q, _) = four_cycle_tds();
+        let selector = BagSelector::new(vec![q.all_vars()]);
+        let ddr = DisjunctiveRule::for_bag_selector(&q, &selector);
+        assert!(ddr.is_conjunctive());
+    }
+}

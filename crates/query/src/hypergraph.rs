@@ -1,0 +1,378 @@
+//! Query hypergraphs, GYO reduction, acyclicity and join trees.
+
+use crate::var::{Var, VarSet};
+
+/// The hypergraph of a query: one hyperedge per atom (Section 3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    num_vars: usize,
+    edges: Vec<VarSet>,
+}
+
+/// A rooted join tree over a set of hyperedges (indices refer to the edge
+/// list the tree was built from).  Produced by [`Hypergraph::join_tree`] /
+/// [`join_tree_of`] for acyclic hypergraphs; consumed by the Yannakakis
+/// implementation in `panda-core`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTree {
+    /// Index of the root edge.
+    pub root: usize,
+    /// Parent of each edge (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Children of each edge.
+    pub children: Vec<Vec<usize>>,
+    /// A bottom-up ordering (every node appears after all of its children).
+    pub bottom_up: Vec<usize>,
+}
+
+impl JoinTree {
+    /// A top-down ordering (root first).
+    #[must_use]
+    pub fn top_down(&self) -> Vec<usize> {
+        let mut order = self.bottom_up.clone();
+        order.reverse();
+        order
+    }
+
+    /// The number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff the tree has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph over `num_vars` variables with the given edges.
+    #[must_use]
+    pub fn new(num_vars: usize, edges: Vec<VarSet>) -> Self {
+        Hypergraph { num_vars, edges }
+    }
+
+    /// The hyperedges.
+    #[must_use]
+    pub fn edges(&self) -> &[VarSet] {
+        &self.edges
+    }
+
+    /// The number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The union of all edges.
+    #[must_use]
+    pub fn vertices(&self) -> VarSet {
+        self.edges.iter().fold(VarSet::EMPTY, |acc, e| acc.union(*e))
+    }
+
+    /// The neighbours of `v`: all variables sharing an edge with `v`,
+    /// excluding `v` itself.
+    #[must_use]
+    pub fn neighbors(&self, v: Var) -> VarSet {
+        self.edges
+            .iter()
+            .filter(|e| e.contains(v))
+            .fold(VarSet::EMPTY, |acc, e| acc.union(*e))
+            .without(v)
+    }
+
+    /// Eliminates a variable: all edges containing `v` are replaced by a
+    /// single edge over their union minus `v` (the standard step of
+    /// variable elimination / bucket elimination).  Returns the *bag*
+    /// created by the elimination (`{v} ∪ neighbours(v)`), and mutates the
+    /// hypergraph in place.
+    pub fn eliminate(&mut self, v: Var) -> VarSet {
+        let bag = self.neighbors(v).with(v);
+        let mut merged = VarSet::EMPTY;
+        self.edges.retain(|e| {
+            if e.contains(v) {
+                merged = merged.union(*e);
+                false
+            } else {
+                true
+            }
+        });
+        let new_edge = merged.without(v);
+        if !new_edge.is_empty() {
+            self.edges.push(new_edge);
+        }
+        bag
+    }
+
+    /// `true` iff the hypergraph is α-acyclic (GYO reduction succeeds).
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        is_acyclic(&self.edges)
+    }
+
+    /// A join tree over the edges, if the hypergraph is acyclic.
+    #[must_use]
+    pub fn join_tree(&self) -> Option<JoinTree> {
+        join_tree_of(&self.edges)
+    }
+}
+
+/// `true` iff the given hyperedges form an α-acyclic hypergraph, decided by
+/// the GYO (Graham / Yu–Özsoyoğlu) reduction.
+#[must_use]
+pub fn is_acyclic(edges: &[VarSet]) -> bool {
+    join_tree_of(edges).is_some()
+}
+
+/// Builds a join tree for an acyclic set of hyperedges via GYO reduction
+/// with witness tracking, or returns `None` if the hypergraph is cyclic.
+///
+/// The classic GYO rules are applied until fixpoint:
+///
+/// 1. *ear vertex removal* — a vertex occurring in exactly one live edge is
+///    deleted from it;
+/// 2. *contained edge removal* — a live edge whose (reduced) content is a
+///    subset of another live edge's content is removed, and attached to
+///    that witness edge in the join tree.
+///
+/// The hypergraph is acyclic iff the process ends with a single live edge,
+/// which becomes the root.
+#[must_use]
+pub fn join_tree_of(edges: &[VarSet]) -> Option<JoinTree> {
+    let n = edges.len();
+    if n == 0 {
+        return Some(JoinTree {
+            root: 0,
+            parent: Vec::new(),
+            children: Vec::new(),
+            bottom_up: Vec::new(),
+        });
+    }
+    let mut reduced: Vec<VarSet> = edges.to_vec();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut alive_count = n;
+
+    loop {
+        let mut changed = false;
+
+        // Rule 1: remove vertices occurring in exactly one live edge.
+        let universe = reduced
+            .iter()
+            .zip(&alive)
+            .filter(|(_, a)| **a)
+            .fold(VarSet::EMPTY, |acc, (e, _)| acc.union(*e));
+        for v in universe.iter() {
+            let mut count = 0usize;
+            let mut only = usize::MAX;
+            for (i, e) in reduced.iter().enumerate() {
+                if alive[i] && e.contains(v) {
+                    count += 1;
+                    only = i;
+                    if count > 1 {
+                        break;
+                    }
+                }
+            }
+            if count == 1 {
+                reduced[only] = reduced[only].without(v);
+                changed = true;
+            }
+        }
+
+        // Rule 2: remove edges contained in another live edge.
+        'outer: for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in 0..n {
+                if i != j && alive[j] && reduced[i].is_subset_of(reduced[j]) {
+                    alive[i] = false;
+                    alive_count -= 1;
+                    parent[i] = Some(j);
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+        }
+
+        if alive_count <= 1 {
+            break;
+        }
+        if !changed {
+            return None; // cyclic
+        }
+    }
+
+    let root = alive.iter().position(|a| *a).unwrap_or(0);
+    // Path-compress parents so they point at live representatives forming a
+    // tree rooted at `root` (parents recorded during GYO always point to a
+    // later-removed or live edge, so the chain terminates).
+    let resolve_root = |mut i: usize, parent: &[Option<usize>]| -> usize {
+        let mut guard = 0;
+        while let Some(p) = parent[i] {
+            i = p;
+            guard += 1;
+            assert!(guard <= parent.len(), "cycle in GYO parent chain");
+        }
+        i
+    };
+    debug_assert_eq!(resolve_root(root, &parent), root);
+
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(i);
+        }
+    }
+    // Bottom-up order via DFS from the root.
+    let mut bottom_up = Vec::with_capacity(n);
+    let mut stack = vec![(root, false)];
+    while let Some((node, expanded)) = stack.pop() {
+        if expanded {
+            bottom_up.push(node);
+        } else {
+            stack.push((node, true));
+            for &c in &children[node] {
+                stack.push((c, false));
+            }
+        }
+    }
+    if bottom_up.len() != n {
+        // Disconnected hypergraphs: attach remaining components' roots to
+        // the global root so Yannakakis still works (their join is a cross
+        // product at the root).
+        let mut missing: Vec<usize> = (0..n).filter(|i| !bottom_up.contains(i)).collect();
+        // Find the local roots among missing nodes (those whose parent is None).
+        missing.retain(|&i| parent[i].is_none());
+        for i in missing {
+            parent[i] = Some(root);
+            children[root].push(i);
+        }
+        // Recompute the order.
+        bottom_up.clear();
+        let mut stack = vec![(root, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                bottom_up.push(node);
+            } else {
+                stack.push((node, true));
+                for &c in &children[node] {
+                    stack.push((c, false));
+                }
+            }
+        }
+        if bottom_up.len() != n {
+            return None;
+        }
+    }
+
+    Some(JoinTree { root, parent, children, bottom_up })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    #[test]
+    fn path_query_is_acyclic() {
+        // R(X,Y), S(Y,Z), T(Z,W)
+        let edges = vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3])];
+        assert!(is_acyclic(&edges));
+        let tree = join_tree_of(&edges).unwrap();
+        assert_eq!(tree.len(), 3);
+        // The bottom-up order ends at the root and contains every node.
+        assert_eq!(*tree.bottom_up.last().unwrap(), tree.root);
+        let mut seen = tree.bottom_up.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic() {
+        let edges = vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3]), vs(&[3, 0])];
+        assert!(!is_acyclic(&edges));
+        assert!(join_tree_of(&edges).is_none());
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let edges = vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[0, 2])];
+        assert!(!is_acyclic(&edges));
+    }
+
+    #[test]
+    fn star_query_is_acyclic() {
+        let edges = vec![vs(&[0, 1]), vs(&[0, 2]), vs(&[0, 3])];
+        assert!(is_acyclic(&edges));
+        let tree = join_tree_of(&edges).unwrap();
+        // a star join tree: one root, two children (or a chain); all nodes present.
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.top_down().len(), 3);
+    }
+
+    #[test]
+    fn contained_edges_are_acyclic() {
+        let edges = vec![vs(&[0, 1, 2]), vs(&[0, 1]), vs(&[2])];
+        assert!(is_acyclic(&edges));
+        let tree = join_tree_of(&edges).unwrap();
+        assert_eq!(tree.root, 0);
+        assert_eq!(tree.parent[1], Some(0));
+        assert_eq!(tree.parent[2], Some(0));
+    }
+
+    #[test]
+    fn papers_td_bags_are_acyclic_with_free_atom() {
+        // bags(T1) = {XYZ, ZWX} plus the free atom {XY}: acyclic (free-connex).
+        let edges = vec![vs(&[0, 1, 2]), vs(&[2, 3, 0]), vs(&[0, 1])];
+        assert!(is_acyclic(&edges));
+        // bags {XZ},{YZ} plus free atom {XY}: the triangle ⇒ cyclic.
+        let edges = vec![vs(&[0, 2]), vs(&[1, 2]), vs(&[0, 1])];
+        assert!(!is_acyclic(&edges));
+    }
+
+    #[test]
+    fn disconnected_components_form_a_tree() {
+        let edges = vec![vs(&[0, 1]), vs(&[2, 3])];
+        assert!(is_acyclic(&edges));
+        let tree = join_tree_of(&edges).unwrap();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(*tree.bottom_up.last().unwrap(), tree.root);
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        assert!(is_acyclic(&[]));
+        assert!(is_acyclic(&[vs(&[0, 1, 2])]));
+        let tree = join_tree_of(&[vs(&[0, 1, 2])]).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.root, 0);
+    }
+
+    #[test]
+    fn elimination_produces_expected_bags() {
+        // 4-cycle: eliminating Y gives bag {X,Y,Z} and a new edge {X,Z}.
+        let mut h = Hypergraph::new(4, vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3]), vs(&[3, 0])]);
+        assert_eq!(h.vertices().len(), 4);
+        assert_eq!(h.neighbors(Var(1)), vs(&[0, 2]));
+        let bag = h.eliminate(Var(1));
+        assert_eq!(bag, vs(&[0, 1, 2]));
+        assert!(h.edges().contains(&vs(&[0, 2])));
+        assert_eq!(h.edges().len(), 3);
+        // the remaining hypergraph is the triangle X,Z,W.
+        assert!(!h.is_acyclic());
+    }
+
+    #[test]
+    fn acyclic_hypergraph_methods() {
+        let h = Hypergraph::new(3, vec![vs(&[0, 1]), vs(&[1, 2])]);
+        assert!(h.is_acyclic());
+        assert!(h.join_tree().is_some());
+    }
+}

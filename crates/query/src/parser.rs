@@ -1,0 +1,215 @@
+//! A small datalog-style parser for conjunctive queries.
+//!
+//! The grammar is the one used throughout the paper:
+//!
+//! ```text
+//! query     ::=  head ":-" body
+//! head      ::=  NAME "(" varlist? ")"
+//! body      ::=  atom ("," atom | "∧" atom | "&&" atom)*
+//! atom      ::=  NAME "(" varlist ")"
+//! varlist   ::=  VAR ("," VAR)*
+//! ```
+//!
+//! so the 4-cycle query of Eq. (2) is written
+//! `Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)` and its Boolean version just
+//! has an empty head variable list, `Q() :- …`.
+
+use crate::cq::{Atom, ConjunctiveQuery};
+use crate::var::{Var, VarSet, MAX_VARS};
+
+/// Error produced when parsing a query fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+/// Parses a predicate application `Name(v1,…,vk)`, returning the name and
+/// the raw variable tokens.  `allow_empty` permits `Name()`.
+fn parse_application(text: &str, allow_empty: bool) -> Result<(String, Vec<String>), ParseError> {
+    let text = text.trim();
+    let open = match text.find('(') {
+        Some(i) => i,
+        None => return err(format!("expected `(` in `{text}`")),
+    };
+    if !text.ends_with(')') {
+        return err(format!("expected `)` at the end of `{text}`"));
+    }
+    let name = text[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return err(format!("invalid predicate name in `{text}`"));
+    }
+    let inner = text[open + 1..text.len() - 1].trim();
+    if inner.is_empty() {
+        if allow_empty {
+            return Ok((name.to_string(), Vec::new()));
+        }
+        return err(format!("atom `{text}` has no variables"));
+    }
+    let vars: Vec<String> = inner.split(',').map(|s| s.trim().to_string()).collect();
+    for v in &vars {
+        if v.is_empty() || !v.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'') {
+            return err(format!("invalid variable name `{v}` in `{text}`"));
+        }
+    }
+    Ok((name.to_string(), vars))
+}
+
+/// Parses a conjunctive query from its textual form.
+///
+/// # Examples
+///
+/// ```
+/// use panda_query::parse_query;
+///
+/// let q = parse_query("Qbool() :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+/// assert!(q.is_boolean());
+///
+/// let full = parse_query("Qfull(X,Y,Z) :- A(X,Y) ∧ B(Y,Z)").unwrap();
+/// assert!(full.is_full());
+/// ```
+pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let (head_text, body_text) = match text.split_once(":-") {
+        Some(parts) => parts,
+        None => return err("missing `:-` separator"),
+    };
+    let (name, head_vars) = parse_application(head_text, /*allow_empty=*/ true)?;
+
+    // Split the body on commas that are *outside* parentheses.
+    let body_text = body_text.replace('∧', ",").replace("&&", ",");
+    let mut atoms_text: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in body_text.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                atoms_text.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        atoms_text.push(current.trim().to_string());
+    }
+    atoms_text.retain(|a| !a.is_empty());
+    if atoms_text.is_empty() {
+        return err("query body has no atoms");
+    }
+
+    let mut var_names: Vec<String> = Vec::new();
+    let var_of = |name: &str, var_names: &mut Vec<String>| -> Result<Var, ParseError> {
+        if let Some(i) = var_names.iter().position(|n| n == name) {
+            return Ok(Var(i as u32));
+        }
+        if var_names.len() >= MAX_VARS {
+            return err(format!("too many variables (limit {MAX_VARS})"));
+        }
+        var_names.push(name.to_string());
+        Ok(Var((var_names.len() - 1) as u32))
+    };
+
+    let mut atoms = Vec::with_capacity(atoms_text.len());
+    for atom_text in &atoms_text {
+        let (rel, vars) = parse_application(atom_text, /*allow_empty=*/ false)?;
+        let mut atom_vars = Vec::with_capacity(vars.len());
+        for v in &vars {
+            atom_vars.push(var_of(v, &mut var_names)?);
+        }
+        atoms.push(Atom::new(rel, atom_vars));
+    }
+
+    // Head variables must occur in the body (safe queries).
+    let mut free = VarSet::EMPTY;
+    for v in &head_vars {
+        match var_names.iter().position(|n| n == v) {
+            Some(i) => free = free.with(Var(i as u32)),
+            None => return err(format!("head variable `{v}` does not occur in the body")),
+        }
+    }
+
+    Ok(ConjunctiveQuery::build(name, var_names, free, atoms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_four_cycle() {
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        assert_eq!(q.num_vars(), 4);
+        assert_eq!(q.atoms().len(), 4);
+        assert_eq!(q.var_names(), &["X", "Y", "Z", "W"]);
+        assert_eq!(q.free_vars().to_vec(), vec![Var(0), Var(1)]);
+        assert_eq!(q.to_string(), "Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)");
+    }
+
+    #[test]
+    fn parses_boolean_and_full_queries() {
+        let b = parse_query("Q() :- R(X,Y), S(Y,X)").unwrap();
+        assert!(b.is_boolean());
+        let f = parse_query("Q(X,Y) :- R(X,Y)").unwrap();
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn accepts_unicode_and_ascii_conjunctions() {
+        let q1 = parse_query("Q(X) :- R(X,Y) ∧ S(Y,Z)").unwrap();
+        let q2 = parse_query("Q(X) :- R(X,Y) && S(Y,Z)").unwrap();
+        assert_eq!(q1.atoms().len(), 2);
+        assert_eq!(q2.atoms().len(), 2);
+    }
+
+    #[test]
+    fn higher_arity_atoms() {
+        let q = parse_query("Q(X,Y) :- A11(X,Y,Z), A12(Z,W,X)").unwrap();
+        assert_eq!(q.atoms()[0].arity(), 3);
+        assert_eq!(q.atoms()[1].vars, vec![Var(2), Var(3), Var(0)]);
+    }
+
+    #[test]
+    fn self_joins_parse() {
+        let q = parse_query("Tri() :- E(A,B), E(B,C), E(A,C)").unwrap();
+        assert!(q.has_self_join());
+        assert_eq!(q.num_vars(), 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_query("Q(X,Y)").is_err());
+        assert!(parse_query("Q(X) :- ").is_err());
+        assert!(parse_query("Q(X) :- R()").is_err());
+        assert!(parse_query("Q(A) :- R(X,Y)").is_err());
+        assert!(parse_query(":- R(X)").is_err());
+        assert!(parse_query("Q(X) :- R(X").is_err());
+        assert!(parse_query("Q(X) :- R(X,)").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let q = parse_query("  Q ( X , Y )  :-   R ( X , Y ) ,  S(Y , Z)  ").unwrap();
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.free_vars().len(), 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Variables and bitset variable sets.
+
+use std::fmt;
+
+/// A query variable, identified by a small index into the query's variable
+/// table (see [`crate::ConjunctiveQuery::var_name`] for the human-readable
+/// name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A set of query variables, stored as a 32-bit bitset.
+///
+/// Queries with more than 32 variables are rejected at construction time —
+/// far beyond anything considered in the paper (whose examples have 4–6
+/// variables), and well beyond the point where the `2^n`-variable
+/// polymatroid LPs stop being practical anyway.
+///
+/// # Examples
+///
+/// ```
+/// use panda_query::{Var, VarSet};
+///
+/// let xy = VarSet::from_iter([Var(0), Var(1)]);
+/// let yz = VarSet::from_iter([Var(1), Var(2)]);
+/// assert_eq!(xy.union(yz).len(), 3);
+/// assert_eq!(xy.intersect(yz), VarSet::singleton(Var(1)));
+/// assert!(xy.intersect(yz).is_subset_of(xy));
+/// assert_eq!(xy.difference(yz), VarSet::singleton(Var(0)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VarSet(pub u32);
+
+/// Maximum number of distinct variables supported by [`VarSet`].
+pub const MAX_VARS: usize = 32;
+
+impl VarSet {
+    /// The empty set.
+    pub const EMPTY: VarSet = VarSet(0);
+
+    /// A singleton set.
+    #[must_use]
+    pub fn singleton(v: Var) -> Self {
+        assert!((v.0 as usize) < MAX_VARS, "variable index {} exceeds the {MAX_VARS}-variable limit", v.0);
+        VarSet(1 << v.0)
+    }
+
+    /// Builds a set from raw bits (useful for iterating over all subsets).
+    #[must_use]
+    pub const fn from_bits(bits: u32) -> Self {
+        VarSet(bits)
+    }
+
+    /// The raw bits.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of variables in the set.
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` iff the set is empty.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub const fn contains(self, v: Var) -> bool {
+        self.0 & (1 << v.0) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub const fn union(self, other: VarSet) -> VarSet {
+        VarSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub const fn intersect(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub const fn difference(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & !other.0)
+    }
+
+    /// Subset test.
+    #[must_use]
+    pub const fn is_subset_of(self, other: VarSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Superset test.
+    #[must_use]
+    pub const fn is_superset_of(self, other: VarSet) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Disjointness test.
+    #[must_use]
+    pub const fn is_disjoint_from(self, other: VarSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Inserts a variable, returning the new set.
+    #[must_use]
+    pub fn with(self, v: Var) -> VarSet {
+        self.union(VarSet::singleton(v))
+    }
+
+    /// Removes a variable, returning the new set.
+    #[must_use]
+    pub fn without(self, v: Var) -> VarSet {
+        self.difference(VarSet::singleton(v))
+    }
+
+    /// Iterates over the member variables in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = Var> {
+        (0..MAX_VARS as u32).filter_map(move |i| {
+            if self.0 & (1 << i) != 0 {
+                Some(Var(i))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The members as a vector (increasing index order).
+    #[must_use]
+    pub fn to_vec(self) -> Vec<Var> {
+        self.iter().collect()
+    }
+
+    /// Formats the set using the provided variable names, e.g. `{X,Y,Z}`.
+    #[must_use]
+    pub fn display_with(self, names: &[String]) -> String {
+        let parts: Vec<&str> = self
+            .iter()
+            .map(|v| names.get(v.index()).map_or("?", String::as_str))
+            .collect();
+        format!("{{{}}}", parts.join(","))
+    }
+
+    /// Enumerates every subset of `universe` (including the empty set and
+    /// `universe` itself).  The number of subsets is `2^|universe|`.
+    pub fn subsets_of(universe: VarSet) -> impl Iterator<Item = VarSet> {
+        // Standard subset-enumeration trick over the bits of `universe`.
+        let bits = universe.0;
+        let mut current: u32 = 0;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let result = VarSet(current);
+            if current == bits {
+                done = true;
+            } else {
+                current = (current.wrapping_sub(bits)) & bits;
+            }
+            Some(result)
+        })
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    fn from_iter<T: IntoIterator<Item = Var>>(iter: T) -> Self {
+        let mut s = VarSet::EMPTY;
+        for v in iter {
+            s = s.with(v);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for v in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", v.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_set_operations() {
+        let a = VarSet::from_iter([Var(0), Var(2), Var(4)]);
+        let b = VarSet::from_iter([Var(2), Var(3)]);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(Var(2)));
+        assert!(!a.contains(Var(1)));
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersect(b), VarSet::singleton(Var(2)));
+        assert_eq!(a.difference(b), VarSet::from_iter([Var(0), Var(4)]));
+        assert!(VarSet::EMPTY.is_subset_of(a));
+        assert!(a.intersect(b).is_subset_of(a));
+        assert!(a.is_superset_of(VarSet::singleton(Var(4))));
+        assert!(a.difference(b).is_disjoint_from(b));
+    }
+
+    #[test]
+    fn with_without_round_trip() {
+        let s = VarSet::EMPTY.with(Var(5)).with(Var(7));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.without(Var(5)), VarSet::singleton(Var(7)));
+        assert_eq!(s.without(Var(9)), s);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = VarSet::from_iter([Var(7), Var(1), Var(3)]);
+        let v: Vec<u32> = s.iter().map(|v| v.0).collect();
+        assert_eq!(v, vec![1, 3, 7]);
+        assert_eq!(s.to_vec().len(), 3);
+    }
+
+    #[test]
+    fn display_with_names() {
+        let names = vec!["X".to_string(), "Y".to_string(), "Z".to_string()];
+        let s = VarSet::from_iter([Var(0), Var(2)]);
+        assert_eq!(s.display_with(&names), "{X,Z}");
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let u = VarSet::from_iter([Var(0), Var(1), Var(2)]);
+        let subsets: Vec<VarSet> = VarSet::subsets_of(u).collect();
+        assert_eq!(subsets.len(), 8);
+        assert!(subsets.contains(&VarSet::EMPTY));
+        assert!(subsets.contains(&u));
+        // every enumerated set is a subset of the universe
+        assert!(subsets.iter().all(|s| s.is_subset_of(u)));
+        // all distinct
+        let mut bits: Vec<u32> = subsets.iter().map(|s| s.0).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), 8);
+    }
+
+    #[test]
+    fn subset_enumeration_of_empty_set() {
+        let subsets: Vec<VarSet> = VarSet::subsets_of(VarSet::EMPTY).collect();
+        assert_eq!(subsets, vec![VarSet::EMPTY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn variable_over_limit_panics() {
+        let _ = VarSet::singleton(Var(32));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_intersection_laws(a in 0u32..1024, b in 0u32..1024) {
+            let sa = VarSet::from_bits(a);
+            let sb = VarSet::from_bits(b);
+            prop_assert_eq!(sa.union(sb), sb.union(sa));
+            prop_assert_eq!(sa.intersect(sb), sb.intersect(sa));
+            prop_assert_eq!(sa.union(sb).intersect(sa), sa);
+            prop_assert_eq!(sa.difference(sb).union(sa.intersect(sb)), sa);
+            prop_assert_eq!(sa.union(sb).len() + sa.intersect(sb).len(), sa.len() + sb.len());
+        }
+
+        #[test]
+        fn prop_subsets_count_is_power_of_two(bits in 0u32..256) {
+            let u = VarSet::from_bits(bits);
+            let count = VarSet::subsets_of(u).count();
+            prop_assert_eq!(count, 1usize << u.len());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Exact rational arithmetic for `panda-rs`.
+//!
+//! The information-theoretic side of the PANDA framework (polymatroid
+//! bounds, fractional hypertree width, submodular width, Shannon-flow
+//! inequalities) produces values such as `3/2` or `(4ω−1)/(2ω+1)` and dual
+//! certificates whose coefficients must be *exact* so they can be turned
+//! into integral proof sequences (Section 7 of the paper).  Floating point
+//! is not acceptable there, so every linear program in the workspace is
+//! solved over [`Rat`], a reduced fraction of two `i128` integers.
+//!
+//! The arithmetic is widening-checked: intermediate products are computed
+//! in `i128` and the crate panics (with a descriptive message) on overflow
+//! rather than silently wrapping.  The query sizes in the paper (at most a
+//! handful of variables, hence LPs with a few hundred rows) stay far away
+//! from these limits.
+
+mod rat;
+
+pub use rat::{ParseRatError, Rat};
+
+/// Computes the greatest common divisor of two non-negative integers.
+///
+/// `gcd(0, 0)` is defined as `0` so that normalising the zero fraction is a
+/// no-op.
+#[must_use]
+pub fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Computes the least common multiple of two non-negative integers.
+///
+/// # Panics
+///
+/// Panics if the result overflows `i128`.
+#[must_use]
+pub fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// Returns the least common multiple of the denominators of a slice of
+/// rationals.  Used to convert rational Shannon-flow inequalities into
+/// integral ones (Section 7 of the paper).
+#[must_use]
+pub fn common_denominator(values: &[Rat]) -> i128 {
+    values.iter().fold(1i128, |acc, v| lcm(acc, v.denom()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(17, 13), 1);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+        assert_eq!(lcm(7, 3), 21);
+        assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    fn common_denominator_of_halves_and_thirds() {
+        let v = [Rat::new(1, 2), Rat::new(2, 3), Rat::from_int(4)];
+        assert_eq!(common_denominator(&v), 6);
+    }
+
+    #[test]
+    fn common_denominator_empty_is_one() {
+        assert_eq!(common_denominator(&[]), 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Semiring-annotated relations.
+//!
+//! An [`AnnotatedRelation`] pairs every tuple with an element of a
+//! commutative semiring `K`, following the provenance-semiring view of
+//! query evaluation (Green–Karvounarakis–Tannen) used by the paper's FAQ
+//! extension (Section 9.1).  The operators provided here — annotated join,
+//! aggregation (projection with `⊕`), and semijoin filtering — are exactly
+//! what a tree-decomposition-based FAQ plan needs.
+
+use std::collections::HashMap;
+
+use crate::relation::{Relation, Tuple, Value};
+use crate::semiring::Semiring;
+
+/// A relation whose tuples carry semiring annotations.
+#[derive(Debug, Clone)]
+pub struct AnnotatedRelation<S: Semiring> {
+    arity: usize,
+    rows: Vec<Tuple>,
+    annotations: Vec<S::Elem>,
+}
+
+impl<S: Semiring> AnnotatedRelation<S> {
+    /// Creates an empty annotated relation with the given arity.
+    #[must_use]
+    pub fn new(arity: usize) -> Self {
+        AnnotatedRelation { arity, rows: Vec::new(), annotations: Vec::new() }
+    }
+
+    /// Builds an annotated relation from a plain relation, annotating every
+    /// tuple with the multiplicative identity (`one`).
+    #[must_use]
+    pub fn from_relation(relation: &Relation) -> Self {
+        let mut out = AnnotatedRelation::new(relation.arity());
+        for row in relation.iter() {
+            out.push(row.to_vec(), S::one());
+        }
+        out
+    }
+
+    /// Builds an annotated relation from `(tuple, annotation)` pairs.
+    pub fn from_annotated_rows<I>(arity: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = (Tuple, S::Elem)>,
+    {
+        let mut out = AnnotatedRelation::new(arity);
+        for (row, ann) in rows {
+            out.push(row, ann);
+        }
+        out
+    }
+
+    /// The number of columns.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of annotated tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no tuples are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends an annotated tuple; zero-annotated tuples are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple length differs from the arity.
+    pub fn push(&mut self, row: Tuple, annotation: S::Elem) {
+        assert_eq!(row.len(), self.arity, "annotated row arity mismatch");
+        if S::is_zero(&annotation) {
+            return;
+        }
+        self.rows.push(row);
+        self.annotations.push(annotation);
+    }
+
+    /// Iterates over `(tuple, annotation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &S::Elem)> + '_ {
+        self.rows.iter().zip(self.annotations.iter())
+    }
+
+    /// Drops annotations, returning the plain support relation
+    /// (deduplicated).
+    #[must_use]
+    pub fn support(&self) -> Relation {
+        Relation::from_rows(self.arity, self.rows.iter()).deduped()
+    }
+
+    /// Combines duplicate tuples by `⊕`-adding their annotations.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let mut combined: HashMap<Tuple, S::Elem> = HashMap::with_capacity(self.rows.len());
+        for (row, ann) in self.iter() {
+            combined
+                .entry(row.clone())
+                .and_modify(|e| *e = S::add(e, ann))
+                .or_insert_with(|| ann.clone());
+        }
+        let mut out = AnnotatedRelation::new(self.arity);
+        let mut entries: Vec<(Tuple, S::Elem)> = combined.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (row, ann) in entries {
+            out.push(row, ann);
+        }
+        out
+    }
+
+    /// Projects onto `cols`, `⊕`-aggregating annotations of tuples that
+    /// collapse together.  This is the FAQ "marginalisation" operator.
+    #[must_use]
+    pub fn aggregate_onto(&self, cols: &[usize]) -> Self {
+        let mut combined: HashMap<Tuple, S::Elem> = HashMap::with_capacity(self.rows.len());
+        for (row, ann) in self.iter() {
+            let key: Tuple = cols.iter().map(|&c| row[c]).collect();
+            combined
+                .entry(key)
+                .and_modify(|e| *e = S::add(e, ann))
+                .or_insert_with(|| ann.clone());
+        }
+        let mut out = AnnotatedRelation::new(cols.len());
+        let mut entries: Vec<(Tuple, S::Elem)> = combined.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (row, ann) in entries {
+            out.push(row, ann);
+        }
+        out
+    }
+
+    /// Annotated hash join on column pairs `on = [(self_col, other_col)]`;
+    /// the output annotation is the `⊗`-product.  Output schema follows
+    /// [`crate::operators::join`]: all of `self`'s columns, then the
+    /// non-join columns of `other`.
+    #[must_use]
+    pub fn join(&self, other: &Self, on: &[(usize, usize)]) -> Self {
+        let other_join_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        let other_keep_cols: Vec<usize> =
+            (0..other.arity).filter(|c| !other_join_cols.contains(c)).collect();
+        let mut index: HashMap<Tuple, Vec<usize>> = HashMap::with_capacity(other.len());
+        for (i, (row, _)) in other.iter().enumerate() {
+            let key: Tuple = other_join_cols.iter().map(|&c| row[c]).collect();
+            index.entry(key).or_default().push(i);
+        }
+        let mut out = AnnotatedRelation::new(self.arity + other_keep_cols.len());
+        for (lrow, lann) in self.iter() {
+            let key: Tuple = on.iter().map(|&(l, _)| lrow[l]).collect();
+            if let Some(matches) = index.get(&key) {
+                for &ri in matches {
+                    let rrow = &other.rows[ri];
+                    let rann = &other.annotations[ri];
+                    let mut row = lrow.clone();
+                    row.extend(other_keep_cols.iter().map(|&c| rrow[c]));
+                    out.push(row, S::mul(lann, rann));
+                }
+            }
+        }
+        out.normalized()
+    }
+
+    /// Keeps only the tuples whose key columns appear in `keys` (an
+    /// annotated semijoin against a plain relation of matching arity).
+    #[must_use]
+    pub fn semijoin_values(&self, self_cols: &[usize], keys: &Relation) -> Self {
+        let key_set: std::collections::HashSet<Tuple> =
+            keys.iter().map(<[Value]>::to_vec).collect();
+        let mut out = AnnotatedRelation::new(self.arity);
+        for (row, ann) in self.iter() {
+            let key: Tuple = self_cols.iter().map(|&c| row[c]).collect();
+            if key_set.contains(&key) {
+                out.push(row.clone(), ann.clone());
+            }
+        }
+        out
+    }
+
+    /// The `⊕`-aggregate of all annotations (the value of a fully-aggregated
+    /// FAQ, e.g. the total count for `#CQ`).
+    #[must_use]
+    pub fn total(&self) -> S::Elem {
+        self.annotations
+            .iter()
+            .fold(S::zero(), |acc, a| S::add(&acc, a))
+    }
+
+    /// Looks up the (normalized) annotation of a tuple; `zero` if absent.
+    #[must_use]
+    pub fn annotation_of(&self, row: &[Value]) -> S::Elem {
+        let mut acc = S::zero();
+        for (r, a) in self.iter() {
+            if r.as_slice() == row {
+                acc = S::add(&acc, a);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolSemiring, CountingSemiring, MinPlusSemiring};
+
+    #[test]
+    fn counting_join_counts_paths() {
+        // R(a,b), S(b,c): count 2-paths grouped by (a,c).
+        let r = Relation::from_rows(2, vec![[1, 2], [1, 3], [2, 3]]);
+        let s = Relation::from_rows(2, vec![[2, 9], [3, 9]]);
+        let ar = AnnotatedRelation::<CountingSemiring>::from_relation(&r);
+        let as_ = AnnotatedRelation::<CountingSemiring>::from_relation(&s);
+        let joined = ar.join(&as_, &[(1, 0)]);
+        // paths: 1-2-9, 1-3-9, 2-3-9.
+        assert_eq!(joined.len(), 3);
+        let per_ac = joined.aggregate_onto(&[0, 2]);
+        assert_eq!(per_ac.annotation_of(&[1, 9]), 2);
+        assert_eq!(per_ac.annotation_of(&[2, 9]), 1);
+        assert_eq!(joined.total(), 3);
+    }
+
+    #[test]
+    fn zero_annotations_are_pruned() {
+        let mut a = AnnotatedRelation::<CountingSemiring>::new(1);
+        a.push(vec![1], 0);
+        a.push(vec![2], 3);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn boolean_annotations_reduce_to_set_semantics() {
+        let r = Relation::from_rows(2, vec![[1, 2], [1, 2], [3, 4]]);
+        let a = AnnotatedRelation::<BoolSemiring>::from_relation(&r).normalized();
+        assert_eq!(a.len(), 2);
+        assert!(a.annotation_of(&[1, 2]));
+        assert!(!a.annotation_of(&[9, 9]));
+        assert_eq!(a.support().canonical_rows(), vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn min_plus_join_takes_shortest_combination() {
+        // Weighted edges; weight of a 2-path is the sum, aggregate = min.
+        let ar = AnnotatedRelation::<MinPlusSemiring>::from_annotated_rows(
+            2,
+            vec![(vec![1, 2], 5), (vec![1, 3], 1)],
+        );
+        let as_ = AnnotatedRelation::<MinPlusSemiring>::from_annotated_rows(
+            2,
+            vec![(vec![2, 9], 1), (vec![3, 9], 10)],
+        );
+        let joined = ar.join(&as_, &[(1, 0)]);
+        let best = joined.aggregate_onto(&[0, 2]);
+        // 1→2→9 costs 6; 1→3→9 costs 11 ⇒ min is 6.
+        assert_eq!(best.annotation_of(&[1, 9]), 6);
+    }
+
+    #[test]
+    fn aggregate_onto_empty_columns_gives_total() {
+        let a = AnnotatedRelation::<CountingSemiring>::from_annotated_rows(
+            2,
+            vec![(vec![1, 2], 2), (vec![3, 4], 5)],
+        );
+        let total = a.aggregate_onto(&[]);
+        assert_eq!(total.annotation_of(&[]), 7);
+        assert_eq!(a.total(), 7);
+    }
+
+    #[test]
+    fn semijoin_filters_by_key_set() {
+        let a = AnnotatedRelation::<CountingSemiring>::from_annotated_rows(
+            2,
+            vec![(vec![1, 2], 1), (vec![3, 4], 1), (vec![5, 6], 1)],
+        );
+        let keys = Relation::from_rows(1, vec![[1], [5]]);
+        let filtered = a.semijoin_values(&[0], &keys);
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(filtered.support().canonical_rows(), vec![vec![1, 2], vec![5, 6]]);
+    }
+
+    #[test]
+    fn normalized_merges_duplicates() {
+        let a = AnnotatedRelation::<CountingSemiring>::from_annotated_rows(
+            1,
+            vec![(vec![1], 2), (vec![1], 3), (vec![2], 1)],
+        );
+        let n = a.normalized();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.annotation_of(&[1]), 5);
+    }
+}

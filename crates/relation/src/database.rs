@@ -1,0 +1,161 @@
+//! The [`Database`] — a named collection of relation instances.
+
+use std::collections::HashMap;
+
+use crate::relation::{Relation, Value};
+
+/// A database instance: a mapping from relation symbols to relation
+/// instances, plus a small string-interning dictionary so callers can build
+/// instances from symbolic data.
+///
+/// # Examples
+///
+/// ```
+/// use panda_relation::{Database, Relation};
+///
+/// let mut db = Database::new();
+/// db.insert("R", Relation::from_rows(2, vec![[1, 2], [2, 3]]));
+/// assert_eq!(db.relation("R").unwrap().len(), 2);
+/// assert_eq!(db.total_tuples(), 2);
+///
+/// // interning arbitrary labels:
+/// let alice = db.intern("alice");
+/// let bob = db.intern("bob");
+/// assert_ne!(alice, bob);
+/// assert_eq!(db.intern("alice"), alice);
+/// assert_eq!(db.label_of(alice), Some("alice"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+    dictionary: HashMap<String, Value>,
+    reverse_dictionary: Vec<String>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts (or replaces) a relation instance under the given symbol.
+    pub fn insert(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
+        self.relations.insert(name.into(), relation);
+        self
+    }
+
+    /// Looks up a relation instance by symbol.
+    #[must_use]
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Looks up a relation instance mutably.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Removes a relation, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Iterates over `(symbol, relation)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> + '_ {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The relation symbols present, sorted (stable for reporting).
+    #[must_use]
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The number of relations.
+    #[must_use]
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The input size `N = ‖D‖`: the total number of tuples across all
+    /// relations (the paper's Section 3.1).
+    #[must_use]
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The size of the largest single relation.
+    #[must_use]
+    pub fn max_relation_size(&self) -> usize {
+        self.relations.values().map(Relation::len).max().unwrap_or(0)
+    }
+
+    /// Interns a string label, returning a stable `u64` value for it.
+    pub fn intern(&mut self, label: &str) -> Value {
+        if let Some(&v) = self.dictionary.get(label) {
+            return v;
+        }
+        let v = self.reverse_dictionary.len() as Value;
+        self.dictionary.insert(label.to_string(), v);
+        self.reverse_dictionary.push(label.to_string());
+        v
+    }
+
+    /// Returns the label previously interned as `value`, if any.
+    #[must_use]
+    pub fn label_of(&self, value: Value) -> Option<&str> {
+        self.reverse_dictionary.get(value as usize).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, vec![[1, 2]]));
+        db.insert("S", Relation::from_rows(2, vec![[2, 3], [3, 4]]));
+        assert_eq!(db.num_relations(), 2);
+        assert_eq!(db.total_tuples(), 3);
+        assert_eq!(db.max_relation_size(), 2);
+        assert_eq!(db.relation_names(), vec!["R".to_string(), "S".to_string()]);
+        assert!(db.relation("R").is_some());
+        assert!(db.relation("T").is_none());
+        let removed = db.remove("R").unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(db.num_relations(), 1);
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(1, vec![[1]]));
+        db.insert("R", Relation::from_rows(1, vec![[1], [2]]));
+        assert_eq!(db.relation("R").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn interning_is_stable_and_reversible() {
+        let mut db = Database::new();
+        let a = db.intern("a");
+        let b = db.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(db.intern("a"), a);
+        assert_eq!(db.label_of(a), Some("a"));
+        assert_eq!(db.label_of(b), Some("b"));
+        assert_eq!(db.label_of(999), None);
+    }
+
+    #[test]
+    fn relation_mut_allows_in_place_updates() {
+        let mut db = Database::new();
+        db.insert("R", Relation::new(2));
+        db.relation_mut("R").unwrap().push_row(&[7, 8]);
+        assert_eq!(db.relation("R").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Hash indexes over relations.
+
+use std::collections::HashMap;
+
+use crate::relation::{Relation, Tuple, Value};
+
+/// A hash index mapping the values of a fixed set of key columns to the row
+/// indices that carry them.
+///
+/// The index borrows nothing from the relation; it stores owned key tuples
+/// and row ids, so the relation can be mutated afterwards (at which point
+/// the index is stale and should be rebuilt).
+///
+/// # Examples
+///
+/// ```
+/// use panda_relation::{HashIndex, Relation};
+///
+/// let r = Relation::from_rows(2, vec![[1, 10], [1, 20], [2, 30]]);
+/// let idx = HashIndex::build(&r, &[0]);
+/// assert_eq!(idx.probe(&[1]).len(), 2);
+/// assert_eq!(idx.probe(&[9]).len(), 0);
+/// assert_eq!(idx.num_keys(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    key_cols: Vec<usize>,
+    map: HashMap<Tuple, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Builds an index on `key_cols` of `relation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of range.
+    #[must_use]
+    pub fn build(relation: &Relation, key_cols: &[usize]) -> Self {
+        for &c in key_cols {
+            assert!(
+                c < relation.arity(),
+                "index column {c} out of range for arity {}",
+                relation.arity()
+            );
+        }
+        let mut map: HashMap<Tuple, Vec<usize>> = HashMap::with_capacity(relation.len());
+        for (i, row) in relation.iter().enumerate() {
+            let key: Tuple = key_cols.iter().map(|&c| row[c]).collect();
+            map.entry(key).or_default().push(i);
+        }
+        HashIndex { key_cols: key_cols.to_vec(), map }
+    }
+
+    /// The columns this index is keyed on.
+    #[must_use]
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Row ids whose key columns equal `key` (empty slice if none).
+    #[must_use]
+    pub fn probe(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether any row carries the given key.
+    #[must_use]
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// The number of distinct keys.
+    #[must_use]
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The largest number of rows sharing one key — i.e. the maximum degree
+    /// `deg(remaining columns | key columns)` of the indexed relation.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.map.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(key, row ids)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &Vec<usize>)> + '_ {
+        self.map.iter()
+    }
+
+    /// Extracts the key of `row` according to this index's key columns.
+    #[must_use]
+    pub fn key_of(&self, row: &[Value]) -> Tuple {
+        self.key_cols.iter().map(|&c| row[c]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_probe() {
+        let r = Relation::from_rows(3, vec![[1, 10, 100], [1, 20, 200], [2, 10, 300]]);
+        let idx = HashIndex::build(&r, &[0, 1]);
+        assert_eq!(idx.probe(&[1, 10]), &[0]);
+        assert_eq!(idx.probe(&[1, 20]), &[1]);
+        assert_eq!(idx.probe(&[2, 10]), &[2]);
+        assert!(idx.probe(&[2, 20]).is_empty());
+        assert_eq!(idx.num_keys(), 3);
+        assert_eq!(idx.max_degree(), 1);
+    }
+
+    #[test]
+    fn max_degree_reflects_duplicated_keys() {
+        let r = Relation::from_rows(2, vec![[1, 1], [1, 2], [1, 3], [2, 4]]);
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.max_degree(), 3);
+        assert_eq!(idx.num_keys(), 2);
+        assert!(idx.contains_key(&[2]));
+    }
+
+    #[test]
+    fn empty_key_groups_everything() {
+        let r = Relation::from_rows(2, vec![[1, 1], [2, 2], [3, 3]]);
+        let idx = HashIndex::build(&r, &[]);
+        assert_eq!(idx.num_keys(), 1);
+        assert_eq!(idx.probe(&[]).len(), 3);
+        assert_eq!(idx.max_degree(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_column_panics() {
+        let r = Relation::new(1);
+        let _ = HashIndex::build(&r, &[2]);
+    }
+
+    #[test]
+    fn key_of_extracts_key_columns() {
+        let r = Relation::from_rows(3, vec![[7, 8, 9]]);
+        let idx = HashIndex::build(&r, &[2, 0]);
+        assert_eq!(idx.key_of(&[7, 8, 9]), vec![9, 7]);
+    }
+}

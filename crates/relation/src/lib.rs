@@ -1,0 +1,39 @@
+//! In-memory relational engine for `panda-rs`.
+//!
+//! This crate is the data-plane substrate that every evaluation algorithm
+//! in the workspace (Yannakakis, worst-case-optimal joins, static
+//! tree-decomposition plans, PANDA's adaptive plans) runs on.  It provides:
+//!
+//! * [`Relation`] — a flat tuple store over `u64` values with positional
+//!   columns,
+//! * [`Database`] — a named collection of relations (one per relation
+//!   symbol of a query),
+//! * relational operators (projection, selection, natural join on column
+//!   pairs, semijoin, antijoin, union, difference) in [`operators`],
+//! * hash indexes in [`index`],
+//! * degree statistics, heavy/light splitting and power-of-two degree
+//!   bucketing in [`stats`] — the measurements that feed degree constraints
+//!   (Section 3.2 of the paper) and PANDA's data partitioning (Section 8),
+//! * commutative semirings and annotated relations in [`semiring`] and
+//!   [`annotated`] for FAQ-style aggregate queries (Section 9.1).
+//!
+//! Values are plain `u64`s: the paper's queries range over abstract
+//! domains, and dictionary-encoding strings to integers is standard
+//! practice in analytic engines.  The [`Database`] type offers a small
+//! helper for interning arbitrary string values when building instances
+//! from external data.
+
+pub mod annotated;
+pub mod database;
+pub mod index;
+pub mod operators;
+pub mod relation;
+pub mod semiring;
+pub mod stats;
+
+pub use annotated::AnnotatedRelation;
+pub use database::Database;
+pub use index::HashIndex;
+pub use relation::{Relation, Tuple, Value};
+pub use semiring::{BoolSemiring, CountingSemiring, MaxMinSemiring, MinPlusSemiring, Semiring};
+pub use stats::{DegreeBucket, DegreeProfile};

@@ -1,0 +1,283 @@
+//! Relational operators: projection, selection, joins and set operations.
+//!
+//! All operators are positional: a join is specified by pairs of column
+//! indices to equate, mirroring how an [`crate::Relation`] is bound to a
+//! query atom (column *i* of the relation instance is the *i*-th variable
+//! of the atom).  The variable-aware layer lives in `panda-core`.
+
+use std::collections::HashSet;
+
+use crate::index::HashIndex;
+use crate::relation::{Relation, Tuple, Value};
+
+/// Projects `relation` onto the given columns (in the given order),
+/// removing duplicates.
+///
+/// # Panics
+///
+/// Panics if a column index is out of range.
+#[must_use]
+pub fn project(relation: &Relation, cols: &[usize]) -> Relation {
+    for &c in cols {
+        assert!(c < relation.arity(), "projection column {c} out of range");
+    }
+    let mut out = Relation::with_capacity(cols.len(), relation.len());
+    let mut seen: HashSet<Tuple> = HashSet::with_capacity(relation.len());
+    for row in relation.iter() {
+        let projected: Tuple = cols.iter().map(|&c| row[c]).collect();
+        if seen.insert(projected.clone()) {
+            out.push_row(&projected);
+        }
+    }
+    out
+}
+
+/// Selects the rows where column `col` equals `value`.
+#[must_use]
+pub fn select_eq(relation: &Relation, col: usize, value: Value) -> Relation {
+    assert!(col < relation.arity(), "selection column {col} out of range");
+    let mut out = Relation::new(relation.arity());
+    for row in relation.iter() {
+        if row[col] == value {
+            out.push_row(row);
+        }
+    }
+    out
+}
+
+/// Selects the rows satisfying an arbitrary predicate.
+#[must_use]
+pub fn select_where<F: FnMut(&[Value]) -> bool>(relation: &Relation, mut pred: F) -> Relation {
+    let mut out = Relation::new(relation.arity());
+    for row in relation.iter() {
+        if pred(row) {
+            out.push_row(row);
+        }
+    }
+    out
+}
+
+/// Hash-joins `left` and `right` on the column pairs `on = [(lcol, rcol)]`.
+///
+/// The output schema is all columns of `left` followed by the columns of
+/// `right` that are **not** join columns (in their original order), i.e. the
+/// natural-join convention once positional columns are bound to variables.
+/// The output is deduplicated.
+#[must_use]
+pub fn join(left: &Relation, right: &Relation, on: &[(usize, usize)]) -> Relation {
+    for &(l, r) in on {
+        assert!(l < left.arity(), "left join column {l} out of range");
+        assert!(r < right.arity(), "right join column {r} out of range");
+    }
+    let right_join_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let right_keep_cols: Vec<usize> =
+        (0..right.arity()).filter(|c| !right_join_cols.contains(c)).collect();
+    let out_arity = left.arity() + right_keep_cols.len();
+    let mut out = Relation::new(out_arity);
+
+    // Build on the smaller side for cache friendliness, probe with the other.
+    let left_join_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let build_left = left.len() <= right.len();
+    if build_left {
+        let idx = HashIndex::build(left, &left_join_cols);
+        let mut row_buf: Tuple = Vec::with_capacity(out_arity);
+        for rrow in right.iter() {
+            let key: Tuple = right_join_cols.iter().map(|&c| rrow[c]).collect();
+            for &lrow_id in idx.probe(&key) {
+                let lrow = left.row(lrow_id);
+                row_buf.clear();
+                row_buf.extend_from_slice(lrow);
+                row_buf.extend(right_keep_cols.iter().map(|&c| rrow[c]));
+                out.push_row(&row_buf);
+            }
+        }
+    } else {
+        let idx = HashIndex::build(right, &right_join_cols);
+        let mut row_buf: Tuple = Vec::with_capacity(out_arity);
+        for lrow in left.iter() {
+            let key: Tuple = left_join_cols.iter().map(|&c| lrow[c]).collect();
+            for &rrow_id in idx.probe(&key) {
+                let rrow = right.row(rrow_id);
+                row_buf.clear();
+                row_buf.extend_from_slice(lrow);
+                row_buf.extend(right_keep_cols.iter().map(|&c| rrow[c]));
+                out.push_row(&row_buf);
+            }
+        }
+    }
+    out.deduped()
+}
+
+/// The Cartesian product of two relations (a join with no join columns).
+#[must_use]
+pub fn cartesian_product(left: &Relation, right: &Relation) -> Relation {
+    join(left, right, &[])
+}
+
+/// Semijoin: the rows of `left` that have at least one matching row in
+/// `right` under the column pairs `on`.
+#[must_use]
+pub fn semijoin(left: &Relation, right: &Relation, on: &[(usize, usize)]) -> Relation {
+    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let idx = HashIndex::build(right, &right_cols);
+    let mut out = Relation::new(left.arity());
+    for row in left.iter() {
+        let key: Tuple = on.iter().map(|&(l, _)| row[l]).collect();
+        if idx.contains_key(&key) {
+            out.push_row(row);
+        }
+    }
+    out
+}
+
+/// Antijoin: the rows of `left` with **no** matching row in `right`.
+#[must_use]
+pub fn antijoin(left: &Relation, right: &Relation, on: &[(usize, usize)]) -> Relation {
+    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let idx = HashIndex::build(right, &right_cols);
+    let mut out = Relation::new(left.arity());
+    for row in left.iter() {
+        let key: Tuple = on.iter().map(|&(l, _)| row[l]).collect();
+        if !idx.contains_key(&key) {
+            out.push_row(row);
+        }
+    }
+    out
+}
+
+/// Set union of two relations of equal arity (deduplicated).
+#[must_use]
+pub fn union(left: &Relation, right: &Relation) -> Relation {
+    assert_eq!(left.arity(), right.arity(), "union arity mismatch");
+    let mut out = left.clone();
+    out.extend_from(right);
+    out.deduped()
+}
+
+/// Set difference `left \ right` of two relations of equal arity.
+#[must_use]
+pub fn difference(left: &Relation, right: &Relation) -> Relation {
+    assert_eq!(left.arity(), right.arity(), "difference arity mismatch");
+    let all: Vec<usize> = (0..left.arity()).collect();
+    let on: Vec<(usize, usize)> = all.iter().map(|&c| (c, c)).collect();
+    antijoin(&left.clone().deduped(), right, &on)
+}
+
+/// Set intersection of two relations of equal arity.
+#[must_use]
+pub fn intersection(left: &Relation, right: &Relation) -> Relation {
+    assert_eq!(left.arity(), right.arity(), "intersection arity mismatch");
+    let on: Vec<(usize, usize)> = (0..left.arity()).map(|c| (c, c)).collect();
+    semijoin(&left.clone().deduped(), right, &on)
+}
+
+/// Renames (reorders) columns: output column `i` is input column
+/// `permutation[i]`.  Unlike [`project`], duplicates are *not* removed and
+/// the permutation may repeat columns.
+#[must_use]
+pub fn reorder(relation: &Relation, permutation: &[usize]) -> Relation {
+    let mut out = Relation::with_capacity(permutation.len(), relation.len());
+    let mut buf: Tuple = vec![0; permutation.len()];
+    for row in relation.iter() {
+        for (o, &c) in permutation.iter().enumerate() {
+            buf[o] = row[c];
+        }
+        out.push_row(&buf);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r_edges() -> Relation {
+        Relation::from_rows(2, vec![[1, 2], [2, 3], [3, 1], [2, 4]])
+    }
+
+    #[test]
+    fn project_dedups() {
+        let r = Relation::from_rows(2, vec![[1, 10], [1, 20], [2, 10]]);
+        let p = project(&r, &[0]);
+        assert_eq!(p.canonical_rows(), vec![vec![1], vec![2]]);
+        let swapped = project(&r, &[1, 0]);
+        assert_eq!(swapped.canonical_rows(), vec![vec![10, 1], vec![10, 2], vec![20, 1]]);
+    }
+
+    #[test]
+    fn select_filters_rows() {
+        let r = r_edges();
+        assert_eq!(select_eq(&r, 0, 2).len(), 2);
+        assert_eq!(select_eq(&r, 1, 9).len(), 0);
+        assert_eq!(select_where(&r, |row| row[0] < row[1]).len(), 3);
+    }
+
+    #[test]
+    fn join_matches_nested_loop_semantics() {
+        // Path query: R(a,b) ⋈ S(b,c).
+        let r = Relation::from_rows(2, vec![[1, 2], [2, 3]]);
+        let s = Relation::from_rows(2, vec![[2, 5], [2, 6], [3, 7], [9, 9]]);
+        let out = join(&r, &s, &[(1, 0)]);
+        assert_eq!(out.arity(), 3);
+        assert_eq!(
+            out.canonical_rows(),
+            vec![vec![1, 2, 5], vec![1, 2, 6], vec![2, 3, 7]]
+        );
+    }
+
+    #[test]
+    fn join_on_multiple_columns() {
+        let r = Relation::from_rows(3, vec![[1, 2, 3], [1, 2, 4], [5, 6, 7]]);
+        let s = Relation::from_rows(3, vec![[1, 2, 100], [5, 5, 100]]);
+        let out = join(&r, &s, &[(0, 0), (1, 1)]);
+        assert_eq!(out.canonical_rows(), vec![vec![1, 2, 3, 100], vec![1, 2, 4, 100]]);
+    }
+
+    #[test]
+    fn cartesian_product_sizes_multiply() {
+        let a = Relation::from_rows(1, vec![[1], [2], [3]]);
+        let b = Relation::from_rows(1, vec![[10], [20]]);
+        let p = cartesian_product(&a, &b);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.arity(), 2);
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition_left() {
+        let l = r_edges();
+        let r = Relation::from_rows(1, vec![[2], [3]]);
+        let semi = semijoin(&l, &r, &[(0, 0)]);
+        let anti = antijoin(&l, &r, &[(0, 0)]);
+        assert_eq!(semi.len() + anti.len(), l.len());
+        assert_eq!(semi.canonical_rows(), vec![vec![2, 3], vec![2, 4], vec![3, 1]]);
+        assert_eq!(anti.canonical_rows(), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn union_difference_intersection() {
+        let a = Relation::from_rows(1, vec![[1], [2], [3]]);
+        let b = Relation::from_rows(1, vec![[3], [4]]);
+        assert_eq!(union(&a, &b).canonical_rows(), vec![vec![1], vec![2], vec![3], vec![4]]);
+        assert_eq!(difference(&a, &b).canonical_rows(), vec![vec![1], vec![2]]);
+        assert_eq!(intersection(&a, &b).canonical_rows(), vec![vec![3]]);
+    }
+
+    #[test]
+    fn reorder_repeats_and_permutes() {
+        let r = Relation::from_rows(2, vec![[1, 2]]);
+        let out = reorder(&r, &[1, 0, 1]);
+        assert_eq!(out.row(0), &[2, 1, 2]);
+    }
+
+    #[test]
+    fn join_is_commutative_up_to_column_order() {
+        let r = Relation::from_rows(2, vec![[1, 2], [2, 3], [4, 4]]);
+        let s = Relation::from_rows(2, vec![[2, 10], [4, 20]]);
+        let rs = join(&r, &s, &[(1, 0)]);
+        let sr = join(&s, &r, &[(0, 1)]);
+        // rs columns: (r0, r1, s1); sr columns: (s0, s1, r0).
+        let rs_norm = reorder(&rs, &[0, 1, 2]).canonical_rows();
+        let sr_norm = reorder(&sr, &[2, 0, 1]).canonical_rows();
+        assert_eq!(rs_norm, sr_norm);
+    }
+}

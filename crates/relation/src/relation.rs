@@ -1,0 +1,339 @@
+//! The [`Relation`] tuple store.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A single attribute value.  The engine is value-agnostic; strings and
+/// other domains are dictionary-encoded to `u64` (see
+/// [`crate::Database::intern`]).
+pub type Value = u64;
+
+/// An owned tuple.
+pub type Tuple = Vec<Value>;
+
+/// A finite relation instance with positional columns.
+///
+/// Tuples are stored row-major in a single flat vector, `arity` values per
+/// row.  The relation is a *set* semantically; [`Relation::dedup`] and the
+/// set-producing operators enforce this, while bulk-loading methods allow
+/// temporary duplicates for speed.
+///
+/// # Examples
+///
+/// ```
+/// use panda_relation::Relation;
+///
+/// let mut r = Relation::new(2);
+/// r.push_row(&[1, 10]);
+/// r.push_row(&[2, 20]);
+/// r.push_row(&[1, 10]); // duplicate
+/// assert_eq!(r.len(), 3);
+/// let r = r.deduped();
+/// assert_eq!(r.len(), 2);
+/// assert!(r.contains(&[2, 20]));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    data: Vec<Value>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given number of columns.
+    #[must_use]
+    pub fn new(arity: usize) -> Self {
+        Relation { arity, data: Vec::new() }
+    }
+
+    /// Creates an empty relation with capacity for `rows` tuples.
+    #[must_use]
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        Relation { arity, data: Vec::with_capacity(arity * rows) }
+    }
+
+    /// Builds a relation from an iterator of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `arity`.
+    pub fn from_rows<I, R>(arity: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[Value]>,
+    {
+        let mut rel = Relation::new(arity);
+        for row in rows {
+            rel.push_row(row.as_ref());
+        }
+        rel
+    }
+
+    /// The number of columns.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of stored tuples (duplicates included if any).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        if self.arity == 0 {
+            // A zero-arity relation is either empty or the single empty
+            // tuple; we encode the latter by a one-element marker vector.
+            usize::from(!self.data.is_empty())
+        } else {
+            self.data.len() / self.arity
+        }
+    }
+
+    /// `true` iff the relation holds no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.arity()`.
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(
+            row.len(),
+            self.arity,
+            "pushed a row of length {} into a relation of arity {}",
+            row.len(),
+            self.arity
+        );
+        if self.arity == 0 {
+            if self.data.is_empty() {
+                self.data.push(1); // marker: the empty tuple is present
+            }
+        } else {
+            self.data.extend_from_slice(row);
+        }
+    }
+
+    /// Returns the `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[Value] {
+        assert!(i < self.len(), "row index {i} out of bounds (len {})", self.len());
+        if self.arity == 0 {
+            &[]
+        } else {
+            &self.data[i * self.arity..(i + 1) * self.arity]
+        }
+    }
+
+    /// Iterates over all rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        let arity = self.arity;
+        let len = self.len();
+        (0..len).map(move |i| {
+            if arity == 0 {
+                &[] as &[Value]
+            } else {
+                &self.data[i * arity..(i + 1) * arity]
+            }
+        })
+    }
+
+    /// Returns `true` iff the relation contains the given row (linear scan;
+    /// build a [`crate::HashIndex`] for repeated probes).
+    #[must_use]
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.iter().any(|r| r == row)
+    }
+
+    /// Removes duplicate rows in place (order is not preserved).
+    pub fn dedup(&mut self) {
+        if self.arity == 0 || self.len() <= 1 {
+            return;
+        }
+        let mut seen: HashSet<&[Value]> = HashSet::with_capacity(self.len());
+        let mut keep = vec![false; self.len()];
+        for i in 0..self.len() {
+            let row = &self.data[i * self.arity..(i + 1) * self.arity];
+            if seen.insert(row) {
+                keep[i] = true;
+            }
+        }
+        let mut out = Vec::with_capacity(self.data.len());
+        for (i, keep_row) in keep.iter().enumerate() {
+            if *keep_row {
+                out.extend_from_slice(&self.data[i * self.arity..(i + 1) * self.arity]);
+            }
+        }
+        self.data = out;
+    }
+
+    /// Returns a deduplicated copy.
+    #[must_use]
+    pub fn deduped(mut self) -> Self {
+        self.dedup();
+        self
+    }
+
+    /// Sorts rows lexicographically in place.  Useful for canonical
+    /// comparisons in tests and for merge-style operators.
+    pub fn sort(&mut self) {
+        if self.arity == 0 {
+            return;
+        }
+        let mut rows: Vec<Tuple> = self.iter().map(<[Value]>::to_vec).collect();
+        rows.sort_unstable();
+        self.data.clear();
+        for row in rows {
+            self.data.extend_from_slice(&row);
+        }
+    }
+
+    /// Returns the rows as a sorted, deduplicated vector of owned tuples —
+    /// the canonical form used to compare query outputs in tests.
+    #[must_use]
+    pub fn canonical_rows(&self) -> Vec<Tuple> {
+        let mut rows: Vec<Tuple> = self.iter().map(<[Value]>::to_vec).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// The number of *distinct* rows.
+    #[must_use]
+    pub fn distinct_count(&self) -> usize {
+        if self.arity == 0 {
+            return self.len();
+        }
+        let mut seen: HashSet<&[Value]> = HashSet::with_capacity(self.len());
+        for i in 0..self.len() {
+            seen.insert(&self.data[i * self.arity..(i + 1) * self.arity]);
+        }
+        seen.len()
+    }
+
+    /// Extends this relation with all rows of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn extend_from(&mut self, other: &Relation) {
+        assert_eq!(self.arity, other.arity, "arity mismatch in extend_from");
+        if self.arity == 0 {
+            if !other.is_empty() && self.data.is_empty() {
+                self.data.push(1);
+            }
+        } else {
+            self.data.extend_from_slice(&other.data);
+        }
+    }
+
+    /// Reserves space for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional * self.arity.max(1));
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation(arity={}, rows={})", self.arity, self.len())?;
+        const PREVIEW: usize = 8;
+        for (i, row) in self.iter().enumerate() {
+            if i >= PREVIEW {
+                writeln!(f, "  … {} more", self.len() - PREVIEW)?;
+                break;
+            }
+            writeln!(f, "  {row:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut r = Relation::new(3);
+        r.push_row(&[1, 2, 3]);
+        r.push_row(&[4, 5, 6]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.row(0), &[1, 2, 3]);
+        assert_eq!(r.row(1), &[4, 5, 6]);
+        assert!(!r.is_empty());
+        assert!(r.contains(&[4, 5, 6]));
+        assert!(!r.contains(&[4, 5, 7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_push_panics() {
+        let mut r = Relation::new(2);
+        r.push_row(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_arity_relation_behaves_like_a_boolean() {
+        let mut r = Relation::new(0);
+        assert!(r.is_empty());
+        r.push_row(&[]);
+        r.push_row(&[]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), &[] as &[Value]);
+        assert_eq!(r.distinct_count(), 1);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_only() {
+        let r = Relation::from_rows(2, vec![[1, 1], [2, 2], [1, 1], [3, 3], [2, 2]]);
+        let d = r.deduped();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.canonical_rows(), vec![vec![1, 1], vec![2, 2], vec![3, 3]]);
+    }
+
+    #[test]
+    fn sort_orders_lexicographically() {
+        let mut r = Relation::from_rows(2, vec![[2, 1], [1, 5], [1, 2]]);
+        r.sort();
+        assert_eq!(r.row(0), &[1, 2]);
+        assert_eq!(r.row(1), &[1, 5]);
+        assert_eq!(r.row(2), &[2, 1]);
+    }
+
+    #[test]
+    fn distinct_count_and_extend() {
+        let mut r = Relation::from_rows(1, vec![[1], [2], [2]]);
+        assert_eq!(r.distinct_count(), 2);
+        let other = Relation::from_rows(1, vec![[3], [1]]);
+        r.extend_from(&other);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.distinct_count(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dedup_is_idempotent(rows in proptest::collection::vec((0u64..20, 0u64..20), 0..60)) {
+            let rel = Relation::from_rows(2, rows.iter().map(|(a, b)| [*a, *b]));
+            let once = rel.clone().deduped();
+            let twice = once.clone().deduped();
+            prop_assert_eq!(once.canonical_rows(), twice.canonical_rows());
+            prop_assert_eq!(once.len(), rel.distinct_count());
+        }
+
+        #[test]
+        fn prop_canonical_rows_sorted_unique(rows in proptest::collection::vec((0u64..10, 0u64..10), 0..60)) {
+            let rel = Relation::from_rows(2, rows.iter().map(|(a, b)| [*a, *b]));
+            let canon = rel.canonical_rows();
+            let mut sorted = canon.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(canon, sorted);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Degree statistics and degree-based partitioning.
+//!
+//! The paper's statistics abstraction (Section 3.2) is the *degree
+//! constraint* `deg_R(Y | X) ≤ N_{Y|X}`: for every fixed assignment of the
+//! columns `X`, the number of distinct `Y`-values is bounded.  This module
+//! measures those degrees on concrete relation instances, and implements
+//! the two partitioning primitives the PANDA algorithm relies on
+//! (Section 8.2):
+//!
+//! * **heavy/light splitting** at a threshold (e.g. `deg_S(Z|Y=y) ≤ √N`),
+//! * **power-of-two degree bucketing**, which produces `O(log N)` buckets
+//!   within which degrees are uniform up to a factor of two — the
+//!   "uniformization" that turns worst-case bounds into per-branch costs.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::index::HashIndex;
+use crate::relation::{Relation, Tuple};
+
+/// The measured degree profile of a relation with respect to a split of its
+/// columns into group columns `X` and value columns `Y`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeProfile {
+    /// The group (conditioning) columns `X`.
+    pub group_cols: Vec<usize>,
+    /// The value columns `Y`.
+    pub value_cols: Vec<usize>,
+    /// Number of distinct `X`-values.
+    pub num_groups: usize,
+    /// Maximum over groups of the number of distinct `Y`-values, i.e.
+    /// `deg_R(Y | X)`.
+    pub max_degree: usize,
+    /// Total number of distinct `(X, Y)` pairs.
+    pub total: usize,
+}
+
+impl DegreeProfile {
+    /// Average degree (total / groups), rounded up; zero for an empty
+    /// relation.
+    #[must_use]
+    pub fn avg_degree_ceil(&self) -> usize {
+        if self.num_groups == 0 {
+            0
+        } else {
+            self.total.div_ceil(self.num_groups)
+        }
+    }
+}
+
+/// One bucket of a power-of-two degree bucketing.
+#[derive(Debug, Clone)]
+pub struct DegreeBucket {
+    /// Lower bound (inclusive) on the per-group degree in this bucket.
+    pub degree_lo: usize,
+    /// Upper bound (inclusive) on the per-group degree in this bucket.
+    pub degree_hi: usize,
+    /// The tuples of the original relation whose group falls in the bucket.
+    pub relation: Relation,
+    /// Number of distinct group values in the bucket.
+    pub num_groups: usize,
+}
+
+/// Measures the degree of `value_cols` given `group_cols` in `relation`.
+///
+/// Duplicate rows are ignored (degrees are about *distinct* values, per the
+/// paper's definition `deg_R(Y|X=x) = |π_Y σ_{X=x} R|`).
+#[must_use]
+pub fn degree_profile(
+    relation: &Relation,
+    group_cols: &[usize],
+    value_cols: &[usize],
+) -> DegreeProfile {
+    let mut groups: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
+    for row in relation.iter() {
+        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
+        let value: Tuple = value_cols.iter().map(|&c| row[c]).collect();
+        groups.entry(key).or_default().insert(value);
+    }
+    let num_groups = groups.len();
+    let max_degree = groups.values().map(HashSet::len).max().unwrap_or(0);
+    let total = groups.values().map(HashSet::len).sum();
+    DegreeProfile {
+        group_cols: group_cols.to_vec(),
+        value_cols: value_cols.to_vec(),
+        num_groups,
+        max_degree,
+        total,
+    }
+}
+
+/// The maximum degree `deg_R(Y | X)`; convenience wrapper around
+/// [`degree_profile`].
+#[must_use]
+pub fn max_degree(relation: &Relation, group_cols: &[usize], value_cols: &[usize]) -> usize {
+    degree_profile(relation, group_cols, value_cols).max_degree
+}
+
+/// The number of distinct values of a set of columns.
+#[must_use]
+pub fn distinct_count(relation: &Relation, cols: &[usize]) -> usize {
+    let mut seen: HashSet<Tuple> = HashSet::with_capacity(relation.len());
+    for row in relation.iter() {
+        seen.insert(cols.iter().map(|&c| row[c]).collect());
+    }
+    seen.len()
+}
+
+/// Splits `relation` into `(light, heavy)` parts: a tuple goes to `heavy`
+/// iff its group value has strictly more than `threshold` distinct
+/// value-column assignments.  This is the partitioning used in the paper's
+/// running example (`deg_S(Z|Y=y) ≤ √N` vs `> √N`, Section 8.2).
+#[must_use]
+pub fn split_heavy_light(
+    relation: &Relation,
+    group_cols: &[usize],
+    value_cols: &[usize],
+    threshold: usize,
+) -> (Relation, Relation) {
+    let mut degrees: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
+    for row in relation.iter() {
+        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
+        let value: Tuple = value_cols.iter().map(|&c| row[c]).collect();
+        degrees.entry(key).or_default().insert(value);
+    }
+    let mut light = Relation::new(relation.arity());
+    let mut heavy = Relation::new(relation.arity());
+    for row in relation.iter() {
+        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
+        if degrees[&key].len() > threshold {
+            heavy.push_row(row);
+        } else {
+            light.push_row(row);
+        }
+    }
+    (light, heavy)
+}
+
+/// Buckets `relation` by the degree of its groups into power-of-two ranges
+/// `[2^j, 2^{j+1})`.  Buckets are returned in increasing degree order and
+/// empty buckets are omitted; together they partition the relation's rows.
+#[must_use]
+pub fn bucket_by_degree(
+    relation: &Relation,
+    group_cols: &[usize],
+    value_cols: &[usize],
+) -> Vec<DegreeBucket> {
+    let mut degrees: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
+    for row in relation.iter() {
+        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
+        let value: Tuple = value_cols.iter().map(|&c| row[c]).collect();
+        degrees.entry(key).or_default().insert(value);
+    }
+    let mut buckets: HashMap<u32, (Relation, HashSet<Tuple>)> = HashMap::new();
+    for row in relation.iter() {
+        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
+        let degree = degrees[&key].len();
+        debug_assert!(degree >= 1);
+        let bucket_id = usize::BITS - 1 - degree.leading_zeros(); // floor(log2(degree))
+        let entry = buckets
+            .entry(bucket_id)
+            .or_insert_with(|| (Relation::new(relation.arity()), HashSet::new()));
+        entry.0.push_row(row);
+        entry.1.insert(key);
+    }
+    let mut out: Vec<DegreeBucket> = buckets
+        .into_iter()
+        .map(|(j, (rel, groups))| DegreeBucket {
+            degree_lo: 1usize << j,
+            degree_hi: (1usize << (j + 1)) - 1,
+            relation: rel,
+            num_groups: groups.len(),
+        })
+        .collect();
+    out.sort_by_key(|b| b.degree_lo);
+    out
+}
+
+/// Returns every degree value observed per group, sorted descending.
+/// Useful for computing ℓ_k norms of degree sequences (Section 9.2).
+#[must_use]
+pub fn degree_sequence(relation: &Relation, group_cols: &[usize], value_cols: &[usize]) -> Vec<usize> {
+    let mut degrees: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
+    for row in relation.iter() {
+        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
+        let value: Tuple = value_cols.iter().map(|&c| row[c]).collect();
+        degrees.entry(key).or_default().insert(value);
+    }
+    let mut seq: Vec<usize> = degrees.values().map(HashSet::len).collect();
+    seq.sort_unstable_by(|a, b| b.cmp(a));
+    seq
+}
+
+/// The ℓ_k norm of the degree sequence of `value_cols` given `group_cols`,
+/// as a floating point number (`k = 0` is interpreted as ℓ_∞, i.e. the max
+/// degree).  See Eq. (72) of the paper.
+#[must_use]
+pub fn lp_norm_of_degree_sequence(
+    relation: &Relation,
+    group_cols: &[usize],
+    value_cols: &[usize],
+    k: u32,
+) -> f64 {
+    let seq = degree_sequence(relation, group_cols, value_cols);
+    if k == 0 {
+        return seq.first().copied().unwrap_or(0) as f64;
+    }
+    let sum: f64 = seq.iter().map(|&d| (d as f64).powi(k as i32)).sum();
+    sum.powf(1.0 / f64::from(k))
+}
+
+/// Builds an index and reports `max_degree` through it — sanity helper used
+/// in tests to cross-check [`degree_profile`] against [`HashIndex`].
+#[must_use]
+pub fn max_degree_via_index(relation: &Relation, group_cols: &[usize]) -> usize {
+    HashIndex::build(relation, group_cols).max_degree()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn skewed() -> Relation {
+        // y=1 has degree 4, y=2 degree 2, y=3 degree 1.
+        Relation::from_rows(
+            2,
+            vec![[1, 10], [1, 11], [1, 12], [1, 13], [2, 20], [2, 21], [3, 30]],
+        )
+    }
+
+    #[test]
+    fn degree_profile_basic() {
+        let r = skewed();
+        let p = degree_profile(&r, &[0], &[1]);
+        assert_eq!(p.num_groups, 3);
+        assert_eq!(p.max_degree, 4);
+        assert_eq!(p.total, 7);
+        assert_eq!(p.avg_degree_ceil(), 3);
+        assert_eq!(max_degree(&r, &[0], &[1]), 4);
+        assert_eq!(max_degree(&r, &[1], &[0]), 1);
+    }
+
+    #[test]
+    fn degree_ignores_duplicate_rows() {
+        let r = Relation::from_rows(2, vec![[1, 10], [1, 10], [1, 11]]);
+        assert_eq!(max_degree(&r, &[0], &[1]), 2);
+    }
+
+    #[test]
+    fn cardinality_is_degree_with_empty_condition() {
+        let r = skewed();
+        let p = degree_profile(&r, &[], &[0, 1]);
+        assert_eq!(p.max_degree, 7);
+        assert_eq!(p.num_groups, 1);
+        assert_eq!(distinct_count(&r, &[0]), 3);
+        assert_eq!(distinct_count(&r, &[0, 1]), 7);
+    }
+
+    #[test]
+    fn heavy_light_split_partitions_rows() {
+        let r = skewed();
+        let (light, heavy) = split_heavy_light(&r, &[0], &[1], 2);
+        assert_eq!(light.len() + heavy.len(), r.len());
+        // group 1 (degree 4) is heavy, groups 2 and 3 light.
+        assert_eq!(heavy.len(), 4);
+        assert_eq!(light.len(), 3);
+        assert!(heavy.iter().all(|row| row[0] == 1));
+    }
+
+    #[test]
+    fn bucketing_partitions_and_bounds_degrees() {
+        let r = skewed();
+        let buckets = bucket_by_degree(&r, &[0], &[1]);
+        let total: usize = buckets.iter().map(|b| b.relation.len()).sum();
+        assert_eq!(total, r.len());
+        for b in &buckets {
+            let d = max_degree(&b.relation, &[0], &[1]);
+            assert!(d >= b.degree_lo && d <= b.degree_hi, "degree {d} outside [{}, {}]", b.degree_lo, b.degree_hi);
+        }
+        // degrees 4, 2, 1 land in buckets [4,7], [2,3], [1,1].
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].degree_lo, 1);
+        assert_eq!(buckets[1].degree_lo, 2);
+        assert_eq!(buckets[2].degree_lo, 4);
+    }
+
+    #[test]
+    fn degree_sequence_and_lp_norms() {
+        let r = skewed();
+        assert_eq!(degree_sequence(&r, &[0], &[1]), vec![4, 2, 1]);
+        let linf = lp_norm_of_degree_sequence(&r, &[0], &[1], 0);
+        assert!((linf - 4.0).abs() < 1e-9);
+        let l1 = lp_norm_of_degree_sequence(&r, &[0], &[1], 1);
+        assert!((l1 - 7.0).abs() < 1e-9);
+        let l2 = lp_norm_of_degree_sequence(&r, &[0], &[1], 2);
+        assert!((l2 - (16.0f64 + 4.0 + 1.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_and_profile_agree() {
+        let r = skewed();
+        assert_eq!(max_degree_via_index(&r, &[0]), max_degree(&r, &[0], &[1]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_buckets_partition_rows(rows in proptest::collection::vec((0u64..15, 0u64..40), 1..120)) {
+            let rel = Relation::from_rows(2, rows.iter().map(|(a, b)| [*a, *b])).deduped();
+            let buckets = bucket_by_degree(&rel, &[0], &[1]);
+            let total: usize = buckets.iter().map(|b| b.relation.len()).sum();
+            prop_assert_eq!(total, rel.len());
+            for b in &buckets {
+                let d = max_degree(&b.relation, &[0], &[1]);
+                prop_assert!(d <= b.degree_hi);
+                prop_assert!(max_degree(&b.relation, &[0], &[1]) >= 1);
+            }
+        }
+
+        #[test]
+        fn prop_heavy_light_respects_threshold(
+            rows in proptest::collection::vec((0u64..10, 0u64..30), 1..100),
+            threshold in 1usize..6,
+        ) {
+            let rel = Relation::from_rows(2, rows.iter().map(|(a, b)| [*a, *b])).deduped();
+            let (light, heavy) = split_heavy_light(&rel, &[0], &[1], threshold);
+            prop_assert_eq!(light.len() + heavy.len(), rel.len());
+            if !light.is_empty() {
+                prop_assert!(max_degree(&light, &[0], &[1]) <= threshold);
+            }
+            // every heavy group has degree > threshold in the original.
+            let heavy_groups: std::collections::HashSet<u64> = heavy.iter().map(|r| r[0]).collect();
+            for g in heavy_groups {
+                let mut vals = std::collections::HashSet::new();
+                for row in rel.iter() {
+                    if row[0] == g { vals.insert(row[1]); }
+                }
+                prop_assert!(vals.len() > threshold);
+            }
+        }
+    }
+}

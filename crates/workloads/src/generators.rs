@@ -1,0 +1,193 @@
+//! Random and parametric instance generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use panda_relation::{Database, Relation};
+
+/// An Erdős–Rényi-style random graph instance: each of the relation symbols
+/// receives `edges` random edges over a domain of `n` vertices (duplicates
+/// removed, so the actual size can be slightly smaller).
+#[must_use]
+pub fn erdos_renyi_db(names: &[&str], n: u64, edges: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for name in names {
+        let rel = Relation::from_rows(
+            2,
+            (0..edges).map(|_| [rng.gen_range(0..n), rng.gen_range(0..n)]),
+        )
+        .deduped();
+        db.insert(*name, rel);
+    }
+    db
+}
+
+/// A skewed random graph: source vertices are drawn from a Zipf-like
+/// distribution (`P(v) ∝ 1/(v+1)^exponent`), destinations uniformly.  This
+/// produces the heavy/light degree profiles that make adaptive plans shine.
+#[must_use]
+pub fn zipf_graph_db(names: &[&str], n: u64, edges: usize, exponent: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Precompute the cumulative distribution.
+    let weights: Vec<f64> = (0..n).map(|v| 1.0 / ((v + 1) as f64).powf(exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(n as usize);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    let sample = |rng: &mut StdRng| -> u64 {
+        let x: f64 = rng.gen();
+        match cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
+            Ok(i) | Err(i) => (i as u64).min(n - 1),
+        }
+    };
+    let mut db = Database::new();
+    for name in names {
+        let rel = Relation::from_rows(
+            2,
+            (0..edges).map(|_| [sample(&mut rng), rng.gen_range(0..n)]),
+        )
+        .deduped();
+        db.insert(*name, rel);
+    }
+    db
+}
+
+/// An instance satisfying the paper's `S_full` statistics (Eq. 16) for the
+/// full 4-cycle query: all four relations have (about) `n` tuples, `U`
+/// satisfies the functional dependency `W → X`, and `deg_U(W|X) ≤ c`.
+#[must_use]
+pub fn fd_instance(n: u64, c: u64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = c.max(1);
+    let mut db = Database::new();
+    // U(W, X): W ranges over [n]; X = W / c, so each X has ≤ c W-values and
+    // each W exactly one X.
+    let mut u = Relation::new(2);
+    for w in 0..n {
+        u.push_row(&[w, w / c]);
+    }
+    db.insert("U", u);
+    // R, S, T: random binary relations over compatible domains.
+    let x_domain = (n / c).max(1);
+    let mut r = Relation::new(2);
+    let mut s = Relation::new(2);
+    let mut t = Relation::new(2);
+    for _ in 0..n {
+        let x = rng.gen_range(0..x_domain);
+        let y = rng.gen_range(0..n);
+        let z = rng.gen_range(0..n);
+        let w = rng.gen_range(0..n);
+        r.push_row(&[x, y]);
+        s.push_row(&[y, z]);
+        t.push_row(&[z, w]);
+    }
+    db.insert("R", r.deduped());
+    db.insert("S", s.deduped());
+    db.insert("T", t.deduped());
+    db
+}
+
+/// A 3-relation path instance `R(A,B), S(B,C), T(C,D)` with `n` tuples per
+/// relation and an output size controlled by `fanout`: every `B` (resp.
+/// `C`) value has about `fanout` successors, so `|Q| ≈ n · fanout²` for the
+/// full path query.  Used by the Yannakakis `O(N + OUT)` experiment (E13).
+#[must_use]
+pub fn path_instance(n: u64, fanout: u64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fanout = fanout.max(1);
+    let groups = (n / fanout).max(1);
+    let mut db = Database::new();
+    let mut r = Relation::new(2);
+    let mut s = Relation::new(2);
+    let mut t = Relation::new(2);
+    for i in 0..n {
+        r.push_row(&[i, i % groups]);
+        s.push_row(&[i % groups, rng.gen_range(0..groups)]);
+        t.push_row(&[i % groups, i]);
+    }
+    db.insert("R", r.deduped());
+    db.insert("S", s.deduped());
+    db.insert("T", t.deduped());
+    db
+}
+
+/// A star instance `R(A,B), S(A,C), T(A,D)` with `n` tuples per relation
+/// over `centers` distinct center values.
+#[must_use]
+pub fn star_instance(n: u64, centers: u64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = centers.max(1);
+    let mut db = Database::new();
+    for name in ["R", "S", "T"] {
+        let rel = Relation::from_rows(
+            2,
+            (0..n).map(|_| [rng.gen_range(0..centers), rng.gen_range(0..n)]),
+        )
+        .deduped();
+        db.insert(name, rel);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_relation::stats::{degree_sequence, max_degree};
+
+    #[test]
+    fn erdos_renyi_is_reproducible_and_bounded() {
+        let a = erdos_renyi_db(&["R", "S"], 50, 200, 7);
+        let b = erdos_renyi_db(&["R", "S"], 50, 200, 7);
+        assert_eq!(a.relation("R").unwrap().canonical_rows(), b.relation("R").unwrap().canonical_rows());
+        assert!(a.relation("R").unwrap().len() <= 200);
+        assert_eq!(a.num_relations(), 2);
+    }
+
+    #[test]
+    fn zipf_graph_is_skewed() {
+        let db = zipf_graph_db(&["R"], 200, 2000, 1.2, 3);
+        let r = db.relation("R").unwrap();
+        let seq = degree_sequence(r, &[0], &[1]);
+        // The most popular source should have far more than the median degree.
+        let max = seq[0];
+        let median = seq[seq.len() / 2];
+        assert!(max >= 4 * median.max(1), "max {max}, median {median}");
+    }
+
+    #[test]
+    fn fd_instance_satisfies_its_statistics() {
+        let db = fd_instance(500, 10, 1);
+        let u = db.relation("U").unwrap();
+        assert_eq!(u.len(), 500);
+        // FD W → X: each W has exactly one X.
+        assert_eq!(max_degree(u, &[0], &[1]), 1);
+        // deg_U(W | X) ≤ 10.
+        assert!(max_degree(u, &[1], &[0]) <= 10);
+        for name in ["R", "S", "T"] {
+            assert!(db.relation(name).unwrap().len() <= 500);
+        }
+    }
+
+    #[test]
+    fn path_instance_output_grows_with_fanout() {
+        let small = path_instance(300, 1, 2);
+        let big = path_instance(300, 10, 2);
+        // More fanout ⇒ fewer groups ⇒ denser join.
+        let small_groups = panda_relation::stats::distinct_count(small.relation("R").unwrap(), &[1]);
+        let big_groups = panda_relation::stats::distinct_count(big.relation("R").unwrap(), &[1]);
+        assert!(big_groups < small_groups);
+    }
+
+    #[test]
+    fn star_instance_has_requested_center_count() {
+        let db = star_instance(400, 8, 5);
+        for name in ["R", "S", "T"] {
+            let centers = panda_relation::stats::distinct_count(db.relation(name).unwrap(), &[0]);
+            assert!(centers <= 8);
+        }
+    }
+}

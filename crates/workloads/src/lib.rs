@@ -1,0 +1,20 @@
+//! Workload and instance generators for the experiments.
+//!
+//! * [`paper`] — the exact example instance of Figure 2, the paper's
+//!   queries (the 4-cycle in its full/projected/Boolean variants, the
+//!   triangle, paths), the `S_full` statistics of Eq. (16) and the
+//!   fhtw-hard "double star" instance of Section 5.1,
+//! * [`generators`] — Erdős–Rényi and Zipf-skewed random graphs,
+//!   FD-respecting instances for `S_full`, and path/star instances with a
+//!   controllable output size for the Yannakakis experiment.
+
+pub mod generators;
+pub mod paper;
+
+pub use generators::{
+    erdos_renyi_db, fd_instance, path_instance, star_instance, zipf_graph_db,
+};
+pub use paper::{
+    double_star_db, figure2_db, four_cycle_boolean, four_cycle_full, four_cycle_projected,
+    s_full_statistics, s_square_statistics, triangle_query, two_path_projected,
+};

@@ -1,0 +1,74 @@
+//! # panda — information-theoretic query optimization and evaluation
+//!
+//! `panda` is a from-scratch Rust implementation of the **PANDA**
+//! framework described in *"Query Optimization and Evaluation via
+//! Information Theory: A Tutorial"* (Abo Khamis, Ngo, Suciu; PODS 2026):
+//! worst-case cardinality bounds from information theory (the AGM and
+//! polymatroid bounds), the width measures built on them (fractional
+//! hypertree width, submodular width, ω-submodular width), Shannon-flow
+//! inequalities with machine-checked proof sequences, and query evaluation
+//! algorithms — static single-tree-decomposition plans, adaptive
+//! multi-decomposition plans with degree-based data partitioning,
+//! worst-case-optimal joins, Yannakakis, and semiring aggregates.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`rational`] | `panda-rational` | exact rational arithmetic |
+//! | [`lp`] | `panda-lp` | exact simplex LP solver with duals |
+//! | [`relation`] | `panda-relation` | relations, operators, degree statistics, semirings |
+//! | [`query`] | `panda-query` | CQs, hypergraphs, tree decompositions, DDRs |
+//! | [`entropy`] | `panda-entropy` | degree/ℓ_p constraints, polymatroid bounds, fhtw, subw, Shannon flows |
+//! | [`proof`] | `panda-proof` | proof sequences and the Reset Lemma |
+//! | [`core`] | `panda-core` | the evaluators: WCOJ, Yannakakis, static and adaptive plans, DDRs, FAQ |
+//! | [`fmm`] | `panda-fmm` | Boolean/counting matrix multiplication, FMM-based detection |
+//! | [`workloads`] | `panda-workloads` | the paper's instances and random workload generators |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use panda::prelude::*;
+//!
+//! // The paper's running example: the projected 4-cycle query (Eq. 2).
+//! let query = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+//!
+//! // Its widths under identical cardinality constraints (Eq. 23):
+//! let stats = StatisticsSet::identical_cardinalities(&query, 1_000_000);
+//! assert_eq!(fhtw(&query, &stats).unwrap().value, Rat::from_int(2));
+//! assert_eq!(subw(&query, &stats).unwrap().value, Rat::new(3, 2));
+//!
+//! // Evaluate it on the example instance of Figure 2.
+//! let db = panda::workloads::figure2_db();
+//! let answer = Panda::new(query).evaluate(&db);
+//! assert_eq!(answer.len(), 2); // (1,p) and (1,q) extend to 4-cycles
+//! ```
+
+pub use panda_core as core;
+pub use panda_entropy as entropy;
+pub use panda_fmm as fmm;
+pub use panda_lp as lp;
+pub use panda_proof as proof;
+pub use panda_query as query;
+pub use panda_rational as rational;
+pub use panda_relation as relation;
+pub use panda_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use panda_core::{
+        BinaryJoinPlan, DdrEvaluator, EvaluationStrategy, GenericJoin, Panda, PandaEvaluator,
+        StaticTdPlan, VarRelation,
+    };
+    pub use panda_entropy::{
+        agm_bound, ddr_polymatroid_bound, fhtw, polymatroid_bound, subw, ShannonFlow, Statistic,
+        StatisticsSet,
+    };
+    pub use panda_proof::{ProofSequence, ProofStep, TermIdentity};
+    pub use panda_query::{
+        parse_query, Atom, BagSelector, ConjunctiveQuery, DisjunctiveRule, TreeDecomposition, Var,
+        VarSet,
+    };
+    pub use panda_rational::Rat;
+    pub use panda_relation::{Database, Relation};
+}

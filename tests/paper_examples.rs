@@ -1,0 +1,123 @@
+//! Cross-crate integration tests that pin the paper's worked examples:
+//! Figure 1 (tree decompositions), Figure 2 (example instance), the widths
+//! of Section 4–6 and the ω-subw closed form of Section 9.3.
+
+use panda::prelude::*;
+use panda::workloads::{
+    double_star_db, figure2_db, four_cycle_boolean, four_cycle_full, four_cycle_projected,
+    s_full_statistics, s_square_statistics, triangle_query,
+};
+
+#[test]
+fn figure2_output_of_the_full_four_cycle() {
+    // Figure 2: the instance has exactly the three output tuples
+    // (1,p,3,i), (1,q,5,i), (1,q,5,j).
+    let db = figure2_db();
+    let q = four_cycle_full();
+    let out = Panda::new(q).evaluate(&db);
+    assert_eq!(out.rel.canonical_rows(), panda::workloads::paper::figure2_expected_output());
+}
+
+#[test]
+fn figure2_projected_answer() {
+    // Q□(X,Y) on the same instance: the edges (1,p) and (1,q) extend to a
+    // 4-cycle, (2,p) does not.
+    let db = figure2_db();
+    let q = four_cycle_projected();
+    let p = 101u64;
+    let q_val = 102u64;
+    let out = Panda::new(q).evaluate(&db);
+    assert_eq!(out.rel.canonical_rows(), vec![vec![1, p], vec![1, q_val]]);
+}
+
+#[test]
+fn figure1_tree_decompositions() {
+    let q = four_cycle_projected();
+    let tds = TreeDecomposition::enumerate(&q);
+    assert_eq!(tds.len(), 2);
+    for td in &tds {
+        assert_eq!(td.num_bags(), 2);
+        assert!(td.is_valid_for(&q));
+        assert!(td.is_free_connex(q.free_vars()));
+        assert!(td.bags().iter().all(|b| b.len() == 3));
+    }
+}
+
+#[test]
+fn widths_of_the_running_example() {
+    // Section 4.3 and Eq. (44): fhtw(Q□,S□) = 2, subw(Q□,S□) = 3/2, and the
+    // same for the Boolean variant.
+    let q = four_cycle_projected();
+    let stats = s_square_statistics(1 << 20);
+    assert_eq!(fhtw(&q, &stats).unwrap().value, Rat::from_int(2));
+    assert_eq!(subw(&q, &stats).unwrap().value, Rat::new(3, 2));
+    let qb = four_cycle_boolean();
+    let stats_b = StatisticsSet::identical_cardinalities(&qb, 1 << 20);
+    assert_eq!(subw(&qb, &stats_b).unwrap().value, Rat::new(3, 2));
+}
+
+#[test]
+fn agm_bounds_of_classic_patterns() {
+    let n = 1 << 20;
+    let tri = triangle_query();
+    assert_eq!(agm_bound(&tri, &[], n).unwrap().log_bound, Rat::new(3, 2));
+    let c4 = four_cycle_full();
+    assert_eq!(agm_bound(&c4, &[], n).unwrap().log_bound, Rat::from_int(2));
+}
+
+#[test]
+fn s_full_statistics_tighten_the_bound() {
+    // Eq. (19): with the FD W→X and deg_U(W|X) ≤ C the bound drops below
+    // the AGM bound 2, and with C = 1 it reaches 3/2.
+    let q = four_cycle_full();
+    let n = 1 << 20;
+    let loose = polymatroid_bound(
+        q.all_vars(),
+        q.all_vars(),
+        &StatisticsSet::identical_cardinalities(&q, n),
+    )
+    .unwrap();
+    assert_eq!(loose.log_bound, Rat::from_int(2));
+    let tight = polymatroid_bound(q.all_vars(), q.all_vars(), &s_full_statistics(n, 1)).unwrap();
+    assert!(tight.log_bound <= Rat::new(3, 2));
+    let mid = polymatroid_bound(q.all_vars(), q.all_vars(), &s_full_statistics(n, 1 << 10)).unwrap();
+    assert!(mid.log_bound > tight.log_bound);
+    assert!(mid.log_bound < loose.log_bound);
+    // And every certificate verifies.
+    for report in [&loose, &tight, &mid] {
+        report.flow.verify_identity().unwrap();
+    }
+}
+
+#[test]
+fn omega_submodular_width_closed_form() {
+    // Section 9.3: ω-subw(Q□^bool, S□) = (4ω−1)/(2ω+1), which with the
+    // paper's ω = 2.371552 evaluates to ≈ 1.4776 < 3/2.
+    let w = panda::entropy::omega_subw_square(panda::entropy::MATRIX_MULT_OMEGA);
+    assert!(w < Rat::new(3, 2));
+    assert!((w.to_f64() - (4.0 * 2.371552 - 1.0) / (2.0 * 2.371552 + 1.0)).abs() < 1e-9);
+    assert!((w.to_f64() - 1.47763).abs() < 1e-4);
+}
+
+#[test]
+fn every_strategy_agrees_on_the_double_star_instance() {
+    let q = four_cycle_projected();
+    let db = double_star_db(32);
+    let panda = Panda::new(q.clone());
+    let order: Vec<Var> = q.free_vars().to_vec();
+    let reference = panda
+        .evaluate_with(&db, EvaluationStrategy::GenericJoin)
+        .canonical_rows_ordered(&order);
+    for strategy in [
+        EvaluationStrategy::Auto,
+        EvaluationStrategy::StaticTd,
+        EvaluationStrategy::Adaptive,
+        EvaluationStrategy::BinaryJoin,
+    ] {
+        assert_eq!(
+            panda.evaluate_with(&db, strategy).canonical_rows_ordered(&order),
+            reference,
+            "{strategy:?}"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the bound → Shannon flow → proof sequence → plan
+//! pipeline (Sections 6–8 of the paper), across several queries.
+
+use panda::prelude::*;
+use panda::proof::reset_drop_source;
+use panda::workloads::{four_cycle_projected, s_square_statistics};
+
+/// Every bag selector of every query below must yield: an exact DDR bound,
+/// a verifying Shannon flow, an integral identity, and a replayable proof
+/// sequence.
+#[test]
+fn proof_sequences_exist_for_many_queries() {
+    let cases = [
+        ("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)", 4u64),
+        ("Tri(A,B,C) :- R(A,B), S(B,C), T(A,C)", 3),
+        ("Q() :- R(A,B), S(B,C), T(C,D), U(D,A)", 4),
+        ("P(A,B,C) :- R(A,B), S(B,C)", 2),
+        ("Five() :- E1(A,B), E2(B,C), E3(C,D), E4(D,F), E5(F,A)", 5),
+    ];
+    for (text, _arity) in cases {
+        let q = parse_query(text).unwrap();
+        let stats = StatisticsSet::identical_cardinalities(&q, 1 << 16);
+        let report = subw(&q, &stats).unwrap();
+        assert!(report.value >= Rat::ONE, "{text}");
+        for sel in &report.per_selector {
+            sel.report.flow.verify_identity().unwrap();
+            let integral = sel.report.flow.to_integral().unwrap();
+            integral.verify_identity().unwrap();
+            let identity = TermIdentity::from_flow(&integral);
+            identity.verify().unwrap();
+            let seq = ProofSequence::derive(&identity)
+                .unwrap_or_else(|e| panic!("no proof sequence for {text}: {e}"));
+            seq.verify().unwrap();
+        }
+    }
+}
+
+#[test]
+fn reset_lemma_holds_for_every_unconditional_source_of_the_subw_certificates() {
+    let q = four_cycle_projected();
+    let stats = s_square_statistics(1 << 16);
+    let report = subw(&q, &stats).unwrap();
+    for sel in &report.per_selector {
+        let identity = TermIdentity::from_flow(&sel.report.flow.to_integral().unwrap());
+        let sources: Vec<VarSet> = identity
+            .sources
+            .keys()
+            .filter(|t| t.is_unconditional())
+            .map(|t| t.subj)
+            .collect();
+        for s in sources {
+            let outcome = reset_drop_source(&identity, s).unwrap();
+            outcome.identity.verify().unwrap();
+            // At most one target lost (the Reset Lemma's guarantee).
+            assert!(identity.num_targets() - outcome.identity.num_targets() <= 1);
+        }
+    }
+}
+
+#[test]
+fn width_inequalities_hold_across_queries() {
+    // subw ≤ fhtw always; both ≥ 1 for connected queries with at least one
+    // atom; fhtw = 1 exactly for free-connex acyclic queries.
+    let cases = [
+        "Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)",
+        "Tri(A,B,C) :- R(A,B), S(B,C), T(A,C)",
+        "P(A,B) :- R(A,B), S(B,C)",
+        "Q() :- R(A,B), S(B,C), T(C,D), U(D,A), M(A,C)",
+    ];
+    for text in cases {
+        let q = parse_query(text).unwrap();
+        let stats = StatisticsSet::identical_cardinalities(&q, 1 << 16);
+        let f = fhtw(&q, &stats).unwrap().value;
+        let s = subw(&q, &stats).unwrap().value;
+        assert!(s <= f, "{text}: subw {s} > fhtw {f}");
+        assert!(s >= Rat::ONE, "{text}");
+    }
+}
+
+#[test]
+fn measured_statistics_give_sound_bounds_on_real_outputs() {
+    // For any instance, N^{polymatroid bound} computed from *measured*
+    // statistics upper-bounds the true output size.
+    use panda::workloads::{erdos_renyi_db, zipf_graph_db};
+    let q = parse_query("Qf(X,Y,Z,W) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+    for db in [
+        erdos_renyi_db(&["R", "S", "T", "U"], 20, 150, 1),
+        zipf_graph_db(&["R", "S", "T", "U"], 20, 150, 1.3, 2),
+    ] {
+        let stats = StatisticsSet::measure(&q, &db);
+        let report = polymatroid_bound(q.all_vars(), q.all_vars(), &stats).unwrap();
+        let bound_tuples = (stats.base() as f64).powf(report.log_bound.to_f64());
+        let out = Panda::new(q.clone()).evaluate_with(&db, EvaluationStrategy::GenericJoin);
+        assert!(
+            (out.len() as f64) <= bound_tuples * 1.000001,
+            "output {} exceeds bound {bound_tuples}",
+            out.len()
+        );
+    }
+}
