@@ -13,9 +13,7 @@ fn bench_bound_lp(c: &mut Criterion) {
         let stats = s_full_statistics(1 << 20, 1 << c_exp);
         group.bench_with_input(BenchmarkId::new("C=2^", c_exp), &stats, |b, stats| {
             b.iter(|| {
-                polymatroid_bound(query.all_vars(), query.all_vars(), stats)
-                    .unwrap()
-                    .log_bound
+                polymatroid_bound(query.all_vars(), query.all_vars(), stats).unwrap().log_bound
             });
         });
     }

@@ -175,16 +175,16 @@ fn e4_subw() {
     let report = subw(&q, &stats).unwrap();
     let mut rows = Vec::new();
     for sel in &report.per_selector {
-        let bags: Vec<String> = sel
-            .selector
-            .bags()
-            .iter()
-            .map(|b| b.display_with(q.var_names()))
-            .collect();
+        let bags: Vec<String> =
+            sel.selector.bags().iter().map(|b| b.display_with(q.var_names())).collect();
         rows.push(vec![bags.join(" ∨ "), sel.report.log_bound.to_string()]);
     }
     println!("{}", render_table(&["bag selector (DDR head)", "max_h min_B h(B)"], &rows));
-    println!("subw(Q□, S□) = {} (paper: 3/2);  fhtw = {}\n", report.value, fhtw(&q, &stats).unwrap().value);
+    println!(
+        "subw(Q□, S□) = {} (paper: 3/2);  fhtw = {}\n",
+        report.value,
+        fhtw(&q, &stats).unwrap().value
+    );
 }
 
 /// E5 — Eq. (55): the Shannon-flow inequality behind the 3/2 bound.
@@ -197,7 +197,12 @@ fn e5_shannon_flow() {
     let report = ddr_polymatroid_bound(&[xyz, yzw], q.all_vars(), &stats).unwrap();
     let flow = &report.flow;
     println!("inequality: {}", flow.display_with(q.var_names()));
-    println!("λ-total = {}   Σw·log_N N_c = {}   verified: {:?}", flow.lambda_total(), flow.log_bound(), flow.verify_identity().is_ok());
+    println!(
+        "λ-total = {}   Σw·log_N N_c = {}   verified: {:?}",
+        flow.lambda_total(),
+        flow.log_bound(),
+        flow.verify_identity().is_ok()
+    );
     let mut rows = Vec::new();
     for (stat, w) in &flow.sources {
         rows.push(vec![stat.label.clone(), w.to_string()]);
@@ -235,7 +240,9 @@ fn e15_reset_lemma() {
     let yzw = VarSet::from_iter([Var(1), Var(2), Var(3)]);
     let report = ddr_polymatroid_bound(&[xyz, yzw], q.all_vars(), &stats).unwrap();
     let identity = TermIdentity::from_flow(&report.flow.to_integral().unwrap());
-    for drop in identity.sources.keys().filter(|t| t.is_unconditional()).map(|t| t.subj).collect::<Vec<_>>() {
+    for drop in
+        identity.sources.keys().filter(|t| t.is_unconditional()).map(|t| t.subj).collect::<Vec<_>>()
+    {
         let outcome = reset_drop_source(&identity, drop).unwrap();
         println!(
             "drop h{}  ⇒  lost target: {}   remaining identity valid: {:?}",
@@ -372,14 +379,22 @@ fn e10_semirings() {
     let count = faq::count_assignments(&boolean, &db);
     let sat = faq::is_satisfiable(&boolean, &db);
     let min_w = faq::min_weight(&boolean, &db, &|_, row| (row[0] + row[1]) as i64);
-    println!("Boolean 4-cycle on an Erdős–Rényi instance (N ≈ {}):", db.relation("R").unwrap().len());
+    println!(
+        "Boolean 4-cycle on an Erdős–Rényi instance (N ≈ {}):",
+        db.relation("R").unwrap().len()
+    );
     println!("  #CQ  (counting semiring, ℕ,+,×)   = {count}");
     println!("  SAT  (Boolean semiring, ∨,∧)      = {sat}");
     println!("  min-weight cycle (min,+ semiring) = {min_w:?}");
     let path = panda_query::parse_query("P() :- R(A,B), S(B,C), T(C,D)").unwrap();
     let path_db = path_instance(2000, 4, 11);
     let (cnt, secs) = time_it(|| faq::count_assignments(&path, &path_db));
-    println!("acyclic 3-path #CQ over N = {}: {} assignments in {:.4}s (join-tree DP)", path_db.total_tuples(), cnt, secs);
+    println!(
+        "acyclic 3-path #CQ over N = {}: {} assignments in {:.4}s (join-tree DP)",
+        path_db.total_tuples(),
+        cnt,
+        secs
+    );
     println!("(Counting uses a non-idempotent semiring, so it runs on a single TD — the\npaper's open problem is whether subw time is achievable for #CQ.)\n");
 }
 
@@ -398,9 +413,19 @@ fn e11_lp_norms() {
         stats.add_lp_norm("R", VarSet::singleton(y), VarSet::singleton(x), 2, l2);
         stats.add_lp_norm("S", VarSet::singleton(y), VarSet::singleton(z), 2, l2);
         let bound = polymatroid_bound(q.all_vars(), q.all_vars(), &stats).unwrap();
-        rows.push(vec![format!("2^{l2_exp}"), bound.log_bound.to_string(), format!("{:.3}", bound.log_bound.to_f64())]);
+        rows.push(vec![
+            format!("2^{l2_exp}"),
+            bound.log_bound.to_string(),
+            format!("{:.3}", bound.log_bound.to_f64()),
+        ]);
     }
-    println!("{}", render_table(&["ℓ2 bound on deg(·|Y)", "output exponent (exact)", "output exponent"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["ℓ2 bound on deg(·|Y)", "output exponent (exact)", "output exponent"],
+            &rows
+        )
+    );
     println!("With only cardinalities the bound is N²; Cauchy–Schwarz-style ℓ2 constraints\npull it down towards N (exponent 1).\n");
 }
 
@@ -417,7 +442,10 @@ fn e12_omega_subw() {
         let w = omega_subw_square(omega);
         rows.push(vec![label.to_string(), w.to_string(), format!("{:.5}", w.to_f64())]);
     }
-    println!("{}", render_table(&["matrix-multiplication exponent", "ω-subw(Q□^bool) exact", "value"], &rows));
+    println!(
+        "{}",
+        render_table(&["matrix-multiplication exponent", "ω-subw(Q□^bool) exact", "value"], &rows)
+    );
     println!("combinatorial subw = 3/2; the crossover is at ω = 5/2 (Section 9.3).");
     let mut rows = Vec::new();
     for n in [200u64, 400, 800] {
@@ -434,7 +462,10 @@ fn e12_omega_subw() {
     }
     println!(
         "{}",
-        render_table(&["N", "cycle found", "matrix-product detection (s)", "hash-join detection (s)"], &rows)
+        render_table(
+            &["N", "cycle found", "matrix-product detection (s)", "hash-join detection (s)"],
+            &rows
+        )
     );
     println!();
 }
@@ -451,11 +482,7 @@ fn e13_yannakakis() {
         let (out, secs) = time_it(|| panda.evaluate_with(&db, EvaluationStrategy::Yannakakis));
         let total = db.total_tuples() + out.len();
         pts.push((total as f64, secs));
-        rows.push(vec![
-            db.total_tuples().to_string(),
-            out.len().to_string(),
-            format!("{secs:.4}"),
-        ]);
+        rows.push(vec![db.total_tuples().to_string(), out.len().to_string(), format!("{secs:.4}")]);
     }
     println!("{}", render_table(&["N (input tuples)", "OUT", "Yannakakis (s)"], &rows));
     println!("fitted slope of time vs (N + OUT) ≈ {:.2} (linear ⇒ ≈ 1.0)\n", log_log_slope(&pts));

@@ -73,10 +73,12 @@ mod tests {
 
     #[test]
     fn slope_of_a_perfect_power_law() {
-        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (1 << i) as f64;
-            (x, 3.0 * x.powf(1.5))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, 3.0 * x.powf(1.5))
+            })
+            .collect();
         let slope = log_log_slope(&pts);
         assert!((slope - 1.5).abs() < 1e-9, "slope {slope}");
         assert_eq!(log_log_slope(&[]), 0.0);
@@ -92,7 +94,10 @@ mod tests {
 
     #[test]
     fn table_renders_all_rows() {
-        let t = render_table(&["a", "bbbb"], &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]]);
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
         assert!(t.contains("bbbb"));
         assert_eq!(t.lines().count(), 4);
     }

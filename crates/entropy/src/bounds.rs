@@ -65,6 +65,10 @@ impl BoundReport {
     }
 }
 
+/// One tree decomposition's cost inside a [`FhtwReport`]:
+/// `(decomposition, cost, per-bag bounds)`.
+pub type TdCost = (TreeDecomposition, Rat, Vec<(VarSet, Rat)>);
+
 /// The fractional-hypertree-width report (Eq. 22).
 #[derive(Debug, Clone)]
 pub struct FhtwReport {
@@ -72,8 +76,8 @@ pub struct FhtwReport {
     pub value: Rat,
     /// Index (into `per_td`) of a decomposition achieving the minimum.
     pub best: usize,
-    /// Per-TD costs: `(decomposition, cost, per-bag bounds)`.
-    pub per_td: Vec<(TreeDecomposition, Rat, Vec<(VarSet, Rat)>)>,
+    /// Per-TD costs.
+    pub per_td: Vec<TdCost>,
 }
 
 impl FhtwReport {
@@ -169,10 +173,7 @@ impl GammaLp {
                         coeffs.push((space.index_of(joint), Rat::ONE));
                     }
                     if !cond.is_empty() {
-                        coeffs.push((
-                            space.index_of(cond),
-                            Rat::new(1, i128::from(k)) - Rat::ONE,
-                        ));
+                        coeffs.push((space.index_of(cond), Rat::new(1, i128::from(k)) - Rat::ONE));
                     }
                 }
             }
@@ -210,20 +211,16 @@ impl GammaLp {
 
     /// Solves the LP and converts the dual into a verified [`ShannonFlow`].
     fn solve(&self, stats: &StatisticsSet, targets: &[VarSet]) -> Result<BoundReport, BoundError> {
-        let outcome = self
-            .lp
-            .solve()
-            .map_err(|e| BoundError::Solver(e.to_string()))?;
-        let solution = match outcome {
-            LpOutcome::Optimal(s) => s,
-            LpOutcome::Unbounded => return Err(BoundError::Unbounded),
-            LpOutcome::Infeasible => {
-                return Err(BoundError::Solver(
+        let outcome = self.lp.solve().map_err(|e| BoundError::Solver(e.to_string()))?;
+        let solution =
+            match outcome {
+                LpOutcome::Optimal(s) => s,
+                LpOutcome::Unbounded => return Err(BoundError::Unbounded),
+                LpOutcome::Infeasible => return Err(BoundError::Solver(
                     "polymatroid LP reported infeasible, which is impossible (h = 0 is feasible)"
                         .to_string(),
-                ))
-            }
-        };
+                )),
+            };
 
         // λ: multipliers of the target rows (or 1 on the single target).
         let targets_with_lambda: Vec<(VarSet, Rat)> = if self.t_var.is_some() {
@@ -356,10 +353,7 @@ pub fn agm_bound(
 ) -> Result<BoundReport, BoundError> {
     let mut stats = StatisticsSet::new(base.max(2));
     for atom in query.atoms() {
-        let size = sizes
-            .iter()
-            .find(|(name, _)| *name == atom.relation)
-            .map_or(base, |(_, s)| *s);
+        let size = sizes.iter().find(|(name, _)| *name == atom.relation).map_or(base, |(_, s)| *s);
         stats.add_cardinality(atom.relation.clone(), atom.var_set(), size);
     }
     polymatroid_bound(query.all_vars(), query.all_vars(), &stats)

@@ -330,10 +330,7 @@ impl StatisticsSet {
     /// Returns the statistics whose guard is the given relation symbol.
     #[must_use]
     pub fn for_guard(&self, guard: &str) -> Vec<&Statistic> {
-        self.stats
-            .iter()
-            .filter(|s| s.guard.as_deref() == Some(guard))
-            .collect()
+        self.stats.iter().filter(|s| s.guard.as_deref() == Some(guard)).collect()
     }
 
     /// The total size bound implied by summing all cardinality constraints
@@ -406,7 +403,10 @@ mod tests {
         let s = StatisticsSet::identical_cardinalities(&q, 1000);
         assert_eq!(s.len(), 4);
         assert!(s.stats().iter().all(|st| st.log_value == Rat::ONE));
-        assert!(s.stats().iter().all(|st| matches!(st.kind, StatKind::Degree { cond, .. } if cond.is_empty())));
+        assert!(s
+            .stats()
+            .iter()
+            .all(|st| matches!(st.kind, StatKind::Degree { cond, .. } if cond.is_empty())));
     }
 
     #[test]
@@ -425,7 +425,8 @@ mod tests {
         let z = q.var_by_name("Z").unwrap();
         let found = s.stats().iter().any(|st| {
             st.guard.as_deref() == Some("S")
-                && st.kind == StatKind::Degree { cond: VarSet::singleton(y), subj: VarSet::singleton(z) }
+                && st.kind
+                    == StatKind::Degree { cond: VarSet::singleton(y), subj: VarSet::singleton(z) }
                 && st.count == 3
         });
         assert!(found, "expected deg_S(Z|Y) = 3 in {:#?}", s.stats());

@@ -59,11 +59,7 @@ impl CondTerm {
         if self.cond.is_empty() {
             format!("h{}", self.subj.display_with(names))
         } else {
-            format!(
-                "h({}|{})",
-                self.subj.display_with(names),
-                self.cond.display_with(names)
-            )
+            format!("h({}|{})", self.subj.display_with(names), self.cond.display_with(names))
         }
     }
 }
@@ -100,21 +96,14 @@ impl ShannonFlow {
     /// The bound in tuples: `Π_c N_c^{w_c}` (Theorem 6.2), as `f64`.
     #[must_use]
     pub fn tuple_bound(&self) -> f64 {
-        self.sources
-            .iter()
-            .map(|(s, w)| (s.count.max(1) as f64).powf(w.to_f64()))
-            .product()
+        self.sources.iter().map(|(s, w)| (s.count.max(1) as f64).powf(w.to_f64())).product()
     }
 
     /// The coefficient that statistic `stat_label` carries in this flow
     /// (0 if unused).  Convenient in tests and reports.
     #[must_use]
     pub fn weight_of(&self, stat_label: &str) -> Rat {
-        self.sources
-            .iter()
-            .filter(|(s, _)| s.label == stat_label)
-            .map(|(_, w)| *w)
-            .sum()
+        self.sources.iter().filter(|(s, _)| s.label == stat_label).map(|(_, w)| *w).sum()
     }
 
     /// Collects the per-subset coefficients of the *source* side
@@ -217,11 +206,7 @@ impl ShannonFlow {
     /// arbitrary set function (useful as a sanity check against concrete
     /// entropy vectors).
     pub fn check_on<F: Fn(VarSet) -> f64>(&self, h: &F) -> bool {
-        let lhs: f64 = self
-            .targets
-            .iter()
-            .map(|(b, l)| l.to_f64() * h(*b))
-            .sum();
+        let lhs: f64 = self.targets.iter().map(|(b, l)| l.to_f64() * h(*b)).sum();
         let rhs: f64 = self
             .sources
             .iter()
@@ -231,9 +216,7 @@ impl ShannonFlow {
                 let cond_h = if cond.is_empty() { 0.0 } else { h(cond) };
                 let term = match stat.kind {
                     StatKind::Degree { .. } => h(joint) - cond_h,
-                    StatKind::LpNorm { k, .. } => {
-                        cond_h / f64::from(k) + h(joint) - cond_h
-                    }
+                    StatKind::LpNorm { k, .. } => cond_h / f64::from(k) + h(joint) - cond_h,
                 };
                 w.to_f64() * term
             })
@@ -309,11 +292,8 @@ impl ShannonFlow {
     /// `1/2·h{X,Y,Z} + 1/2·h{Y,Z,W} ≤ 1/2·h{X,Y} + 1/2·h{Y,Z} + 1/2·h{Z,W}`.
     #[must_use]
     pub fn display_with(&self, names: &[String]) -> String {
-        let lhs: Vec<String> = self
-            .targets
-            .iter()
-            .map(|(b, l)| format!("{l}·h{}", b.display_with(names)))
-            .collect();
+        let lhs: Vec<String> =
+            self.targets.iter().map(|(b, l)| format!("{l}·h{}", b.display_with(names))).collect();
         let rhs: Vec<String> = self
             .sources
             .iter()
@@ -354,11 +334,7 @@ impl IntegralShannonFlow {
     /// Total number of *unconditional* source term occurrences.
     #[must_use]
     pub fn num_unconditional_sources(&self) -> u64 {
-        self.sources
-            .iter()
-            .filter(|(t, _, _)| t.is_unconditional())
-            .map(|(_, c, _)| *c)
-            .sum()
+        self.sources.iter().filter(|(t, _, _)| t.is_unconditional()).map(|(_, c, _)| *c).sum()
     }
 
     /// Verifies the integral identity (same as
@@ -492,7 +468,10 @@ mod tests {
         // The witness consists of the three submodularities, each doubled to
         // coefficient 1.
         assert_eq!(integral.witness.len(), 3);
-        assert!(integral.witness.iter().all(|(e, c)| *c == 1 && matches!(e, Elemental::Submodular { .. })));
+        assert!(integral
+            .witness
+            .iter()
+            .all(|(e, c)| *c == 1 && matches!(e, Elemental::Submodular { .. })));
     }
 
     #[test]
@@ -508,10 +487,7 @@ mod tests {
             universe: vs(&[0, 1, 2]),
             targets: vec![(vs(&[0]), Rat::ONE)],
             sources: vec![(stat_xy, Rat::ONE), (stat_z, Rat::new(1, 2))],
-            witness: vec![(
-                Elemental::Monotone { from: vs(&[0, 1]), to: vs(&[0]) },
-                Rat::ONE,
-            )],
+            witness: vec![(Elemental::Monotone { from: vs(&[0, 1]), to: vs(&[0]) }, Rat::ONE)],
             residuals: vec![(vs(&[2]), Rat::new(1, 2))],
         };
         flow.verify_identity().expect("identity with residual");

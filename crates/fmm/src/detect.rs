@@ -17,11 +17,7 @@ use crate::matrix::BoolMatrix;
 
 /// Adds every row/column value of a binary relation to the two
 /// dictionaries.
-fn fill_dicts(
-    rel: &Relation,
-    rows: &mut HashMap<Value, usize>,
-    cols: &mut HashMap<Value, usize>,
-) {
+fn fill_dicts(rel: &Relation, rows: &mut HashMap<Value, usize>, cols: &mut HashMap<Value, usize>) {
     for row in rel.iter() {
         let next = rows.len();
         rows.entry(row[0]).or_insert(next);
@@ -209,18 +205,13 @@ mod tests {
                     name,
                     Relation::from_rows(
                         2,
-                        (0..edges).map(|_| {
-                            [rng.gen_range(0..n as u64), rng.gen_range(0..n as u64)]
-                        }),
+                        (0..edges)
+                            .map(|_| [rng.gen_range(0..n as u64), rng.gen_range(0..n as u64)]),
                     )
                     .deduped(),
                 );
             }
-            assert_eq!(
-                detect_four_cycle_fmm(&db),
-                detect_four_cycle_join(&db),
-                "round {round}"
-            );
+            assert_eq!(detect_four_cycle_fmm(&db), detect_four_cycle_join(&db), "round {round}");
         }
     }
 }

@@ -207,7 +207,8 @@ impl CountMatrix {
             }
             s
         };
-        let (a11, a12, a21, a22) = (sub(self, 0, 0), sub(self, 0, h), sub(self, h, 0), sub(self, h, h));
+        let (a11, a12, a21, a22) =
+            (sub(self, 0, 0), sub(self, 0, h), sub(self, h, 0), sub(self, h, h));
         let (b11, b12, b21, b22) =
             (sub(other, 0, 0), sub(other, 0, h), sub(other, h, 0), sub(other, h, h));
         let m1 = add(&a11, &a22).multiply_strassen(&add(&b11, &b22));

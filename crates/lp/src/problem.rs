@@ -32,10 +32,7 @@ impl Constraint {
     /// Evaluates the left-hand side on a point.
     #[must_use]
     pub fn lhs_at(&self, point: &[Rat]) -> Rat {
-        self.coeffs
-            .iter()
-            .map(|(j, c)| *c * point.get(*j).copied().unwrap_or(Rat::ZERO))
-            .sum()
+        self.coeffs.iter().map(|(j, c)| *c * point.get(*j).copied().unwrap_or(Rat::ZERO)).sum()
     }
 
     /// Returns `true` iff the point satisfies the constraint exactly.
@@ -67,11 +64,7 @@ impl LinearProgram {
     /// objective.
     #[must_use]
     pub fn new(num_vars: usize) -> Self {
-        LinearProgram {
-            num_vars,
-            objective: vec![Rat::ZERO; num_vars],
-            constraints: Vec::new(),
-        }
+        LinearProgram { num_vars, objective: vec![Rat::ZERO; num_vars], constraints: Vec::new() }
     }
 
     /// Number of variables.
@@ -162,10 +155,7 @@ impl LinearProgram {
         for constraint in &self.constraints {
             for (j, _) in &constraint.coeffs {
                 if *j >= self.num_vars {
-                    return Err(LpError::VariableOutOfRange {
-                        index: *j,
-                        num_vars: self.num_vars,
-                    });
+                    return Err(LpError::VariableOutOfRange { index: *j, num_vars: self.num_vars });
                 }
             }
         }
@@ -190,11 +180,7 @@ impl LinearProgram {
     /// Evaluates the objective at a point.
     #[must_use]
     pub fn objective_at(&self, point: &[Rat]) -> Rat {
-        self.objective
-            .iter()
-            .zip(point.iter())
-            .map(|(c, x)| *c * *x)
-            .sum()
+        self.objective.iter().zip(point.iter()).map(|(c, x)| *c * *x).sum()
     }
 }
 

@@ -111,15 +111,7 @@ impl<'a> Simplex<'a> {
             row_info.push(RowInfo { flipped, initial_basic_col });
         }
 
-        Simplex {
-            lp,
-            tableau,
-            basis,
-            num_cols,
-            num_structural: n,
-            artificial_cols,
-            row_info,
-        }
+        Simplex { lp, tableau, basis, num_cols, num_structural: n, artificial_cols, row_info }
     }
 
     pub(crate) fn run(mut self) -> Result<LpOutcome, LpError> {
@@ -162,9 +154,9 @@ impl<'a> Simplex<'a> {
         for (i, &b) in self.basis.iter().enumerate() {
             if !cost[b].is_zero() {
                 let scale = cost[b];
-                for j in 0..self.num_cols {
-                    let delta = scale * self.tableau[i][j];
-                    reduced[j] -= delta;
+                // The zip excludes the tableau's trailing RHS column.
+                for (r, &t) in reduced.iter_mut().zip(&self.tableau[i]) {
+                    *r -= scale * t;
                 }
             }
         }
@@ -183,9 +175,8 @@ impl<'a> Simplex<'a> {
             // Update the reduced-cost row with the pivoted row.
             let scale = reduced[entering];
             if !scale.is_zero() {
-                for j in 0..self.num_cols {
-                    let delta = scale * self.tableau[leaving_row][j];
-                    reduced[j] -= delta;
+                for (r, &t) in reduced.iter_mut().zip(&self.tableau[leaving_row]) {
+                    *r -= scale * t;
                 }
             }
             reduced[entering] = Rat::ZERO;
@@ -199,22 +190,23 @@ impl<'a> Simplex<'a> {
         bar_artificials: bool,
         use_bland: bool,
     ) -> Option<usize> {
-        let is_candidate = |j: usize| -> bool {
+        let is_candidate = |j: usize, r: &Rat| -> bool {
             if bar_artificials && self.artificial_cols.contains(&j) {
                 return false;
             }
-            reduced[j].is_positive()
+            r.is_positive()
         };
+        let candidates =
+            reduced.iter().enumerate().take(self.num_cols).filter(|&(j, r)| is_candidate(j, r));
         if use_bland {
-            (0..self.num_cols).find(|&j| is_candidate(j))
+            candidates.map(|(j, _)| j).next()
         } else {
+            // Dantzig: the largest reduced cost, first index on ties.
             let mut best: Option<(usize, Rat)> = None;
-            for j in 0..self.num_cols {
-                if is_candidate(j) {
-                    match &best {
-                        Some((_, v)) if *v >= reduced[j] => {}
-                        _ => best = Some((j, reduced[j])),
-                    }
+            for (j, &r) in candidates {
+                match &best {
+                    Some((_, v)) if *v >= r => {}
+                    _ => best = Some((j, r)),
                 }
             }
             best.map(|(j, _)| j)
@@ -284,11 +276,7 @@ impl<'a> Simplex<'a> {
 
     fn current_objective(&self, cost: &[Rat]) -> Rat {
         let rhs_col = self.num_cols;
-        self.basis
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| cost[b] * self.tableau[i][rhs_col])
-            .sum()
+        self.basis.iter().enumerate().map(|(i, &b)| cost[b] * self.tableau[i][rhs_col]).sum()
     }
 
     fn extract_primal(&self) -> Vec<Rat> {

@@ -84,12 +84,8 @@ impl Solution {
             return violations;
         }
         // Strong duality.
-        let dual_value: Rat = self
-            .duals
-            .iter()
-            .zip(lp.constraints())
-            .map(|(d, c)| *d * c.rhs)
-            .sum();
+        let dual_value: Rat =
+            self.duals.iter().zip(lp.constraints()).map(|(d, c)| *d * c.rhs).sum();
         if dual_value != self.objective {
             violations.push(format!(
                 "strong duality violated: dual value {dual_value} != objective {}",

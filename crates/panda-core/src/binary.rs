@@ -56,10 +56,7 @@ impl BinaryJoinPlan {
             let connected: Vec<usize> = (0..remaining.len())
                 .filter(|&i| !remaining[i].var_set().intersect(acc.var_set()).is_empty())
                 .collect();
-            let pick = connected
-                .into_iter()
-                .min_by_key(|&i| remaining[i].len())
-                .unwrap_or(0);
+            let pick = connected.into_iter().min_by_key(|&i| remaining[i].len()).unwrap_or(0);
             let next = remaining.remove(pick);
             acc = acc.natural_join(&next);
             if self.project_early {

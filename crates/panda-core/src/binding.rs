@@ -40,10 +40,8 @@ impl VarRelation {
     /// Missing relations are treated as empty.
     #[must_use]
     pub fn from_atom(atom: &Atom, db: &Database) -> Self {
-        let rel = db
-            .relation(&atom.relation)
-            .cloned()
-            .unwrap_or_else(|| Relation::new(atom.arity()));
+        let rel =
+            db.relation(&atom.relation).cloned().unwrap_or_else(|| Relation::new(atom.arity()));
         // Detect repeated variables.
         let mut kept_cols: Vec<usize> = Vec::new();
         let mut kept_vars: Vec<Var> = Vec::new();
@@ -212,10 +210,7 @@ mod tests {
         assert_eq!(bound[0].vars, vec![Var(0), Var(1)]);
         let joined = bound[0].natural_join(&bound[1]);
         assert_eq!(joined.vars, vec![Var(0), Var(1), Var(2)]);
-        assert_eq!(
-            joined.rel.canonical_rows(),
-            vec![vec![1, 2, 10], vec![2, 3, 10]]
-        );
+        assert_eq!(joined.rel.canonical_rows(), vec![vec![1, 2, 10], vec![2, 3, 10]]);
     }
 
     #[test]

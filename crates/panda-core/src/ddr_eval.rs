@@ -65,11 +65,8 @@ impl DdrModel {
     #[must_use]
     pub fn is_valid_model(&self, rule: &DisjunctiveRule, db: &Database) -> bool {
         let body_vars = rule.body_vars();
-        let inputs: Vec<VarRelation> = rule
-            .body()
-            .iter()
-            .map(|a| VarRelation::from_atom(a, db))
-            .collect();
+        let inputs: Vec<VarRelation> =
+            rule.body().iter().map(|a| VarRelation::from_atom(a, db)).collect();
         let full = GenericJoin::new(body_vars).join(&inputs, &body_vars.to_vec());
         let order = body_vars.to_vec();
         for row in full.rel.iter() {
@@ -180,10 +177,7 @@ impl DdrEvaluator {
             let bag = self.rule.head()[best_idx];
             let covered = materialize_bag(self.rule.body(), &branch_db, bag);
             let order = targets[best_idx].1.vars.clone();
-            targets[best_idx]
-                .1
-                .rel
-                .extend_from(&covered.project_onto(&order).rel);
+            targets[best_idx].1.rel.extend_from(&covered.project_onto(&order).rel);
         }
         for (_, rel) in &mut targets {
             rel.rel.dedup();
@@ -196,20 +190,13 @@ impl DdrEvaluator {
     pub fn build_branches(&self, db: &Database) -> Vec<Database> {
         let mut branches = vec![db.clone()];
         for spec in &self.partitions {
-            let Some(atom) = self.rule.body().iter().find(|a| a.relation == spec.relation)
-            else {
+            let Some(atom) = self.rule.body().iter().find(|a| a.relation == spec.relation) else {
                 continue;
             };
-            let group_cols: Vec<usize> = spec
-                .group_vars
-                .iter()
-                .filter_map(|v| atom.position_of(*v))
-                .collect();
-            let value_cols: Vec<usize> = spec
-                .value_vars
-                .iter()
-                .filter_map(|v| atom.position_of(*v))
-                .collect();
+            let group_cols: Vec<usize> =
+                spec.group_vars.iter().filter_map(|v| atom.position_of(*v)).collect();
+            let value_cols: Vec<usize> =
+                spec.value_vars.iter().filter_map(|v| atom.position_of(*v)).collect();
             if group_cols.len() != spec.group_vars.len()
                 || value_cols.len() != spec.value_vars.len()
             {
@@ -245,28 +232,20 @@ pub fn materialize_bag(atoms: &[Atom], db: &Database, bag: VarSet) -> VarRelatio
     // Cost of construction (i): degree-aware chain bound on the join of the
     // atoms contained in the bag, provided they cover it.
     let contained: Vec<&Atom> = atoms.iter().filter(|a| a.var_set().is_subset_of(bag)).collect();
-    let covered = contained
-        .iter()
-        .fold(VarSet::EMPTY, |acc, a| acc.union(a.var_set()));
-    let contained_cost = if covered == bag {
-        chain_join_estimate(&contained, db)
-    } else {
-        f64::INFINITY
-    };
+    let covered = contained.iter().fold(VarSet::EMPTY, |acc, a| acc.union(a.var_set()));
+    let contained_cost =
+        if covered == bag { chain_join_estimate(&contained, db) } else { f64::INFINITY };
 
     // Cost of construction (ii): greedy projection cover.
     let cover = greedy_projection_cover(atoms, db, bag);
-    let cover_cost: f64 = cover
-        .as_ref()
-        .map_or(f64::INFINITY, |c| c.iter().map(|(_, _, d)| *d as f64).product());
+    let cover_cost: f64 =
+        cover.as_ref().map_or(f64::INFINITY, |c| c.iter().map(|(_, _, d)| *d as f64).product());
 
     let bag_vars: Vec<Var> = bag.to_vec();
     if contained_cost <= cover_cost {
         // (i) worst-case-optimal join of the contained atoms.
-        let inputs: Vec<VarRelation> = contained
-            .iter()
-            .map(|a| VarRelation::from_atom(a, db))
-            .collect();
+        let inputs: Vec<VarRelation> =
+            contained.iter().map(|a| VarRelation::from_atom(a, db)).collect();
         let join = GenericJoin::new(bag);
         join.join(&inputs, &bag_vars)
     } else {
@@ -389,11 +368,8 @@ mod tests {
     fn conjunctive_ddr_reduces_to_a_single_target() {
         // A DDR with one disjunct is just a CQ bag materialisation.
         let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z)").unwrap();
-        let rule = DisjunctiveRule::new(
-            vec![vs(&[0, 1, 2])],
-            q.atoms().to_vec(),
-            q.var_names().to_vec(),
-        );
+        let rule =
+            DisjunctiveRule::new(vec![vs(&[0, 1, 2])], q.atoms().to_vec(), q.var_names().to_vec());
         let mut db = Database::new();
         db.insert("R", Relation::from_rows(2, vec![[1, 2], [3, 4]]));
         db.insert("S", Relation::from_rows(2, vec![[2, 5], [4, 6], [9, 9]]));
@@ -433,10 +409,7 @@ mod tests {
         let inputs = VarRelation::bind_all(&q, &db);
         let full = GenericJoin::new(q.all_vars()).join(&inputs, &[Var(1), Var(2), Var(3)]);
         for row in full.rel.iter() {
-            assert!(out
-                .project_onto(&[Var(1), Var(2), Var(3)])
-                .rel
-                .contains(row));
+            assert!(out.project_onto(&[Var(1), Var(2), Var(3)]).rel.contains(row));
         }
     }
 

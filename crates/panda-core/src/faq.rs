@@ -33,11 +33,7 @@ struct AnnotatedVarRelation<S: Semiring> {
 }
 
 impl<S: Semiring> AnnotatedVarRelation<S> {
-    fn from_atom(
-        atom: &panda_query::Atom,
-        db: &Database,
-        annotate: &AnnotationFn<'_, S>,
-    ) -> Self {
+    fn from_atom(atom: &panda_query::Atom, db: &Database, annotate: &AnnotationFn<'_, S>) -> Self {
         let bound = VarRelation::from_atom(atom, db);
         let mut rel = AnnotatedRelation::new(bound.vars.len());
         // Annotations are looked up on the *original* tuple layout of the
@@ -47,11 +43,7 @@ impl<S: Semiring> AnnotatedVarRelation<S> {
                 .vars
                 .iter()
                 .map(|v| {
-                    let col = bound
-                        .vars
-                        .iter()
-                        .position(|w| w == v)
-                        .expect("atom variable bound");
+                    let col = bound.vars.iter().position(|w| w == v).expect("atom variable bound");
                     row[col]
                 })
                 .collect();
@@ -88,10 +80,8 @@ impl<S: Semiring> AnnotatedVarRelation<S> {
 
     fn aggregate_to(&self, keep: VarSet) -> Self {
         let kept: Vec<Var> = self.vars.iter().copied().filter(|v| keep.contains(*v)).collect();
-        let cols: Vec<usize> = kept
-            .iter()
-            .map(|v| self.column_of(*v).expect("kept variable bound"))
-            .collect();
+        let cols: Vec<usize> =
+            kept.iter().map(|v| self.column_of(*v).expect("kept variable bound")).collect();
         AnnotatedVarRelation { vars: kept, rel: self.rel.aggregate_onto(&cols) }
     }
 }
@@ -116,7 +106,8 @@ pub fn faq_total<S: Semiring>(
             .iter()
             .map(|a| Some(AnnotatedVarRelation::from_atom(a, db, annotate)))
             .collect();
-        let mut messages: Vec<Option<AnnotatedVarRelation<S>>> = (0..nodes.len()).map(|_| None).collect();
+        let mut messages: Vec<Option<AnnotatedVarRelation<S>>> =
+            (0..nodes.len()).map(|_| None).collect();
         for &node in &tree.bottom_up {
             let mut acc = nodes[node].take().expect("each node visited once");
             for &child in &tree.children[node] {
@@ -167,7 +158,8 @@ pub fn min_weight(
     db: &Database,
     weight: &dyn Fn(&str, &[Value]) -> i64,
 ) -> Option<i64> {
-    let total = faq_total::<panda_relation::MinPlusSemiring>(query, db, &|rel, row| weight(rel, row));
+    let total =
+        faq_total::<panda_relation::MinPlusSemiring>(query, db, &|rel, row| weight(rel, row));
     if total >= panda_relation::semiring::MIN_PLUS_INFINITY {
         None
     } else {

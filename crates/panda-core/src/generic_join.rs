@@ -47,17 +47,10 @@ impl GenericJoin {
     pub fn join(&self, inputs: &[VarRelation], output: &[Var]) -> VarRelation {
         // Keep only the order variables that actually occur.
         let occurring: VarSet = inputs.iter().fold(VarSet::EMPTY, |acc, r| acc.union(r.var_set()));
-        let order: Vec<Var> = self
-            .variable_order
-            .iter()
-            .copied()
-            .filter(|v| occurring.contains(*v))
-            .collect();
+        let order: Vec<Var> =
+            self.variable_order.iter().copied().filter(|v| occurring.contains(*v)).collect();
         for out in output {
-            assert!(
-                order.contains(out),
-                "output variable {out:?} does not occur in the join"
-            );
+            assert!(order.contains(out), "output variable {out:?} does not occur in the join");
         }
         if inputs.iter().any(|r| r.is_empty() && r.vars.is_empty()) {
             return VarRelation::new(output.to_vec(), Relation::new(output.len()));
@@ -79,12 +72,8 @@ impl GenericJoin {
             let mut per_atom = Vec::new();
             for input in inputs {
                 let Some(v_col) = input.column_of(v) else { continue };
-                let bound_vars: Vec<Var> = input
-                    .vars
-                    .iter()
-                    .copied()
-                    .filter(|w| bound_set.contains(*w))
-                    .collect();
+                let bound_vars: Vec<Var> =
+                    input.vars.iter().copied().filter(|w| bound_set.contains(*w)).collect();
                 let bound_cols: Vec<usize> = bound_vars
                     .iter()
                     .map(|w| input.column_of(*w).expect("bound var present"))
@@ -273,9 +262,8 @@ mod tests {
         let q = parse_query("Tri(A,B,C) :- R(A,B), S(B,C), T(A,C)").unwrap();
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..5 {
-            let edges: Vec<(u64, u64)> = (0..200)
-                .map(|_| (rng.gen_range(0..25u64), rng.gen_range(0..25u64)))
-                .collect();
+            let edges: Vec<(u64, u64)> =
+                (0..200).map(|_| (rng.gen_range(0..25u64), rng.gen_range(0..25u64))).collect();
             let db = triangle_db(&edges);
             let n = db.relation("R").unwrap().distinct_count() as f64;
             let out = GenericJoin::evaluate(&q, &db);

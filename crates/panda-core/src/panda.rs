@@ -85,9 +85,7 @@ impl Panda {
     }
 
     fn stats_for(&self, db: &Database) -> StatisticsSet {
-        self.statistics
-            .clone()
-            .unwrap_or_else(|| StatisticsSet::measure(&self.query, db))
+        self.statistics.clone().unwrap_or_else(|| StatisticsSet::measure(&self.query, db))
     }
 
     /// `true` iff the query is acyclic *and* free-connex, i.e. eligible for
@@ -152,8 +150,9 @@ impl Panda {
                     _ => self.evaluate_with(db, EvaluationStrategy::GenericJoin),
                 }
             }
-            EvaluationStrategy::Yannakakis => yannakakis_query(&self.query, db)
-                .expect("Yannakakis requires an acyclic query"),
+            EvaluationStrategy::Yannakakis => {
+                yannakakis_query(&self.query, db).expect("Yannakakis requires an acyclic query")
+            }
             EvaluationStrategy::StaticTd => {
                 let stats = self.stats_for(db);
                 let plan = StaticTdPlan::best_for(&self.query, &stats).unwrap_or_else(|_| {
@@ -204,8 +203,8 @@ mod tests {
         // is the classic non-free-connex example (its head atom closes a
         // triangle with the body).
         let q = parse_query("Q(A,B) :- R(A,B), S(B,C)").unwrap();
-        let panda = Panda::new(q.clone())
-            .with_statistics(StatisticsSet::identical_cardinalities(&q, 1000));
+        let panda =
+            Panda::new(q.clone()).with_statistics(StatisticsSet::identical_cardinalities(&q, 1000));
         assert!(panda.is_free_connex_acyclic());
         let db = random_db(10, 40, 1);
         let report = panda.plan_report(&db).unwrap();

@@ -76,11 +76,9 @@ impl StaticTdPlan {
             if atom_ids.is_empty() {
                 continue;
             }
-            let inputs: Vec<VarRelation> =
-                atom_ids.iter().map(|&i| bound[i].clone()).collect();
-            let covered: VarSet = inputs
-                .iter()
-                .fold(VarSet::EMPTY, |acc, r| acc.union(r.var_set()));
+            let inputs: Vec<VarRelation> = atom_ids.iter().map(|&i| bound[i].clone()).collect();
+            let covered: VarSet =
+                inputs.iter().fold(VarSet::EMPTY, |acc, r| acc.union(r.var_set()));
             let bag_vars = self.td.bags()[bag_idx].intersect(covered);
             let join = GenericJoin::new(covered);
             let bag_rel = join.join(&inputs, &bag_vars.to_vec());
@@ -113,9 +111,7 @@ fn sequential_join(relations: &[VarRelation], free: VarSet) -> VarRelation {
             .unwrap_or(0);
         let next = remaining.remove(pos);
         acc = acc.natural_join(&next);
-        let needed: VarSet = remaining
-            .iter()
-            .fold(free, |acc_set, r| acc_set.union(r.var_set()));
+        let needed: VarSet = remaining.iter().fold(free, |acc_set, r| acc_set.union(r.var_set()));
         acc = acc.project_to_set(acc.var_set().intersect(needed));
     }
     let order: Vec<Var> = free.to_vec();
@@ -211,11 +207,7 @@ impl PandaEvaluator {
                 }
             }
         }
-        Ok(PandaEvaluator {
-            tds,
-            partitions: partitions.into_iter().collect(),
-            max_branches: 4096,
-        })
+        Ok(PandaEvaluator { tds, partitions: partitions.into_iter().collect(), max_branches: 4096 })
     }
 
     /// Evaluates the query adaptively: the partitioned relations are split
@@ -250,16 +242,10 @@ impl PandaEvaluator {
             let Some(atom) = query.atoms().iter().find(|a| a.relation == spec.relation) else {
                 continue;
             };
-            let group_cols: Vec<usize> = spec
-                .group_vars
-                .iter()
-                .filter_map(|v| atom.position_of(*v))
-                .collect();
-            let value_cols: Vec<usize> = spec
-                .value_vars
-                .iter()
-                .filter_map(|v| atom.position_of(*v))
-                .collect();
+            let group_cols: Vec<usize> =
+                spec.group_vars.iter().filter_map(|v| atom.position_of(*v)).collect();
+            let value_cols: Vec<usize> =
+                spec.value_vars.iter().filter_map(|v| atom.position_of(*v)).collect();
             if group_cols.len() != spec.group_vars.len()
                 || value_cols.len() != spec.value_vars.len()
             {
@@ -299,11 +285,8 @@ impl PandaEvaluator {
         for td in &self.tds {
             let mut cost: f64 = 0.0;
             for &bag in td.bags() {
-                let contained: Vec<&Atom> = query
-                    .atoms()
-                    .iter()
-                    .filter(|a| a.var_set().is_subset_of(bag))
-                    .collect();
+                let contained: Vec<&Atom> =
+                    query.atoms().iter().filter(|a| a.var_set().is_subset_of(bag)).collect();
                 let bag_cost = if contained.is_empty() {
                     estimate_bag_size(query.atoms(), db, bag)
                 } else {
@@ -330,14 +313,9 @@ impl PandaEvaluator {
 #[must_use]
 pub fn estimate_bag_size(atoms: &[Atom], db: &Database, bag: VarSet) -> f64 {
     let contained: Vec<&Atom> = atoms.iter().filter(|a| a.var_set().is_subset_of(bag)).collect();
-    let covered = contained
-        .iter()
-        .fold(VarSet::EMPTY, |acc, a| acc.union(a.var_set()));
-    let join_estimate = if covered == bag {
-        chain_join_estimate(&contained, db)
-    } else {
-        f64::INFINITY
-    };
+    let covered = contained.iter().fold(VarSet::EMPTY, |acc, a| acc.union(a.var_set()));
+    let join_estimate =
+        if covered == bag { chain_join_estimate(&contained, db) } else { f64::INFINITY };
     let projection_estimate = match greedy_projection_cover(atoms, db, bag) {
         Some(cover) => cover.iter().map(|(_, _, distinct)| *distinct as f64).product(),
         None => f64::INFINITY,
@@ -362,9 +340,7 @@ pub fn chain_join_estimate(atoms: &[&Atom], db: &Database) -> f64 {
         return exact_pairwise_join_size(atoms[0], atoms[1], db);
     }
     let size_of = |atom: &Atom| -> f64 {
-        db.relation(&atom.relation)
-            .map_or(0, Relation::distinct_count)
-            .max(1) as f64
+        db.relation(&atom.relation).map_or(0, Relation::distinct_count).max(1) as f64
     };
     let mut remaining: Vec<&Atom> = atoms.to_vec();
     remaining.sort_by(|a, b| size_of(a).partial_cmp(&size_of(b)).expect("finite sizes"));
@@ -437,12 +413,7 @@ fn exact_pairwise_join_size(a: &Atom, b: &Atom, db: &Database) -> f64 {
     let (Some(ra), Some(rb)) = (db.relation(&a.relation), db.relation(&b.relation)) else {
         return 0.0;
     };
-    let shared: Vec<Var> = a
-        .vars
-        .iter()
-        .copied()
-        .filter(|v| b.vars.contains(v))
-        .collect();
+    let shared: Vec<Var> = a.vars.iter().copied().filter(|v| b.vars.contains(v)).collect();
     let cols_a: Vec<usize> = shared.iter().map(|v| a.position_of(*v).expect("shared")).collect();
     let cols_b: Vec<usize> = shared.iter().map(|v| b.position_of(*v).expect("shared")).collect();
     let mut counts: HashMap<Vec<u64>, u64> = HashMap::with_capacity(ra.len());
@@ -542,11 +513,9 @@ mod tests {
 
     fn random_graph_db(n: u64, edges: usize, seed: u64) -> Database {
         let mut rng = StdRng::seed_from_u64(seed);
-        let rel = Relation::from_rows(
-            2,
-            (0..edges).map(|_| [rng.gen_range(0..n), rng.gen_range(0..n)]),
-        )
-        .deduped();
+        let rel =
+            Relation::from_rows(2, (0..edges).map(|_| [rng.gen_range(0..n), rng.gen_range(0..n)]))
+                .deduped();
         let mut db = Database::new();
         for name in ["R", "S", "T", "U"] {
             db.insert(name, rel.clone());
@@ -563,10 +532,7 @@ mod tests {
         let expected = GenericJoin::evaluate(&q, &db);
         let got = plan.evaluate(&q, &db);
         let order: Vec<Var> = q.free_vars().to_vec();
-        assert_eq!(
-            got.canonical_rows_ordered(&order),
-            expected.canonical_rows_ordered(&order)
-        );
+        assert_eq!(got.canonical_rows_ordered(&order), expected.canonical_rows_ordered(&order));
     }
 
     #[test]
@@ -603,10 +569,7 @@ mod tests {
         for db in [random_graph_db(10, 60, 9), double_star_db(24)] {
             let expected = GenericJoin::evaluate(&q, &db);
             let got = evaluator.evaluate(&q, &db);
-            assert_eq!(
-                got.canonical_rows_ordered(&order),
-                expected.canonical_rows_ordered(&order)
-            );
+            assert_eq!(got.canonical_rows_ordered(&order), expected.canonical_rows_ordered(&order));
         }
     }
 
@@ -625,10 +588,8 @@ mod tests {
         let spec = &single.partitions[0];
         let original = db.relation(&spec.relation).unwrap();
         let single_branches = single.build_branches(&q, &db);
-        let total: usize = single_branches
-            .iter()
-            .map(|b| b.relation(&spec.relation).unwrap().len())
-            .sum();
+        let total: usize =
+            single_branches.iter().map(|b| b.relation(&spec.relation).unwrap().len()).sum();
         assert_eq!(total, original.len());
     }
 
@@ -642,10 +603,8 @@ mod tests {
         let evaluator = PandaEvaluator::plan(&q, &stats).unwrap();
         let db = double_star_db(64);
         let branches = evaluator.build_branches(&q, &db);
-        let chosen: BTreeSet<Vec<VarSet>> = branches
-            .iter()
-            .map(|b| evaluator.choose_td_for(&q, b).bags().to_vec())
-            .collect();
+        let chosen: BTreeSet<Vec<VarSet>> =
+            branches.iter().map(|b| evaluator.choose_td_for(&q, b).bags().to_vec()).collect();
         assert!(
             chosen.len() >= 2,
             "expected at least two distinct TDs to be chosen across branches, got {chosen:?}"
@@ -674,8 +633,10 @@ mod tests {
 
     #[test]
     fn sequential_join_fallback_is_correct() {
-        let a = VarRelation::new(vec![Var(0), Var(1)], Relation::from_rows(2, vec![[1, 2], [3, 4]]));
-        let b = VarRelation::new(vec![Var(1), Var(2)], Relation::from_rows(2, vec![[2, 5], [4, 6]]));
+        let a =
+            VarRelation::new(vec![Var(0), Var(1)], Relation::from_rows(2, vec![[1, 2], [3, 4]]));
+        let b =
+            VarRelation::new(vec![Var(1), Var(2)], Relation::from_rows(2, vec![[2, 5], [4, 6]]));
         let c = VarRelation::new(vec![Var(2), Var(0)], Relation::from_rows(2, vec![[5, 1]]));
         let out = sequential_join(&[a, b, c], VarSet::from_iter([Var(0), Var(2)]));
         assert_eq!(out.rel.canonical_rows(), vec![vec![1, 5]]);

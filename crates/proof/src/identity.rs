@@ -66,11 +66,7 @@ impl TermIdentity {
     /// Total number of unconditional source occurrences.
     #[must_use]
     pub fn num_unconditional_sources(&self) -> u64 {
-        self.sources
-            .iter()
-            .filter(|(t, _)| t.is_unconditional())
-            .map(|(_, c)| *c)
-            .sum()
+        self.sources.iter().filter(|(t, _)| t.is_unconditional()).map(|(_, c)| *c).sum()
     }
 
     /// Verifies that the identity holds as a formal linear identity:
@@ -175,21 +171,15 @@ impl TermIdentity {
     /// Pretty-prints the identity with variable names.
     #[must_use]
     pub fn display_with(&self, names: &[String]) -> String {
-        let t: Vec<String> = self
-            .targets
-            .iter()
-            .map(|(b, c)| format!("{c}·h{}", b.display_with(names)))
-            .collect();
+        let t: Vec<String> =
+            self.targets.iter().map(|(b, c)| format!("{c}·h{}", b.display_with(names))).collect();
         let s: Vec<String> = self
             .sources
             .iter()
             .map(|(term, c)| format!("{c}·{}", term.display_with(names)))
             .collect();
-        let w: Vec<String> = self
-            .witness
-            .iter()
-            .map(|(e, c)| format!("{c}·[{}]", e.display_with(names)))
-            .collect();
+        let w: Vec<String> =
+            self.witness.iter().map(|(e, c)| format!("{c}·[{}]", e.display_with(names))).collect();
         format!("{} = {} − ({})", t.join(" + "), s.join(" + "), w.join(" + "))
     }
 }
@@ -215,20 +205,10 @@ pub(crate) mod tests {
         sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[1, 2])), 1);
         sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[2, 3])), 1);
         let mut witness = BTreeMap::new();
-        witness.insert(
-            Elemental::Submodular { a: vs(&[0]), b: vs(&[2]), ctx: vs(&[1]) },
-            1,
-        );
-        witness.insert(
-            Elemental::Submodular { a: vs(&[1]), b: vs(&[2, 3]), ctx: VarSet::EMPTY },
-            1,
-        );
-        TermIdentity {
-            universe: vs(&[0, 1, 2, 3]),
-            targets,
-            sources,
-            witness,
-        }
+        witness.insert(Elemental::Submodular { a: vs(&[0]), b: vs(&[2]), ctx: vs(&[1]) }, 1);
+        witness
+            .insert(Elemental::Submodular { a: vs(&[1]), b: vs(&[2, 3]), ctx: VarSet::EMPTY }, 1);
+        TermIdentity { universe: vs(&[0, 1, 2, 3]), targets, sources, witness }
     }
 
     #[test]
@@ -292,8 +272,7 @@ pub(crate) mod tests {
         let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
         let stats = StatisticsSet::identical_cardinalities(&q, 1000);
         let report =
-            ddr_polymatroid_bound(&[vs(&[0, 1, 2]), vs(&[1, 2, 3])], q.all_vars(), &stats)
-                .unwrap();
+            ddr_polymatroid_bound(&[vs(&[0, 1, 2]), vs(&[1, 2, 3])], q.all_vars(), &stats).unwrap();
         let integral = report.flow.to_integral().unwrap();
         let id = TermIdentity::from_flow(&integral);
         id.verify().expect("LP-extracted identity verifies");

@@ -204,21 +204,13 @@ mod tests {
         use panda_query::parse_query;
         let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
         let stats = StatisticsSet::identical_cardinalities(&q, 4096);
-        let report = ddr_polymatroid_bound(
-            &[vs(&[0, 1, 2]), vs(&[1, 2, 3])],
-            q.all_vars(),
-            &stats,
-        )
-        .unwrap();
+        let report =
+            ddr_polymatroid_bound(&[vs(&[0, 1, 2]), vs(&[1, 2, 3])], q.all_vars(), &stats).unwrap();
         let id = TermIdentity::from_flow(&report.flow.to_integral().unwrap());
         // Drop each unconditional source in turn; at most one target is lost
         // every time and the result remains a valid identity.
-        let sources: Vec<_> = id
-            .sources
-            .keys()
-            .filter(|t| t.is_unconditional())
-            .map(|t| t.subj)
-            .collect();
+        let sources: Vec<_> =
+            id.sources.keys().filter(|t| t.is_unconditional()).map(|t| t.subj).collect();
         assert!(!sources.is_empty());
         for s in sources {
             let outcome = reset_drop_source(&id, s).unwrap();

@@ -283,9 +283,11 @@ impl ProofSequence {
                         put(&mut terms, CondTerm::new(cond, joint.difference(cond)));
                     })
                 }
-                ProofStep::Composition { cond, subj } => take(&mut terms, CondTerm::new(VarSet::EMPTY, cond))
-                    .and_then(|()| take(&mut terms, CondTerm::new(cond, subj)))
-                    .map(|()| put(&mut terms, CondTerm::new(VarSet::EMPTY, cond.union(subj)))),
+                ProofStep::Composition { cond, subj } => {
+                    take(&mut terms, CondTerm::new(VarSet::EMPTY, cond))
+                        .and_then(|()| take(&mut terms, CondTerm::new(cond, subj)))
+                        .map(|()| put(&mut terms, CondTerm::new(VarSet::EMPTY, cond.union(subj))))
+                }
                 ProofStep::Monotonicity { from, to } => {
                     if !to.is_subset_of(from) {
                         return Err(format!("step {i}: malformed monotonicity"));
@@ -305,10 +307,7 @@ impl ProofSequence {
         }
         // Every target must now be present among the unconditional terms.
         for (target, needed) in &self.identity.targets {
-            let available = terms
-                .get(&CondTerm::new(VarSet::EMPTY, *target))
-                .copied()
-                .unwrap_or(0);
+            let available = terms.get(&CondTerm::new(VarSet::EMPTY, *target)).copied().unwrap_or(0);
             if available < *needed {
                 return Err(format!(
                     "replay produced only {available} of the {needed} required copies of {target:?}"
@@ -321,11 +320,7 @@ impl ProofSequence {
     /// Pretty-prints the whole sequence, one step per line (Table 1 style).
     #[must_use]
     pub fn display_with(&self, names: &[String]) -> String {
-        self.steps
-            .iter()
-            .map(|s| s.display_with(names))
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.steps.iter().map(|s| s.display_with(names)).collect::<Vec<_>>().join("\n")
     }
 }
 
@@ -387,10 +382,8 @@ mod tests {
         id.witness.clear();
         id.targets.insert(vs(&[0]), 1);
         id.sources.insert(CondTerm::new(VarSet::EMPTY, vs(&[0, 1])), 1);
-        id.witness.insert(
-            panda_entropy::Elemental::Monotone { from: vs(&[0, 1]), to: vs(&[0]) },
-            1,
-        );
+        id.witness
+            .insert(panda_entropy::Elemental::Monotone { from: vs(&[0, 1]), to: vs(&[0]) }, 1);
         id.verify().unwrap();
         let seq = ProofSequence::derive(&id).unwrap();
         assert_eq!(seq.len(), 1);
@@ -426,10 +419,7 @@ mod tests {
         assert!(seq.verify().is_err());
         // Tamper: insert a composition whose operands don't exist.
         let mut seq2 = ProofSequence::derive(&id).unwrap();
-        seq2.steps.insert(
-            0,
-            ProofStep::Composition { cond: vs(&[0, 3]), subj: vs(&[1]) },
-        );
+        seq2.steps.insert(0, ProofStep::Composition { cond: vs(&[0, 3]), subj: vs(&[1]) });
         assert!(seq2.verify().is_err());
     }
 

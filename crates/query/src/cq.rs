@@ -41,10 +41,7 @@ impl Atom {
     /// variables not present.
     #[must_use]
     pub fn positions_of(&self, vars_wanted: &[Var]) -> Vec<Option<usize>> {
-        vars_wanted
-            .iter()
-            .map(|v| self.vars.iter().position(|w| w == v))
-            .collect()
+        vars_wanted.iter().map(|v| self.vars.iter().position(|w| w == v)).collect()
     }
 
     /// The column position of a single variable, if present.
@@ -97,10 +94,7 @@ impl ConjunctiveQuery {
             crate::var::MAX_VARS
         );
         let declared: VarSet = (0..var_names.len() as u32).map(Var).collect();
-        assert!(
-            free.is_subset_of(declared),
-            "free variables must be declared in var_names"
-        );
+        assert!(free.is_subset_of(declared), "free variables must be declared in var_names");
         for atom in &atoms {
             assert!(
                 atom.var_set().is_subset_of(declared),
@@ -215,8 +209,7 @@ impl ConjunctiveQuery {
 
 impl fmt::Display for ConjunctiveQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let free_names: Vec<&str> =
-            self.free.iter().map(|v| self.var_name(v)).collect();
+        let free_names: Vec<&str> = self.free.iter().map(|v| self.var_name(v)).collect();
         write!(f, "{}({}) :- ", self.name, free_names.join(","))?;
         let body: Vec<String> = self
             .atoms
@@ -301,10 +294,7 @@ mod tests {
             "Q",
             names,
             VarSet::EMPTY,
-            vec![
-                Atom::new("E", vec![Var(0), Var(1)]),
-                Atom::new("E", vec![Var(1), Var(2)]),
-            ],
+            vec![Atom::new("E", vec![Var(0), Var(1)]), Atom::new("E", vec![Var(1), Var(2)])],
         );
         assert!(q.has_self_join());
     }

@@ -130,9 +130,7 @@ impl DisjunctiveRule {
     /// All body variables.
     #[must_use]
     pub fn body_vars(&self) -> VarSet {
-        self.body
-            .iter()
-            .fold(VarSet::EMPTY, |acc, a| acc.union(a.var_set()))
+        self.body.iter().fold(VarSet::EMPTY, |acc, a| acc.union(a.var_set()))
     }
 
     /// `true` iff the rule is simply a conjunctive query (single disjunct).
@@ -235,10 +233,7 @@ mod tests {
         assert_eq!(ddr.body().len(), 4);
         assert!(!ddr.is_conjunctive());
         assert_eq!(ddr.body_vars(), q.all_vars());
-        assert_eq!(
-            ddr.display(),
-            "A0(X,Y,Z) ∨ A1(Y,Z,W) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)"
-        );
+        assert_eq!(ddr.display(), "A0(X,Y,Z) ∨ A1(Y,Z,W) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)");
     }
 
     #[test]

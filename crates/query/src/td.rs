@@ -71,10 +71,8 @@ impl TreeDecomposition {
     /// cover every variable, and form an acyclic hypergraph.
     #[must_use]
     pub fn is_valid_for(&self, query: &ConjunctiveQuery) -> bool {
-        let covers_atoms = query
-            .edges()
-            .iter()
-            .all(|e| self.bags.iter().any(|b| e.is_subset_of(*b)));
+        let covers_atoms =
+            query.edges().iter().all(|e| self.bags.iter().any(|b| e.is_subset_of(*b)));
         covers_atoms && self.vertices() == query.all_vars() && is_acyclic(&self.bags)
     }
 
@@ -100,9 +98,7 @@ impl TreeDecomposition {
     /// computations.
     #[must_use]
     pub fn dominates(&self, other: &TreeDecomposition) -> bool {
-        self.bags
-            .iter()
-            .all(|b| other.bags.iter().any(|ob| b.is_subset_of(*ob)))
+        self.bags.iter().all(|b| other.bags.iter().any(|ob| b.is_subset_of(*ob)))
     }
 
     /// Builds the TD induced by a variable elimination order: eliminating
@@ -172,11 +168,8 @@ impl TreeDecomposition {
     /// Pretty-prints the bags using the query's variable names.
     #[must_use]
     pub fn display_with(&self, query: &ConjunctiveQuery) -> String {
-        let parts: Vec<String> = self
-            .bags
-            .iter()
-            .map(|b| b.display_with(query.var_names()))
-            .collect();
+        let parts: Vec<String> =
+            self.bags.iter().map(|b| b.display_with(query.var_names())).collect();
         format!("[{}]", parts.join(", "))
     }
 }
@@ -243,7 +236,8 @@ mod tests {
         let bad = TreeDecomposition::new(vec![vs(&[0, 1, 2]), vs(&[2, 3])]);
         assert!(!bad.is_valid_for(&q));
         // Cyclic bag structure is not a TD:
-        let cyclic = TreeDecomposition::new(vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3]), vs(&[3, 0])]);
+        let cyclic =
+            TreeDecomposition::new(vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3]), vs(&[3, 0])]);
         assert!(!cyclic.is_valid_for(&q));
         // Trivial TD is always valid.
         let trivial = TreeDecomposition::new(vec![q.all_vars()]);
@@ -291,9 +285,7 @@ mod tests {
         let q = parse_query("Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D)").unwrap();
         let tds = TreeDecomposition::enumerate(&q);
         // The path query's own edges form the best TD.
-        assert!(tds
-            .iter()
-            .any(|td| td.bags() == &[vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3])]));
+        assert!(tds.iter().any(|td| td.bags() == [vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3])]));
         for td in &tds {
             assert!(td.is_valid_for(&q));
             assert!(td.join_tree().is_some());
@@ -313,16 +305,10 @@ mod tests {
     fn elimination_order_yields_figure1_td() {
         let q = four_cycle();
         // Eliminate Y first, then Z, W, X ⇒ bags {XYZ}, {XZW}, … reduced to T1.
-        let td = TreeDecomposition::from_elimination_order(
-            &q,
-            &[Var(1), Var(2), Var(3), Var(0)],
-        );
+        let td = TreeDecomposition::from_elimination_order(&q, &[Var(1), Var(2), Var(3), Var(0)]);
         assert_eq!(td.bags(), &[vs(&[0, 1, 2]), vs(&[2, 3, 0])]);
         // Eliminate X first ⇒ T2.
-        let td2 = TreeDecomposition::from_elimination_order(
-            &q,
-            &[Var(0), Var(1), Var(2), Var(3)],
-        );
+        let td2 = TreeDecomposition::from_elimination_order(&q, &[Var(0), Var(1), Var(2), Var(3)]);
         assert_eq!(td2.bags(), &[vs(&[3, 0, 1]), vs(&[1, 2, 3])]);
     }
 

@@ -54,7 +54,11 @@ impl VarSet {
     /// A singleton set.
     #[must_use]
     pub fn singleton(v: Var) -> Self {
-        assert!((v.0 as usize) < MAX_VARS, "variable index {} exceeds the {MAX_VARS}-variable limit", v.0);
+        assert!(
+            (v.0 as usize) < MAX_VARS,
+            "variable index {} exceeds the {MAX_VARS}-variable limit",
+            v.0
+        );
         VarSet(1 << v.0)
     }
 
@@ -138,13 +142,15 @@ impl VarSet {
 
     /// Iterates over the member variables in increasing index order.
     pub fn iter(self) -> impl Iterator<Item = Var> {
-        (0..MAX_VARS as u32).filter_map(move |i| {
-            if self.0 & (1 << i) != 0 {
-                Some(Var(i))
-            } else {
-                None
-            }
-        })
+        (0..MAX_VARS as u32).filter_map(
+            move |i| {
+                if self.0 & (1 << i) != 0 {
+                    Some(Var(i))
+                } else {
+                    None
+                }
+            },
+        )
     }
 
     /// The members as a vector (increasing index order).
@@ -156,10 +162,8 @@ impl VarSet {
     /// Formats the set using the provided variable names, e.g. `{X,Y,Z}`.
     #[must_use]
     pub fn display_with(self, names: &[String]) -> String {
-        let parts: Vec<&str> = self
-            .iter()
-            .map(|v| names.get(v.index()).map_or("?", String::as_str))
-            .collect();
+        let parts: Vec<&str> =
+            self.iter().map(|v| names.get(v.index()).map_or("?", String::as_str)).collect();
         format!("{{{}}}", parts.join(","))
     }
 

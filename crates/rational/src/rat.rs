@@ -185,9 +185,7 @@ impl Rat {
         // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d) keeps the
         // intermediates as small as possible.
         let g = gcd(self.den, rhs.den);
-        let l = (self.den / g)
-            .checked_mul(rhs.den)
-            .expect("Rat addition overflow (denominator)");
+        let l = (self.den / g).checked_mul(rhs.den).expect("Rat addition overflow (denominator)");
         let lhs_scale = l / self.den;
         let rhs_scale = l / rhs.den;
         let num = self
@@ -287,19 +285,17 @@ impl FromStr for Rat {
             Some((n, d)) => (n.trim(), Some(d.trim())),
             None => (s, None),
         };
-        let num: i128 = num_str.parse().map_err(|_| ParseRatError {
-            message: format!("bad numerator in `{s}`"),
-        })?;
+        let num: i128 = num_str
+            .parse()
+            .map_err(|_| ParseRatError { message: format!("bad numerator in `{s}`") })?;
         let den: i128 = match den_str {
-            Some(d) => d.parse().map_err(|_| ParseRatError {
-                message: format!("bad denominator in `{s}`"),
-            })?,
+            Some(d) => d
+                .parse()
+                .map_err(|_| ParseRatError { message: format!("bad denominator in `{s}`") })?,
             None => 1,
         };
         if den == 0 {
-            return Err(ParseRatError {
-                message: format!("zero denominator in `{s}`"),
-            });
+            return Err(ParseRatError { message: format!("zero denominator in `{s}`") });
         }
         Ok(Rat::new(num, den))
     }
@@ -314,14 +310,8 @@ impl PartialOrd for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
         // Compare a/b and c/d via a*d vs c*b (denominators positive).
-        let lhs = self
-            .num
-            .checked_mul(other.den)
-            .expect("Rat comparison overflow");
-        let rhs = other
-            .num
-            .checked_mul(self.den)
-            .expect("Rat comparison overflow");
+        let lhs = self.num.checked_mul(other.den).expect("Rat comparison overflow");
+        let rhs = other.num.checked_mul(self.den).expect("Rat comparison overflow");
         lhs.cmp(&rhs)
     }
 }

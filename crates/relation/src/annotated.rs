@@ -120,10 +120,7 @@ impl<S: Semiring> AnnotatedRelation<S> {
         let mut combined: HashMap<Tuple, S::Elem> = HashMap::with_capacity(self.rows.len());
         for (row, ann) in self.iter() {
             let key: Tuple = cols.iter().map(|&c| row[c]).collect();
-            combined
-                .entry(key)
-                .and_modify(|e| *e = S::add(e, ann))
-                .or_insert_with(|| ann.clone());
+            combined.entry(key).and_modify(|e| *e = S::add(e, ann)).or_insert_with(|| ann.clone());
         }
         let mut out = AnnotatedRelation::new(cols.len());
         let mut entries: Vec<(Tuple, S::Elem)> = combined.into_iter().collect();
@@ -184,9 +181,7 @@ impl<S: Semiring> AnnotatedRelation<S> {
     /// FAQ, e.g. the total count for `#CQ`).
     #[must_use]
     pub fn total(&self) -> S::Elem {
-        self.annotations
-            .iter()
-            .fold(S::zero(), |acc, a| S::add(&acc, a))
+        self.annotations.iter().fold(S::zero(), |acc, a| S::add(&acc, a))
     }
 
     /// Looks up the (normalized) annotation of a tuple; `zero` if absent.

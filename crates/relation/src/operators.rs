@@ -219,10 +219,7 @@ mod tests {
         let s = Relation::from_rows(2, vec![[2, 5], [2, 6], [3, 7], [9, 9]]);
         let out = join(&r, &s, &[(1, 0)]);
         assert_eq!(out.arity(), 3);
-        assert_eq!(
-            out.canonical_rows(),
-            vec![vec![1, 2, 5], vec![1, 2, 6], vec![2, 3, 7]]
-        );
+        assert_eq!(out.canonical_rows(), vec![vec![1, 2, 5], vec![1, 2, 6], vec![2, 3, 7]]);
     }
 
     #[test]

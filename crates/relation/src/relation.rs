@@ -77,12 +77,11 @@ impl Relation {
     /// The number of stored tuples (duplicates included if any).
     #[must_use]
     pub fn len(&self) -> usize {
-        if self.arity == 0 {
+        match self.data.len().checked_div(self.arity) {
+            Some(rows) => rows,
             // A zero-arity relation is either empty or the single empty
             // tuple; we encode the latter by a one-element marker vector.
-            usize::from(!self.data.is_empty())
-        } else {
-            self.data.len() / self.arity
+            None => usize::from(!self.data.is_empty()),
         }
     }
 
@@ -155,17 +154,10 @@ impl Relation {
             return;
         }
         let mut seen: HashSet<&[Value]> = HashSet::with_capacity(self.len());
-        let mut keep = vec![false; self.len()];
-        for i in 0..self.len() {
-            let row = &self.data[i * self.arity..(i + 1) * self.arity];
-            if seen.insert(row) {
-                keep[i] = true;
-            }
-        }
         let mut out = Vec::with_capacity(self.data.len());
-        for (i, keep_row) in keep.iter().enumerate() {
-            if *keep_row {
-                out.extend_from_slice(&self.data[i * self.arity..(i + 1) * self.arity]);
+        for row in self.data.chunks_exact(self.arity) {
+            if seen.insert(row) {
+                out.extend_from_slice(row);
             }
         }
         self.data = out;

@@ -178,7 +178,11 @@ pub fn bucket_by_degree(
 /// Returns every degree value observed per group, sorted descending.
 /// Useful for computing ℓ_k norms of degree sequences (Section 9.2).
 #[must_use]
-pub fn degree_sequence(relation: &Relation, group_cols: &[usize], value_cols: &[usize]) -> Vec<usize> {
+pub fn degree_sequence(
+    relation: &Relation,
+    group_cols: &[usize],
+    value_cols: &[usize],
+) -> Vec<usize> {
     let mut degrees: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
     for row in relation.iter() {
         let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
@@ -222,10 +226,7 @@ mod tests {
 
     fn skewed() -> Relation {
         // y=1 has degree 4, y=2 degree 2, y=3 degree 1.
-        Relation::from_rows(
-            2,
-            vec![[1, 10], [1, 11], [1, 12], [1, 13], [2, 20], [2, 21], [3, 30]],
-        )
+        Relation::from_rows(2, vec![[1, 10], [1, 11], [1, 12], [1, 13], [2, 20], [2, 21], [3, 30]])
     }
 
     #[test]
@@ -275,7 +276,12 @@ mod tests {
         assert_eq!(total, r.len());
         for b in &buckets {
             let d = max_degree(&b.relation, &[0], &[1]);
-            assert!(d >= b.degree_lo && d <= b.degree_hi, "degree {d} outside [{}, {}]", b.degree_lo, b.degree_hi);
+            assert!(
+                d >= b.degree_lo && d <= b.degree_hi,
+                "degree {d} outside [{}, {}]",
+                b.degree_lo,
+                b.degree_hi
+            );
         }
         // degrees 4, 2, 1 land in buckets [4,7], [2,3], [1,1].
         assert_eq!(buckets.len(), 3);

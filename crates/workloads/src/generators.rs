@@ -13,11 +13,9 @@ pub fn erdos_renyi_db(names: &[&str], n: u64, edges: usize, seed: u64) -> Databa
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
     for name in names {
-        let rel = Relation::from_rows(
-            2,
-            (0..edges).map(|_| [rng.gen_range(0..n), rng.gen_range(0..n)]),
-        )
-        .deduped();
+        let rel =
+            Relation::from_rows(2, (0..edges).map(|_| [rng.gen_range(0..n), rng.gen_range(0..n)]))
+                .deduped();
         db.insert(*name, rel);
     }
     db
@@ -46,11 +44,9 @@ pub fn zipf_graph_db(names: &[&str], n: u64, edges: usize, exponent: f64, seed: 
     };
     let mut db = Database::new();
     for name in names {
-        let rel = Relation::from_rows(
-            2,
-            (0..edges).map(|_| [sample(&mut rng), rng.gen_range(0..n)]),
-        )
-        .deduped();
+        let rel =
+            Relation::from_rows(2, (0..edges).map(|_| [sample(&mut rng), rng.gen_range(0..n)]))
+                .deduped();
         db.insert(*name, rel);
     }
     db
@@ -142,7 +138,10 @@ mod tests {
     fn erdos_renyi_is_reproducible_and_bounded() {
         let a = erdos_renyi_db(&["R", "S"], 50, 200, 7);
         let b = erdos_renyi_db(&["R", "S"], 50, 200, 7);
-        assert_eq!(a.relation("R").unwrap().canonical_rows(), b.relation("R").unwrap().canonical_rows());
+        assert_eq!(
+            a.relation("R").unwrap().canonical_rows(),
+            b.relation("R").unwrap().canonical_rows()
+        );
         assert!(a.relation("R").unwrap().len() <= 200);
         assert_eq!(a.num_relations(), 2);
     }
@@ -177,7 +176,8 @@ mod tests {
         let small = path_instance(300, 1, 2);
         let big = path_instance(300, 10, 2);
         // More fanout ⇒ fewer groups ⇒ denser join.
-        let small_groups = panda_relation::stats::distinct_count(small.relation("R").unwrap(), &[1]);
+        let small_groups =
+            panda_relation::stats::distinct_count(small.relation("R").unwrap(), &[1]);
         let big_groups = panda_relation::stats::distinct_count(big.relation("R").unwrap(), &[1]);
         assert!(big_groups < small_groups);
     }

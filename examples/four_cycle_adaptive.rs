@@ -10,7 +10,6 @@
 use std::time::Instant;
 
 use panda::core::{BinaryJoinPlan, PandaEvaluator, StaticTdPlan};
-use panda::prelude::*;
 use panda::workloads::{double_star_db, four_cycle_projected, s_square_statistics};
 
 fn main() {
@@ -27,7 +26,10 @@ fn main() {
         );
     }
 
-    println!("\n{:>8} {:>10} {:>14} {:>14} {:>14}", "N", "|output|", "adaptive", "static TD", "binary joins");
+    println!(
+        "\n{:>8} {:>10} {:>14} {:>14} {:>14}",
+        "N", "|output|", "adaptive", "static TD", "binary joins"
+    );
     for half in [256u64, 512, 1024, 2048] {
         let db = double_star_db(half);
         let n = db.relation("R").unwrap().len();

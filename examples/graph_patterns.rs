@@ -32,7 +32,11 @@ fn main() {
         assert_eq!(wcoj.rel.canonical_rows(), binary.rel.canonical_rows());
 
         println!("\n{label}: N = {n}");
-        println!("  AGM bound             = N^{} ≈ {:.0} tuples", bound.log_bound, bound.tuple_bound());
+        println!(
+            "  AGM bound             = N^{} ≈ {:.0} tuples",
+            bound.log_bound,
+            bound.tuple_bound()
+        );
         println!("  triangles found       = {}", wcoj.len());
         println!("  worst-case optimal    = {wcoj_time:.1?}");
         println!("  binary join baseline  = {binary_time:.1?}");

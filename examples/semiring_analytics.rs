@@ -20,10 +20,7 @@ fn main() {
     println!("  satisfiable (𝔹,∨,∧)   = {}", faq::is_satisfiable(&chain, &db));
     // Minimum total "shipping cost" where each hop (a, b) costs |a − b| mod 17.
     let cost = |_: &str, row: &[u64]| (row[0].abs_diff(row[1]) % 17) as i64;
-    println!(
-        "  min total cost (min,+) = {:?}",
-        faq::min_weight(&chain, &db, &cost)
-    );
+    println!("  min total cost (min,+) = {:?}", faq::min_weight(&chain, &db, &cost));
 
     // The cyclic 4-cycle body: counting uses a single tree decomposition
     // because the counting semiring is not idempotent (the paper's open

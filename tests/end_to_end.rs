@@ -18,9 +18,7 @@ fn random_db_for(query: &ConjunctiveQuery, n: u64, tuples: usize, seed: u64) -> 
         }
         let rel = Relation::from_rows(
             atom.arity(),
-            (0..tuples).map(|_| {
-                (0..atom.arity()).map(|_| rng.gen_range(0..n)).collect::<Vec<_>>()
-            }),
+            (0..tuples).map(|_| (0..atom.arity()).map(|_| rng.gen_range(0..n)).collect::<Vec<_>>()),
         )
         .deduped();
         db.insert(atom.relation.clone(), rel);

@@ -80,7 +80,8 @@ fn s_full_statistics_tighten_the_bound() {
     assert_eq!(loose.log_bound, Rat::from_int(2));
     let tight = polymatroid_bound(q.all_vars(), q.all_vars(), &s_full_statistics(n, 1)).unwrap();
     assert!(tight.log_bound <= Rat::new(3, 2));
-    let mid = polymatroid_bound(q.all_vars(), q.all_vars(), &s_full_statistics(n, 1 << 10)).unwrap();
+    let mid =
+        polymatroid_bound(q.all_vars(), q.all_vars(), &s_full_statistics(n, 1 << 10)).unwrap();
     assert!(mid.log_bound > tight.log_bound);
     assert!(mid.log_bound < loose.log_bound);
     // And every certificate verifies.
@@ -105,9 +106,8 @@ fn every_strategy_agrees_on_the_double_star_instance() {
     let db = double_star_db(32);
     let panda = Panda::new(q.clone());
     let order: Vec<Var> = q.free_vars().to_vec();
-    let reference = panda
-        .evaluate_with(&db, EvaluationStrategy::GenericJoin)
-        .canonical_rows_ordered(&order);
+    let reference =
+        panda.evaluate_with(&db, EvaluationStrategy::GenericJoin).canonical_rows_ordered(&order);
     for strategy in [
         EvaluationStrategy::Auto,
         EvaluationStrategy::StaticTd,

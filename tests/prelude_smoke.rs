@@ -1,0 +1,96 @@
+//! Smoke tests for the umbrella crate: every `panda::prelude` item must
+//! resolve, and the paper's running example (the projected 4-cycle,
+//! Eq. 2) must parse, plan and evaluate through the flat re-exports
+//! alone.  This pins the public surface that `src/lib.rs` promises; a
+//! rename in any member crate that breaks a re-export fails here first,
+//! with a clearer message than a doctest.
+
+use panda::prelude::*;
+
+/// Mentioning a type is enough to prove the re-export resolves; the
+/// turbofish-free `let _: Type` form also checks it is a *type*, not a
+/// stray module or function.
+#[test]
+fn every_prelude_type_resolves() {
+    fn assert_type<T: ?Sized>() {}
+
+    // panda-core
+    assert_type::<BinaryJoinPlan>();
+    assert_type::<DdrEvaluator>();
+    assert_type::<EvaluationStrategy>();
+    assert_type::<GenericJoin>();
+    assert_type::<Panda>();
+    assert_type::<PandaEvaluator>();
+    assert_type::<StaticTdPlan>();
+    assert_type::<VarRelation>();
+    // panda-entropy
+    assert_type::<ShannonFlow>();
+    assert_type::<Statistic>();
+    assert_type::<StatisticsSet>();
+    // panda-proof
+    assert_type::<ProofSequence>();
+    assert_type::<ProofStep>();
+    assert_type::<TermIdentity>();
+    // panda-query
+    assert_type::<Atom>();
+    assert_type::<BagSelector>();
+    assert_type::<ConjunctiveQuery>();
+    assert_type::<DisjunctiveRule>();
+    assert_type::<TreeDecomposition>();
+    assert_type::<Var>();
+    assert_type::<VarSet>();
+    // panda-rational
+    assert_type::<Rat>();
+    // panda-relation
+    assert_type::<Database>();
+    assert_type::<Relation>();
+}
+
+#[test]
+fn every_prelude_function_resolves() {
+    // Taking a function pointer proves each free-function re-export
+    // resolves with its expected shape without running anything.
+    let _: fn(&str) -> Result<ConjunctiveQuery, panda::query::ParseError> = parse_query;
+    let _ = agm_bound;
+    let _ = ddr_polymatroid_bound;
+    let _ = fhtw;
+    let _ = polymatroid_bound;
+    let _ = subw;
+}
+
+#[test]
+fn four_cycle_parses_plans_and_evaluates_via_prelude() {
+    // The paper's running example, end to end through the prelude.
+    let query = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+    assert_eq!(query.atoms().len(), 4);
+    assert_eq!(query.free_vars().len(), 2);
+
+    // Widths under identical cardinalities (Eq. 23): fhtw = 2, subw = 3/2.
+    let stats = StatisticsSet::identical_cardinalities(&query, 1_000_000);
+    assert_eq!(fhtw(&query, &stats).unwrap().value, Rat::from_int(2));
+    assert_eq!(subw(&query, &stats).unwrap().value, Rat::new(3, 2));
+
+    // Figure 2's instance: (1,p) and (1,q) extend to 4-cycles.
+    let db = panda::workloads::figure2_db();
+    let answer = Panda::new(query).evaluate(&db);
+    assert_eq!(answer.len(), 2);
+}
+
+#[test]
+fn umbrella_modules_reach_every_member_crate() {
+    // One cheap call per re-exported module, so a dropped `pub use` in
+    // src/lib.rs cannot go unnoticed.
+    assert_eq!(panda::rational::gcd(12, 18), 6);
+    let lp = panda::lp::LinearProgram::new(1);
+    drop(lp);
+    assert_eq!(panda::relation::Relation::new(2).arity(), 2);
+    assert_eq!(panda::query::Var(3).0, 3);
+    let q = parse_query("Q(X) :- R(X,Y), S(Y,X)").unwrap();
+    let stats = panda::entropy::StatisticsSet::identical_cardinalities(&q, 100);
+    let universe = q.all_vars();
+    assert!(panda::entropy::polymatroid_bound(universe, universe, &stats).is_ok());
+    let m = panda::fmm::BoolMatrix::zeros(4, 4);
+    assert_eq!(m.count_ones(), 0);
+    let db = panda::workloads::figure2_db();
+    assert!(db.relation("R").is_some());
+}

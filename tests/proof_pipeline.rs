@@ -42,12 +42,8 @@ fn reset_lemma_holds_for_every_unconditional_source_of_the_subw_certificates() {
     let report = subw(&q, &stats).unwrap();
     for sel in &report.per_selector {
         let identity = TermIdentity::from_flow(&sel.report.flow.to_integral().unwrap());
-        let sources: Vec<VarSet> = identity
-            .sources
-            .keys()
-            .filter(|t| t.is_unconditional())
-            .map(|t| t.subj)
-            .collect();
+        let sources: Vec<VarSet> =
+            identity.sources.keys().filter(|t| t.is_unconditional()).map(|t| t.subj).collect();
         for s in sources {
             let outcome = reset_drop_source(&identity, s).unwrap();
             outcome.identity.verify().unwrap();

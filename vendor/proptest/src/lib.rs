@@ -1,0 +1,384 @@
+//! A minimal, dependency-free, offline stand-in for the parts of the
+//! [`proptest` 1.x](https://docs.rs/proptest/1) API used by the workspace
+//! property tests.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves its `proptest = "1"` dependency to this vendored shim.  It
+//! supports exactly the surface the tests use:
+//!
+//! * the [`proptest!`] macro (multiple `#[test] fn name(arg in strategy)`
+//!   items per invocation),
+//! * range strategies (`0u64..15`, `-1000i128..1000`, `1usize..6`, ...),
+//!   tuple strategies, [`collection::vec`], and [`Strategy::prop_map`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated inputs printed, but is not minimised), and a fixed
+//! deterministic seed per test function (override the case count with the
+//! `PROPTEST_CASES` environment variable).
+
+use std::ops::Range;
+
+pub use strategy::Strategy;
+
+/// Commonly used items, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Strategies for collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of values from an element strategy,
+    /// with a length drawn uniformly from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy generating vectors whose elements come from
+    /// `element` and whose lengths lie in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec strategy size range must be non-empty");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_usize(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The strategy abstraction: a recipe for generating random values.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::Range;
+
+    /// A recipe for generating values of an associated type, mirroring
+    /// `proptest::strategy::Strategy` (without shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`, mirroring `prop_map`.
+        fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $via:ident),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    rng.$via(self.start as i128, self.end as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        u8 => gen_i128,
+        u16 => gen_i128,
+        u32 => gen_i128,
+        u64 => gen_i128,
+        usize => gen_i128,
+        i8 => gen_i128,
+        i16 => gen_i128,
+        i32 => gen_i128,
+        i64 => gen_i128,
+        isize => gen_i128,
+        i128 => gen_i128,
+    );
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+/// The deterministic runner behind [`proptest!`].
+pub mod test_runner {
+    /// Number of cases per property, read from `PROPTEST_CASES` (default
+    /// 64).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+
+    /// A deterministic xoshiro256** generator; seeded from the test name
+    /// so every property has a reproducible stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates a generator deterministically seeded from `name`.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name, then SplitMix64 expansion.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = h;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform `i128` in `[lo, hi)`; covers every integer width the
+        /// strategies support (all fit in `i128`).
+        pub fn gen_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo < hi, "cannot sample empty range");
+            // Wrapping arithmetic throughout: for ranges wider than
+            // i128::MAX the plain difference (and the final addition)
+            // would overflow, but mod-2^128 arithmetic still lands the
+            // result exactly in [lo, hi).
+            let span = hi.wrapping_sub(lo) as u128;
+            let r = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            lo.wrapping_add((r % span) as i128)
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn gen_usize(&mut self, lo: usize, hi: usize) -> usize {
+            self.gen_i128(lo as i128, hi as i128) as usize
+        }
+    }
+}
+
+/// Asserts a condition inside a property, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Skips the current case when an assumption fails, mirroring
+/// `prop_assume!`.  Only valid inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(());
+        }
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each declared function runs [`test_runner::cases`] cases with inputs
+/// drawn from the given strategies.  Failures panic with the generated
+/// inputs included in the message (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..$crate::test_runner::cases() {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), ()> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match result {
+                    // Ok(Ok(())) — case passed; Ok(Err(())) — prop_assume
+                    // rejected the case; Err — an assertion failed.
+                    ::std::result::Result::Ok(_) => {}
+                    ::std::result::Result::Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<::std::string::String>()
+                            .map(::std::string::String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!(
+                            "property {} failed at case {} with inputs {:?}: {}",
+                            stringify!($name),
+                            case,
+                            ($(&$arg,)+),
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_stay_in_bounds");
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u64..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(-5i128..5), &mut rng);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn ranges_wider_than_i128_max_do_not_overflow() {
+        let mut rng = TestRng::deterministic("ranges_wider_than_i128_max");
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(i128::MIN..i128::MAX), &mut rng);
+            assert!(v < i128::MAX);
+            neg |= v < 0;
+            pos |= v >= 0;
+        }
+        assert!(neg && pos, "both halves of the i128 range reachable");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::deterministic("vec_strategy_respects_length");
+        for _ in 0..50 {
+            let v = Strategy::generate(&crate::collection::vec((0u64..4, 0u64..4), 1..7), &mut rng);
+            assert!((1..7).contains(&v.len()));
+            assert!(v.iter().all(|(a, b)| *a < 4 && *b < 4));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::deterministic("prop_map_applies");
+        let s = (0i128..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert_eq!(v % 2, 0);
+            assert!((0..20).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in 0u32..100, b in 0u32..100) {
+            prop_assume!(a != b);
+            prop_assert!(a + b < 200);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property macro_failure failed at case")]
+    #[allow(unnameable_test_items)]
+    fn macro_reports_failing_inputs() {
+        proptest! {
+            #[test]
+            fn macro_failure(a in 5u32..6) {
+                prop_assert!(a < 5, "a was {}", a);
+            }
+        }
+        macro_failure();
+    }
+}

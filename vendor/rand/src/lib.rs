@@ -1,0 +1,267 @@
+//! A minimal, dependency-free, offline stand-in for the parts of the
+//! [`rand` 0.8](https://docs.rs/rand/0.8) API that this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves its `rand = "0.8"` dependency to this vendored shim.  It
+//! provides:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256** generator seeded via
+//!   SplitMix64, matching the `SeedableRng::seed_from_u64` contract of the
+//!   real crate (same seed ⇒ same stream across runs and platforms; the
+//!   stream itself differs from upstream `rand`, which is fine because the
+//!   workspace only relies on determinism, never on specific values),
+//! * the [`Rng`] and [`SeedableRng`] traits with `gen`, `gen_range` and
+//!   `gen_bool`,
+//! * [`distributions::Standard`] as the sampling bound behind `Rng::gen`.
+//!
+//! Only the surface actually exercised by the workspace is implemented;
+//! anything else is intentionally absent so accidental reliance on
+//! unvendored behaviour fails loudly at compile time.
+
+use std::ops::Range;
+
+/// Trait for seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.  Deterministic: the same
+    /// seed always produces the same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core source of randomness, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled from the [`distributions::Standard`]
+/// distribution via [`Rng::gen`].
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision, like upstream rand.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                // Widening multiply maps 64 random bits onto the span with
+                // negligible bias for the small spans used in tests.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                self.start + hi
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u64, u32, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // The wrapped difference must go through the same-width
+                // unsigned twin: widening a negative difference directly
+                // to u128 would sign-extend and inflate the span.
+                let span = self.end.wrapping_sub(self.start) as $u as u128;
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as $u;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i64 => u64, i32 => u32, isize => usize);
+
+/// User-facing generator methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open, must be non-empty).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} not in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic xoshiro256** generator standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the
+            // xoshiro authors (and used by upstream rand for seed_from_u64).
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distribution types, mirroring `rand::distributions`.
+pub mod distributions {
+    /// The standard distribution (marker; sampling goes through
+    /// [`crate::StandardSample`]).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            let v = rng.gen_range(0..6u64);
+            assert!(v < 6);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+        for _ in 0..200 {
+            let v = rng.gen_range(-10i64..10);
+            assert!((-10..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_full_width_signed_spans() {
+        // Spans wider than the signed max must not sign-extend: the
+        // wrapped difference goes through the unsigned twin.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..200 {
+            let v = rng.gen_range(i32::MIN..i32::MAX);
+            assert!(v < i32::MAX);
+            neg |= v < 0;
+            pos |= v >= 0;
+        }
+        assert!(neg && pos, "both halves of the i32 range reachable");
+        for _ in 0..200 {
+            let v = rng.gen_range(i64::MIN..0);
+            assert!(v < 0);
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.2)).count();
+        assert!((300..500).contains(&hits), "hits {hits}");
+    }
+}
