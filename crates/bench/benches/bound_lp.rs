@@ -1,10 +1,13 @@
 //! E2 — benchmarks the polymatroid-bound LP (Theorem 4.1) for the paper's
-//! full 4-cycle query under the statistics S_full of Eq. (16).
+//! full 4-cycle query under the statistics S_full of Eq. (16), plus the
+//! 5-variable configuration (the full 5-cycle bound over Γ₅).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_bench::{lp_bench_config, lp_bench_config_5var};
 use panda_entropy::polymatroid_bound;
-use panda_workloads::{four_cycle_full, s_full_statistics};
-use std::time::Duration;
+use panda_workloads::{
+    five_cycle_projected, four_cycle_full, s_full_statistics, s_pentagon_statistics,
+};
 
 fn bench_bound_lp(c: &mut Criterion) {
     let query = four_cycle_full();
@@ -20,12 +23,26 @@ fn bench_bound_lp(c: &mut Criterion) {
     group.finish();
 }
 
+/// The 5-variable polymatroid bound `max h(ABCDE)` over Γ₅ under identical
+/// cardinalities — a single large LP (31 entropy variables, ~100 rows).
+fn bench_bound_lp_five(c: &mut Criterion) {
+    let query = five_cycle_projected();
+    let stats = s_pentagon_statistics(1 << 20);
+    let mut group = c.benchmark_group("polymatroid_bound_5cycle");
+    group.bench_function("full_target", |b| {
+        b.iter(|| polymatroid_bound(query.all_vars(), query.all_vars(), &stats).unwrap().log_bound)
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(900))
+    lp_bench_config()
+}
+
+fn config5() -> Criterion {
+    lp_bench_config_5var()
 }
 
 criterion_group! { name = benches; config = config(); targets = bench_bound_lp }
-criterion_main!(benches);
+criterion_group! { name = benches5; config = config5(); targets = bench_bound_lp_five }
+criterion_main!(benches, benches5);

@@ -1,11 +1,16 @@
 //! E3/E4 — benchmarks the fhtw and subw computations (Eq. 22 and Eq. 41)
 //! for the paper's 4-cycle query, including TD enumeration, the bag-selector
-//! cross product and all the LPs.
+//! cross product and all the LPs, plus the 5-variable `subw` configurations
+//! (the 5-cycle's per-selector Γ₅ LPs) that size the LP solver itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use panda_entropy::{fhtw, subw};
-use panda_workloads::{four_cycle_projected, s_square_statistics};
-use std::time::Duration;
+use panda_bench::{lp_bench_config, lp_bench_config_5var};
+use panda_entropy::{ddr_polymatroid_bound, fhtw, subw};
+use panda_query::{BagSelector, TreeDecomposition};
+use panda_rational::Rat;
+use panda_workloads::{
+    five_cycle_projected, four_cycle_projected, s_pentagon_statistics, s_square_statistics,
+};
 
 fn bench_widths(c: &mut Criterion) {
     let query = four_cycle_projected();
@@ -16,12 +21,39 @@ fn bench_widths(c: &mut Criterion) {
     group.finish();
 }
 
+/// The 5-variable `subw` configurations: the full 5-cycle enumeration has
+/// 197 bag selectors, so the bench solves a representative spread of three
+/// selector LPs (first, middle, last of the enumeration) — the exact unit
+/// of work `subw` repeats per selector.
+fn bench_subw_five_cycle(c: &mut Criterion) {
+    let query = five_cycle_projected();
+    let stats = s_pentagon_statistics(1 << 20);
+    let universe = query.all_vars();
+    let tds = TreeDecomposition::enumerate(&query);
+    let selectors = BagSelector::enumerate(&tds);
+    let picks = [0, selectors.len() / 2, selectors.len() - 1];
+    let mut group = c.benchmark_group("subw5_five_cycle");
+    group.bench_function("selector_lps_x3", |b| {
+        b.iter(|| {
+            let mut worst = Rat::ZERO;
+            for &i in &picks {
+                let report = ddr_polymatroid_bound(selectors[i].bags(), universe, &stats).unwrap();
+                worst = worst.max(report.log_bound);
+            }
+            worst
+        })
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(900))
+    lp_bench_config()
+}
+
+fn config5() -> Criterion {
+    lp_bench_config_5var()
 }
 
 criterion_group! { name = benches; config = config(); targets = bench_widths }
-criterion_main!(benches);
+criterion_group! { name = benches5; config = config5(); targets = bench_subw_five_cycle }
+criterion_main!(benches, benches5);

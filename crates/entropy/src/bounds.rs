@@ -13,7 +13,10 @@
 //! Every bound comes back as a [`BoundReport`] carrying the optimal value
 //! *and* the dual certificate as a verified [`ShannonFlow`].
 
-use panda_lp::{ConstraintOp, LinearProgram, LpOutcome};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use panda_lp::{Basis, ConstraintOp, LinearProgram, LpOutcome};
 use panda_query::{BagSelector, ConjunctiveQuery, TreeDecomposition, VarSet};
 use panda_rational::Rat;
 
@@ -119,44 +122,27 @@ impl SubwReport {
     }
 }
 
-/// Internal: the Γ_n-plus-statistics LP with bookkeeping for dual
-/// extraction.
-struct GammaLp {
+/// The target-independent part of a Γ_n LP: the entropy variable space,
+/// the statistics rows and the elemental Shannon rows with their sparse
+/// coefficients, all pre-derived so that instantiating a concrete LP is a
+/// matter of replaying stored rows instead of re-enumerating the
+/// `O(n² · 2ⁿ)` elemental inequalities.
+///
+/// `subw` solves one LP per bag selector — 197 of them for the 5-cycle —
+/// and `fhtw` one per bag, all over the same `(universe, statistics)`
+/// scaffold, which is why scaffolds are memoised in a small thread-local
+/// cache keyed by exactly that pair (see [`scaffold_for`]).
+struct GammaScaffold {
     space: EntropyVarSpace,
-    lp: LinearProgram,
-    stat_rows: Vec<usize>,
-    elemental_rows: Vec<(usize, Elemental)>,
-    /// `(row, bag)` rows of the form `t − h(B) ≤ 0` (empty when a single
-    /// target is maximised directly).
-    target_rows: Vec<(usize, VarSet)>,
-    /// Index of the auxiliary `t` variable, if any.
-    t_var: Option<usize>,
+    /// Per-statistic `(sparse coefficients, rhs)` of the `≤` rows.
+    stat_rows: Vec<(Vec<(usize, Rat)>, Rat)>,
+    /// Elemental inequalities with their sparse `≥ 0` coefficients.
+    elementals: Vec<(Elemental, Vec<(usize, Rat)>)>,
 }
 
-impl GammaLp {
-    /// Builds the LP `max h(target)` (single target) or `max t` with
-    /// `t ≤ h(B)` for every target (DDR form), subject to `h ⊨ S, Γ_n`.
-    fn build(universe: VarSet, stats: &StatisticsSet, targets: &[VarSet]) -> Self {
-        assert!(!targets.is_empty(), "at least one target set is required");
-        for t in targets {
-            assert!(
-                t.is_subset_of(universe),
-                "target {t:?} is not contained in the universe {universe:?}"
-            );
-            assert!(!t.is_empty(), "target sets must be non-empty");
-        }
+impl GammaScaffold {
+    fn build(universe: VarSet, stats: &StatisticsSet) -> Self {
         let space = EntropyVarSpace::new(universe);
-        let use_t = targets.len() > 1;
-        let num_vars = space.num_lp_vars() + usize::from(use_t);
-        let t_var = use_t.then_some(space.num_lp_vars());
-        let mut lp = LinearProgram::new(num_vars);
-
-        // Objective.
-        if let Some(t) = t_var {
-            lp.set_objective_coeff(t, Rat::ONE);
-        } else {
-            lp.set_objective_coeff(space.index_of(targets[0]), Rat::ONE);
-        }
 
         // Statistics rows (h ⊨ S), Eq. (8) and Eq. (73).
         let mut stat_rows = Vec::with_capacity(stats.len());
@@ -177,7 +163,114 @@ impl GammaLp {
                     }
                 }
             }
-            let row = lp.add_constraint(coeffs, ConstraintOp::Le, stat.log_value);
+            stat_rows.push((coeffs, stat.log_value));
+        }
+
+        // Elemental Shannon inequalities `expr_e(h) ≥ 0`.
+        let elementals = Elemental::enumerate(universe)
+            .into_iter()
+            .map(|elemental| {
+                let coeffs: Vec<(usize, Rat)> = elemental
+                    .coefficients()
+                    .into_iter()
+                    .map(|(s, c)| (space.index_of(s), Rat::from_int(i128::from(c))))
+                    .collect();
+                (elemental, coeffs)
+            })
+            .collect();
+
+        GammaScaffold { space, stat_rows, elementals }
+    }
+}
+
+/// How many `(universe, statistics)` scaffolds the thread-local cache
+/// keeps.  The width computations alternate between at most two scaffolds
+/// (one per statistics set in play); the small cap bounds memory when a
+/// caller streams many distinct statistics sets (e.g. per-branch re-costing
+/// in the adaptive evaluator).
+const SCAFFOLD_CACHE_CAP: usize = 4;
+
+/// A cache slot: the `(universe, statistics)` key and its scaffold.
+type ScaffoldEntry = ((VarSet, StatisticsSet), Rc<GammaScaffold>);
+
+thread_local! {
+    /// LRU cache of memoised scaffolds, most recently used last.
+    static SCAFFOLD_CACHE: RefCell<Vec<ScaffoldEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns the memoised scaffold for `(universe, stats)`, building and
+/// caching it on a miss.
+fn scaffold_for(universe: VarSet, stats: &StatisticsSet) -> Rc<GammaScaffold> {
+    SCAFFOLD_CACHE.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        if let Some(pos) = cache.iter().position(|((u, s), _)| *u == universe && s == stats) {
+            let entry = cache.remove(pos);
+            let scaffold = Rc::clone(&entry.1);
+            cache.push(entry);
+            return scaffold;
+        }
+        let scaffold = Rc::new(GammaScaffold::build(universe, stats));
+        if cache.len() >= SCAFFOLD_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(((universe, stats.clone()), Rc::clone(&scaffold)));
+        scaffold
+    })
+}
+
+/// Internal: the Γ_n-plus-statistics LP with bookkeeping for dual
+/// extraction.
+struct GammaLp {
+    space: EntropyVarSpace,
+    lp: LinearProgram,
+    stat_rows: Vec<usize>,
+    elemental_rows: Vec<(usize, Elemental)>,
+    /// `(row, bag)` rows of the form `t − h(B) ≤ 0` (empty when a single
+    /// target is maximised directly).
+    target_rows: Vec<(usize, VarSet)>,
+    /// Index of the auxiliary `t` variable, if any.
+    t_var: Option<usize>,
+}
+
+impl GammaLp {
+    /// Builds the LP `max h(target)` (single target) or `max t` with
+    /// `t ≤ h(B)` for every target (DDR form), subject to `h ⊨ S, Γ_n`,
+    /// instantiated from the memoised scaffold.  The row order — statistics,
+    /// targets, elementals — matches the scaffold-free construction the
+    /// seed shipped with, so *cold* solves follow the same pivot paths and
+    /// extract the same dual certificates as before the refactor.
+    /// Warm-started solves ([`GammaLp::solve_warm`] with a hint) may reach
+    /// a different optimal basis when the optimum is degenerate — Γ_n LPs
+    /// routinely are — so their certificates can legitimately differ; every
+    /// certificate is still verified by `ShannonFlow::verify_identity`
+    /// before it is returned, and the optimal *value* never changes.
+    fn build(universe: VarSet, stats: &StatisticsSet, targets: &[VarSet]) -> Self {
+        assert!(!targets.is_empty(), "at least one target set is required");
+        for t in targets {
+            assert!(
+                t.is_subset_of(universe),
+                "target {t:?} is not contained in the universe {universe:?}"
+            );
+            assert!(!t.is_empty(), "target sets must be non-empty");
+        }
+        let scaffold = scaffold_for(universe, stats);
+        let space = scaffold.space.clone();
+        let use_t = targets.len() > 1;
+        let num_vars = space.num_lp_vars() + usize::from(use_t);
+        let t_var = use_t.then_some(space.num_lp_vars());
+        let mut lp = LinearProgram::new(num_vars);
+
+        // Objective.
+        if let Some(t) = t_var {
+            lp.set_objective_coeff(t, Rat::ONE);
+        } else {
+            lp.set_objective_coeff(space.index_of(targets[0]), Rat::ONE);
+        }
+
+        // Statistics rows, replayed from the scaffold.
+        let mut stat_rows = Vec::with_capacity(scaffold.stat_rows.len());
+        for (coeffs, rhs) in &scaffold.stat_rows {
+            let row = lp.add_constraint(coeffs.clone(), ConstraintOp::Le, *rhs);
             stat_rows.push(row);
         }
 
@@ -194,16 +287,11 @@ impl GammaLp {
             }
         }
 
-        // Elemental Shannon inequalities `expr_e(h) ≥ 0`.
-        let mut elemental_rows = Vec::new();
-        for elemental in Elemental::enumerate(universe) {
-            let coeffs: Vec<(usize, Rat)> = elemental
-                .coefficients()
-                .into_iter()
-                .map(|(s, c)| (space.index_of(s), Rat::from_int(i128::from(c))))
-                .collect();
-            let row = lp.add_constraint(coeffs, ConstraintOp::Ge, Rat::ZERO);
-            elemental_rows.push((row, elemental));
+        // Elemental rows, replayed from the scaffold.
+        let mut elemental_rows = Vec::with_capacity(scaffold.elementals.len());
+        for (elemental, coeffs) in &scaffold.elementals {
+            let row = lp.add_constraint(coeffs.clone(), ConstraintOp::Ge, Rat::ZERO);
+            elemental_rows.push((row, *elemental));
         }
 
         GammaLp { space, lp, stat_rows, elemental_rows, target_rows, t_var }
@@ -211,7 +299,24 @@ impl GammaLp {
 
     /// Solves the LP and converts the dual into a verified [`ShannonFlow`].
     fn solve(&self, stats: &StatisticsSet, targets: &[VarSet]) -> Result<BoundReport, BoundError> {
-        let outcome = self.lp.solve().map_err(|e| BoundError::Solver(e.to_string()))?;
+        self.solve_warm(stats, targets, None).map(|(report, _)| report)
+    }
+
+    /// Like [`GammaLp::solve`], but optionally warm-starting from the final
+    /// basis of a structurally compatible previous solve (same universe and
+    /// statistics, same number of target rows) and returning this solve's
+    /// basis for the next LP in the family.  `subw` chains selector LPs
+    /// this way and `fhtw` chains per-bag LPs (whose constraints are
+    /// *identical* — only the objective moves), skipping phase 1 whenever
+    /// the carried basis is still exactly feasible.
+    fn solve_warm(
+        &self,
+        stats: &StatisticsSet,
+        targets: &[VarSet],
+        hint: Option<&Basis>,
+    ) -> Result<(BoundReport, Option<Basis>), BoundError> {
+        let (outcome, basis) =
+            self.lp.solve_warm(hint).map_err(|e| BoundError::Solver(e.to_string()))?;
         let solution =
             match outcome {
                 LpOutcome::Optimal(s) => s,
@@ -267,7 +372,7 @@ impl GammaLp {
             )));
         }
 
-        Ok(BoundReport { log_bound: solution.objective, flow })
+        Ok((BoundReport { log_bound: solution.objective, flow }, basis))
     }
 }
 
@@ -320,6 +425,24 @@ fn residuals_for(flow: &ShannonFlow, space: &EntropyVarSpace) -> Vec<(VarSet, Ra
 
 /// The polymatroid bound of a conjunctive-query output (Theorem 4.1):
 /// `max { h(target) : h ⊨ S, Γ_n }` over the given variable universe.
+///
+/// # Example
+///
+/// The triangle query under cardinality constraints recovers the AGM
+/// exponent `3/2` (Section 4.3):
+///
+/// ```
+/// use panda_entropy::{polymatroid_bound, StatisticsSet};
+/// use panda_query::parse_query;
+/// use panda_rational::Rat;
+///
+/// let q = parse_query("Tri(A,B,C) :- R(A,B), S(B,C), T(A,C)").unwrap();
+/// let stats = StatisticsSet::identical_cardinalities(&q, 10_000);
+/// let report = polymatroid_bound(q.all_vars(), q.all_vars(), &stats).unwrap();
+/// assert_eq!(report.log_bound, Rat::new(3, 2));
+/// // The dual certificate is a machine-verified Shannon-flow inequality.
+/// report.flow.verify_identity().unwrap();
+/// ```
 pub fn polymatroid_bound(
     target: VarSet,
     universe: VarSet,
@@ -331,6 +454,24 @@ pub fn polymatroid_bound(
 
 /// The polymatroid bound of a disjunctive datalog rule (Theorem 5.1):
 /// `max { min_B h(B) : h ⊨ S, Γ_n }`.
+///
+/// # Example
+///
+/// The DDR of Eq. (38) — the 4-cycle split into two triangle bags — has
+/// the bound `3/2` under identical cardinalities (Eq. 45):
+///
+/// ```
+/// use panda_entropy::{ddr_polymatroid_bound, StatisticsSet};
+/// use panda_query::parse_query;
+/// use panda_rational::Rat;
+///
+/// let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+/// let stats = StatisticsSet::identical_cardinalities(&q, 1000);
+/// let xyz = q.atoms()[0].var_set().union(q.atoms()[1].var_set());
+/// let yzw = q.atoms()[1].var_set().union(q.atoms()[2].var_set());
+/// let report = ddr_polymatroid_bound(&[xyz, yzw], q.all_vars(), &stats).unwrap();
+/// assert_eq!(report.log_bound, Rat::new(3, 2));
+/// ```
 pub fn ddr_polymatroid_bound(
     targets: &[VarSet],
     universe: VarSet,
@@ -346,6 +487,18 @@ pub fn ddr_polymatroid_bound(
 ///
 /// `sizes` maps relation symbols to their cardinalities; atoms missing from
 /// the map are given size `base`.  The target is the full variable set.
+///
+/// # Example
+///
+/// ```
+/// use panda_entropy::agm_bound;
+/// use panda_query::parse_query;
+/// use panda_rational::Rat;
+///
+/// let q = parse_query("Tri(A,B,C) :- R(A,B), S(B,C), T(A,C)").unwrap();
+/// let report = agm_bound(&q, &[], 10_000).unwrap();
+/// assert_eq!(report.log_bound, Rat::new(3, 2)); // |output| ≤ N^{3/2}
+/// ```
 pub fn agm_bound(
     query: &ConjunctiveQuery,
     sizes: &[(&str, u64)],
@@ -361,6 +514,22 @@ pub fn agm_bound(
 
 /// The fractional hypertree width of a query under statistics (Eq. 22),
 /// using the query's enumerated free-connex tree decompositions.
+///
+/// # Example
+///
+/// Section 4.3: `fhtw(Q□, S□) = 2` for the 4-cycle, while its submodular
+/// width ([`subw`]) is only `3/2` — the gap PANDA's adaptive plans exploit:
+///
+/// ```
+/// use panda_entropy::{fhtw, subw, StatisticsSet};
+/// use panda_query::parse_query;
+/// use panda_rational::Rat;
+///
+/// let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+/// let stats = StatisticsSet::identical_cardinalities(&q, 1 << 20);
+/// assert_eq!(fhtw(&q, &stats).unwrap().value, Rat::from_int(2));
+/// assert_eq!(subw(&q, &stats).unwrap().value, Rat::new(3, 2));
+/// ```
 pub fn fhtw(query: &ConjunctiveQuery, stats: &StatisticsSet) -> Result<FhtwReport, BoundError> {
     let tds = TreeDecomposition::enumerate(query);
     fhtw_with_tds(query, &tds, stats)
@@ -375,11 +544,18 @@ pub fn fhtw_with_tds(
     assert!(!tds.is_empty(), "fhtw requires at least one tree decomposition");
     let universe = query.all_vars();
     let mut per_td = Vec::with_capacity(tds.len());
+    // Per-bag LPs share every constraint (only the objective moves), so
+    // each solve warm-starts from the previous bag's optimal basis.
+    let mut carried: Option<Basis> = None;
     for td in tds {
         let mut worst = Rat::ZERO;
         let mut per_bag = Vec::with_capacity(td.num_bags());
         for &bag in td.bags() {
-            let report = polymatroid_bound(bag, universe, stats)?;
+            let lp = GammaLp::build(universe, stats, &[bag]);
+            let (report, basis) = lp.solve_warm(stats, &[bag], carried.as_ref())?;
+            // An Ok solve is always Optimal here, and Optimal always
+            // carries a basis.
+            carried = basis;
             worst = worst.max(report.log_bound);
             per_bag.push((bag, report.log_bound));
         }
@@ -412,8 +588,17 @@ pub fn subw_with_tds(
     let selectors = BagSelector::enumerate(tds);
     let mut per_selector = Vec::with_capacity(selectors.len());
     let mut value = Rat::ZERO;
+    // Selector LPs share the Γ_n scaffold and differ only in their target
+    // rows; consecutive selectors with equally many bags are structurally
+    // compatible, so the optimal basis carries over and phase 1 is skipped
+    // whenever it is still feasible.
+    let mut carried: Option<Basis> = None;
     for selector in selectors {
-        let report = ddr_polymatroid_bound(selector.bags(), universe, stats)?;
+        let lp = GammaLp::build(universe, stats, selector.bags());
+        let (report, basis) = lp.solve_warm(stats, selector.bags(), carried.as_ref())?;
+        // An Ok solve is always Optimal here, and Optimal always carries a
+        // basis.
+        carried = basis;
         value = value.max(report.log_bound);
         per_selector.push(SelectorBound { selector, report });
     }
@@ -594,6 +779,82 @@ mod tests {
         assert_eq!(report.value, Rat::ONE);
         let s = subw(&q, &stats).unwrap();
         assert_eq!(s.value, Rat::ONE);
+    }
+
+    #[test]
+    fn revised_and_dense_engines_agree_bitwise_on_the_gamma_corpus() {
+        // The acceptance bar for the revised engine: bit-for-bit identical
+        // rational optima *and duals* to the dense reference on every
+        // Γ_n LP the paper's queries produce — the duals are what the
+        // Shannon-flow extraction reads, so "close" is not good enough.
+        let four = four_cycle();
+        let universe4 = vs(&[0, 1, 2, 3]);
+        let mut cases: Vec<(VarSet, StatisticsSet, Vec<VarSet>)> = Vec::new();
+        // Single-bag polymatroid bounds under S□.
+        for bag in [vs(&[0, 1, 2]), vs(&[0, 2, 3]), vs(&[1, 2, 3]), vs(&[0, 1, 2, 3])] {
+            cases.push((universe4, s_square(1000), vec![bag]));
+        }
+        // The DDR of Eq. (38) and a three-target variant.
+        cases.push((universe4, s_square(1000), vec![vs(&[0, 1, 2]), vs(&[1, 2, 3])]));
+        cases.push((
+            universe4,
+            s_square(1000),
+            vec![vs(&[0, 1, 2]), vs(&[1, 2, 3]), vs(&[0, 2, 3])],
+        ));
+        // S_full of Eq. (16): functional dependencies and a √N degree.
+        let mut s_full = StatisticsSet::identical_cardinalities(&four, 1 << 20);
+        s_full.add_functional_dependency("U", VarSet::singleton(Var(3)), VarSet::singleton(Var(0)));
+        s_full.add_degree("U", VarSet::singleton(Var(0)), VarSet::singleton(Var(3)), 1 << 10);
+        cases.push((universe4, s_full, vec![universe4]));
+        // ℓ₂-norm statistics (Section 9.2) on the 2-path join.
+        let two_path = parse_query("P(X,Y,Z) :- R(X,Y), S(Y,Z)").unwrap();
+        let mut s_norm = StatisticsSet::identical_cardinalities(&two_path, 1 << 20);
+        s_norm.add_lp_norm("R", VarSet::singleton(Var(1)), VarSet::singleton(Var(0)), 2, 1 << 10);
+        s_norm.add_lp_norm("S", VarSet::singleton(Var(1)), VarSet::singleton(Var(2)), 2, 1 << 10);
+        cases.push((two_path.all_vars(), s_norm, vec![two_path.all_vars()]));
+
+        for (universe, stats, targets) in cases {
+            let gamma = GammaLp::build(universe, &stats, &targets);
+            let dense = gamma.lp.solve_dense().unwrap();
+            let revised = gamma.lp.solve().unwrap();
+            assert_eq!(dense, revised, "engines diverge on targets {targets:?}");
+        }
+    }
+
+    #[test]
+    fn scaffold_cache_reuses_and_evicts() {
+        let q = four_cycle();
+        let universe = vs(&[0, 1, 2, 3]);
+        let stats = s_square(1000);
+        // Hold the first Rc across the flood so its allocation cannot be
+        // recycled into the rebuilt scaffold's address.
+        let first = scaffold_for(universe, &stats);
+        assert_eq!(
+            Rc::as_ptr(&first),
+            Rc::as_ptr(&scaffold_for(universe, &stats)),
+            "hit on same key"
+        );
+        // Flood the cache with distinct statistics sets to force eviction.
+        for n in 0..=SCAFFOLD_CACHE_CAP as u64 {
+            let _ = scaffold_for(universe, &StatisticsSet::identical_cardinalities(&q, 100 + n));
+        }
+        let rebuilt = scaffold_for(universe, &stats);
+        assert_ne!(Rc::as_ptr(&first), Rc::as_ptr(&rebuilt), "evicted entry is rebuilt fresh");
+    }
+
+    #[test]
+    fn warm_started_selector_chain_matches_cold_bounds() {
+        // subw threads a basis across selector LPs; the optimal values must
+        // be identical to cold per-selector solves.
+        let q = four_cycle();
+        let stats = s_square(1000);
+        let tds = TreeDecomposition::enumerate(&q);
+        let report = subw_with_tds(&q, &tds, &stats).unwrap();
+        for sel in &report.per_selector {
+            let cold = ddr_polymatroid_bound(sel.selector.bags(), q.all_vars(), &stats).unwrap();
+            assert_eq!(cold.log_bound, sel.report.log_bound);
+            sel.report.flow.verify_identity().unwrap();
+        }
     }
 
     #[test]

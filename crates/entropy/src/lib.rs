@@ -29,6 +29,10 @@
 //! Everything is computed exactly over rationals; the LP solver is
 //! `panda-lp`.
 
+// Every public item in this crate must be documented; broken or missing
+// docs fail CI via the `cargo doc` job (RUSTDOCFLAGS="-D warnings").
+#![warn(missing_docs)]
+
 pub mod bounds;
 pub mod constraints;
 pub mod elemental;

@@ -2,9 +2,45 @@
 
 use panda_rational::Rat;
 
+use crate::revised::RevisedSimplex;
 use crate::simplex::Simplex;
 use crate::solution::LpOutcome;
 use crate::LpError;
+
+/// An opaque warm-start token: the optimal basis of a completed
+/// revised-simplex solve, returned by [`LinearProgram::solve_warm`].
+///
+/// Feeding it back into `solve_warm` on a *structurally compatible*
+/// program (same variable count, same constraint kinds in the same order —
+/// e.g. the Γ_n LPs of two bag selectors with equally many target rows)
+/// lets the solver skip phase 1 entirely when the carried basis is still
+/// feasible.  Compatibility and exact feasibility are verified before use;
+/// an unusable hint silently falls back to the ordinary two-phase solve,
+/// so a stale token can cost time but never correctness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    pub(crate) cols: Vec<usize>,
+    pub(crate) num_cols: usize,
+}
+
+/// Which simplex implementation [`LinearProgram::solve_with`] runs.
+///
+/// Both engines implement the identical two-phase method with identical
+/// pivot rules over exact rationals, so they visit the same bases and
+/// return bit-for-bit identical outcomes — including the dual values.  The
+/// dense tableau is kept as the simple, auditable reference; the revised
+/// engine is the fast default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimplexEngine {
+    /// Sparse revised simplex with a product-form basis inverse (the
+    /// default): per-pivot work proportional to the matrix nonzeros.
+    #[default]
+    Revised,
+    /// Dense-tableau simplex: rewrites the full `m × (n + m)` tableau per
+    /// pivot.  Simple enough to audit by hand; used as the differential
+    /// reference in tests.
+    DenseTableau,
+}
 
 /// The relational operator of a constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -162,10 +198,65 @@ impl LinearProgram {
         Ok(())
     }
 
-    /// Solves the program with the two-phase simplex method.
+    /// Solves the program with the two-phase simplex method (the sparse
+    /// revised engine, [`SimplexEngine::Revised`]).
+    ///
+    /// ```
+    /// use panda_lp::{ConstraintOp, LinearProgram, LpOutcome};
+    /// use panda_rational::Rat;
+    ///
+    /// // maximise x + y  subject to  2x + y ≤ 4, x + 3y ≤ 6, x,y ≥ 0
+    /// let mut lp = LinearProgram::new(2);
+    /// lp.set_objective(vec![Rat::ONE, Rat::ONE]);
+    /// lp.add_constraint(
+    ///     vec![(0, Rat::from_int(2)), (1, Rat::ONE)],
+    ///     ConstraintOp::Le,
+    ///     Rat::from_int(4),
+    /// );
+    /// lp.add_constraint(
+    ///     vec![(0, Rat::ONE), (1, Rat::from_int(3))],
+    ///     ConstraintOp::Le,
+    ///     Rat::from_int(6),
+    /// );
+    /// let solution = lp.solve().unwrap().expect_optimal("doc");
+    /// assert_eq!(solution.objective, Rat::new(14, 5));
+    /// assert!(solution.certificate_violations(&lp).is_empty());
+    /// ```
     pub fn solve(&self) -> Result<LpOutcome, LpError> {
+        self.solve_with(SimplexEngine::Revised)
+    }
+
+    /// Solves the program with the dense-tableau reference engine
+    /// ([`SimplexEngine::DenseTableau`]).  Returns bit-for-bit the same
+    /// outcome as [`LinearProgram::solve`]; useful for differential tests
+    /// and for auditing the revised engine.
+    pub fn solve_dense(&self) -> Result<LpOutcome, LpError> {
+        self.solve_with(SimplexEngine::DenseTableau)
+    }
+
+    /// Solves the program with an explicitly chosen engine.
+    pub fn solve_with(&self, engine: SimplexEngine) -> Result<LpOutcome, LpError> {
         self.validate()?;
-        Simplex::new(self).run()
+        match engine {
+            SimplexEngine::Revised => RevisedSimplex::new(self).run(),
+            SimplexEngine::DenseTableau => Simplex::new(self).run(),
+        }
+    }
+
+    /// Solves with the revised engine, optionally warm-starting from the
+    /// final [`Basis`] of a previous solve, and returns the outcome
+    /// together with this solve's final basis (when one exists) for
+    /// chaining across a family of related programs.
+    ///
+    /// The hint is used only if it is structurally compatible with this
+    /// program and still *exactly* feasible (checked over the rationals);
+    /// otherwise the ordinary two-phase solve runs.  Note that a
+    /// warm-started solve may reach a different optimal basis than a cold
+    /// one when the optimum is degenerate, so the dual certificate can
+    /// legitimately differ; the objective value cannot.
+    pub fn solve_warm(&self, hint: Option<&Basis>) -> Result<(LpOutcome, Option<Basis>), LpError> {
+        self.validate()?;
+        RevisedSimplex::new(self).run_warm(hint)
     }
 
     /// Checks whether a point is feasible (satisfies every constraint and

@@ -1,0 +1,553 @@
+//! The sparse revised simplex method over exact rationals.
+//!
+//! This engine solves the same standard form as the dense tableau in
+//! [`crate::simplex`] and follows the *identical* pivot rules — the same
+//! two-phase structure, the same Dantzig pricing with the same switch to
+//! Bland's rule, the same ratio-test tie-breaking, the same
+//! artificial-elimination pass between the phases.  Because every pivot
+//! decision is made on exact rational quantities that both engines compute
+//! identically, the two visit the same sequence of bases and return
+//! bit-for-bit identical optima and duals; the dense tableau is kept as the
+//! auditable reference implementation (see
+//! [`LinearProgram::solve_dense`](crate::LinearProgram::solve_dense)).
+//!
+//! What changes is the representation, and with it the per-pivot cost:
+//!
+//! * the constraint matrix is stored as **sparse columns**
+//!   (`Vec<(row, Rat)>`) and never modified — the polymatroid LPs this
+//!   workspace produces have 2–4 nonzeros per row, so `nnz(A) ≈ 4m` while
+//!   the dense tableau is `m × (n + m)`,
+//! * the basis inverse is kept in **product form**: a dense snapshot
+//!   `B₀⁻¹` from the last refactorisation plus one sparse *eta* vector per
+//!   pivot since, applied by [`BasisInverse::ftran`]/[`BasisInverse::btran`],
+//! * pricing computes the duals `y = c_B B⁻¹` with one BTRAN and then one
+//!   sparse dot product per column, instead of updating a dense
+//!   reduced-cost row against a dense pivot row,
+//! * the basic solution `x_B = B⁻¹ b` is updated incrementally per pivot.
+//!
+//! The eta file is periodically collapsed ([`BasisInverse::refactor`]) by
+//! exactly inverting the current basis matrix with Gauss–Jordan
+//! elimination, which bounds the FTRAN/BTRAN cost and keeps the rational
+//! entries at tableau-entry magnitudes (quotients of basis subdeterminants).
+
+use panda_rational::Rat;
+
+use crate::problem::{Basis, LinearProgram};
+use crate::simplex::{Phase, RowInfo, StandardForm, ITERATION_LIMIT};
+use crate::solution::{LpOutcome, Solution};
+use crate::LpError;
+
+/// Collapse the eta file into a fresh dense `B⁻¹` snapshot after this many
+/// pivots.  Tuned for the workspace's polymatroid LPs (~100 rows): long
+/// enough that the `O(m³)` refactorisation amortises away, short enough
+/// that FTRAN/BTRAN stay proportional to `m`.
+const REFACTOR_EVERY: usize = 64;
+
+/// One pivot's eta vector.  If `w = B_old⁻¹ a_entering` and the pivot row
+/// is `r`, then `B_new = B_old · E` with `E = I + (w − e_r) e_rᵀ`, and
+/// `E⁻¹` is applied in `O(nnz(w))`.
+struct Eta {
+    /// The pivot row `r`.
+    row: usize,
+    /// Non-zero entries of `w`, including the pivot element `(r, w_r)`.
+    entries: Vec<(usize, Rat)>,
+    /// The pivot element `w_r`, cached.
+    pivot: Rat,
+}
+
+/// Product-form representation of the basis inverse:
+/// `B⁻¹ = E_k⁻¹ ⋯ E_1⁻¹ B₀⁻¹`.
+struct BasisInverse {
+    m: usize,
+    /// Dense `B₀⁻¹` from the last refactorisation; `None` means identity
+    /// (the initial all-slack/artificial basis).
+    base: Option<Vec<Vec<Rat>>>,
+    etas: Vec<Eta>,
+}
+
+impl BasisInverse {
+    fn identity(m: usize) -> Self {
+        BasisInverse { m, base: None, etas: Vec::new() }
+    }
+
+    /// FTRAN: `v ← B⁻¹ v`, skipping etas whose pivot-row entry is zero.
+    fn ftran(&self, v: &mut [Rat]) {
+        if let Some(base) = &self.base {
+            let mut out = vec![Rat::ZERO; self.m];
+            for (j, &vj) in v.iter().enumerate() {
+                if vj.is_zero() {
+                    continue;
+                }
+                for (i, out_i) in out.iter_mut().enumerate() {
+                    let b = base[i][j];
+                    if !b.is_zero() {
+                        *out_i += b * vj;
+                    }
+                }
+            }
+            v.copy_from_slice(&out);
+        }
+        for eta in &self.etas {
+            let vr = v[eta.row];
+            if vr.is_zero() {
+                continue;
+            }
+            let t = vr / eta.pivot;
+            for &(i, w) in &eta.entries {
+                if i == eta.row {
+                    v[i] = t;
+                } else {
+                    v[i] -= w * t;
+                }
+            }
+        }
+    }
+
+    /// BTRAN: `y ← y B⁻¹` (etas applied newest-first, then the snapshot).
+    fn btran(&self, y: &mut [Rat]) {
+        for eta in self.etas.iter().rev() {
+            let mut acc = Rat::ZERO;
+            for &(i, w) in &eta.entries {
+                if i != eta.row && !y[i].is_zero() {
+                    acc += y[i] * w;
+                }
+            }
+            y[eta.row] = (y[eta.row] - acc) / eta.pivot;
+        }
+        if let Some(base) = &self.base {
+            let mut out = vec![Rat::ZERO; self.m];
+            for (i, &yi) in y.iter().enumerate() {
+                if yi.is_zero() {
+                    continue;
+                }
+                for (j, out_j) in out.iter_mut().enumerate() {
+                    let b = base[i][j];
+                    if !b.is_zero() {
+                        *out_j += yi * b;
+                    }
+                }
+            }
+            y.copy_from_slice(&out);
+        }
+    }
+
+    /// Collapses the eta file: exactly inverts the current basis matrix
+    /// (given by sparse columns) with Gauss–Jordan elimination and installs
+    /// the result as the new snapshot.  Returns `false` (leaving the state
+    /// untouched) if the columns are singular, which can only happen for a
+    /// caller-supplied warm-start basis — pivoting preserves nonsingularity.
+    fn refactor(&mut self, basis_columns: &[&[(usize, Rat)]]) -> bool {
+        let m = self.m;
+        let mut a = vec![vec![Rat::ZERO; m]; m];
+        for (col, entries) in basis_columns.iter().enumerate() {
+            for &(row, v) in *entries {
+                a[row][col] = v;
+            }
+        }
+        let mut inv: Vec<Vec<Rat>> = (0..m)
+            .map(|i| {
+                let mut row = vec![Rat::ZERO; m];
+                row[i] = Rat::ONE;
+                row
+            })
+            .collect();
+        for col in 0..m {
+            let Some(p) = (col..m).find(|&r| !a[r][col].is_zero()) else {
+                return false;
+            };
+            a.swap(col, p);
+            inv.swap(col, p);
+            let d = a[col][col].recip();
+            if d != Rat::ONE {
+                for v in &mut a[col] {
+                    if !v.is_zero() {
+                        *v *= d;
+                    }
+                }
+                for v in &mut inv[col] {
+                    if !v.is_zero() {
+                        *v *= d;
+                    }
+                }
+            }
+            // The pivot row is final at this point; clone it once per
+            // column, not once per eliminated row.
+            let (pivot_row_a, pivot_row_inv) = (a[col].clone(), inv[col].clone());
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let factor = a[r][col];
+                if factor.is_zero() {
+                    continue;
+                }
+                for (j, &pv) in pivot_row_a.iter().enumerate() {
+                    if !pv.is_zero() {
+                        a[r][j] -= factor * pv;
+                    }
+                }
+                for (j, &pv) in pivot_row_inv.iter().enumerate() {
+                    if !pv.is_zero() {
+                        inv[r][j] -= factor * pv;
+                    }
+                }
+            }
+        }
+        self.base = Some(inv);
+        self.etas.clear();
+        true
+    }
+}
+
+/// The working state of a revised-simplex solve.
+pub(crate) struct RevisedSimplex<'a> {
+    lp: &'a LinearProgram,
+    /// Sparse columns of the standard-form matrix, `num_cols` of them.
+    cols: Vec<Vec<(usize, Rat)>>,
+    /// Normalised (non-negative) right-hand side `b`.
+    rhs: Vec<Rat>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// `in_basis[j]` iff column `j` is currently basic.
+    in_basis: Vec<bool>,
+    /// Current basic values `x_B = B⁻¹ b`, maintained incrementally.
+    x_b: Vec<Rat>,
+    inv: BasisInverse,
+    num_cols: usize,
+    num_structural: usize,
+    /// `is_artificial[j]` iff column `j` is an artificial variable.
+    is_artificial: Vec<bool>,
+    has_artificials: bool,
+    row_info: Vec<RowInfo>,
+}
+
+impl<'a> RevisedSimplex<'a> {
+    pub(crate) fn new(lp: &'a LinearProgram) -> Self {
+        // Both engines are built from the one shared normalisation, so
+        // their column layouts — and hence their pivot paths — cannot
+        // drift apart.
+        let form = StandardForm::new(lp);
+        let m = lp.num_constraints();
+        let mut is_artificial = vec![false; form.num_cols];
+        for &a in &form.artificial_cols {
+            is_artificial[a] = true;
+        }
+        let mut in_basis = vec![false; form.num_cols];
+        for &b in &form.basis {
+            in_basis[b] = true;
+        }
+        RevisedSimplex {
+            lp,
+            cols: form.cols,
+            x_b: form.rhs.clone(),
+            rhs: form.rhs,
+            basis: form.basis,
+            in_basis,
+            inv: BasisInverse::identity(m),
+            num_cols: form.num_cols,
+            num_structural: lp.num_vars(),
+            has_artificials: !form.artificial_cols.is_empty(),
+            is_artificial,
+            row_info: form.row_info,
+        }
+    }
+
+    pub(crate) fn run(self) -> Result<LpOutcome, LpError> {
+        self.run_warm(None).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`RevisedSimplex::run`], but optionally starting phase 2
+    /// directly from a carried-over basis (see
+    /// [`LinearProgram::solve_warm`]), and returning the final basis for
+    /// the next solve in the family.
+    pub(crate) fn run_warm(
+        mut self,
+        hint: Option<&Basis>,
+    ) -> Result<(LpOutcome, Option<Basis>), LpError> {
+        let warm = hint.is_some_and(|h| self.try_install_basis(h));
+        if !warm {
+            if let Some(outcome) = self.phase_one()? {
+                return Ok((outcome, None));
+            }
+        }
+
+        // Phase 2: optimise the real objective.
+        let mut cost = vec![Rat::ZERO; self.num_cols];
+        cost[..self.num_structural].copy_from_slice(self.lp.objective());
+        match self.optimize(&cost, /*bar_artificials=*/ true)? {
+            Phase::Unbounded => Ok((LpOutcome::Unbounded, None)),
+            Phase::Optimal => {
+                let objective = self.current_objective(&cost);
+                let primal = self.extract_primal();
+                let duals = self.extract_duals(&cost);
+                let basis = Basis { cols: self.basis.clone(), num_cols: self.num_cols };
+                Ok((LpOutcome::Optimal(Solution { objective, primal, duals }), Some(basis)))
+            }
+        }
+    }
+
+    /// Attempts to install a warm-start basis: the hint must have the same
+    /// standard-form shape, name each row a distinct *non-artificial*
+    /// column, be nonsingular, and be exactly feasible (`B⁻¹b ≥ 0`).
+    /// Returns `false` — leaving the initial all-slack/artificial state
+    /// intact — on any mismatch.
+    ///
+    /// Hints containing artificial columns are rejected outright: a hint's
+    /// basic artificial sat at zero on a *redundant* row of the program it
+    /// came from, but the same row of this program may be independent, and
+    /// phase 2 (which skips the phase-1 machinery on a warm start) could
+    /// then legally pivot the artificial to a positive value — i.e. report
+    /// an infeasible point as optimal.  Artificial-free feasible bases
+    /// cannot reach artificials later (they are barred from entering), so
+    /// feasibility of the original rows is preserved pivot by pivot.
+    fn try_install_basis(&mut self, hint: &Basis) -> bool {
+        let m = self.basis.len();
+        if hint.num_cols != self.num_cols || hint.cols.len() != m {
+            return false;
+        }
+        let mut seen = vec![false; self.num_cols];
+        for &col in &hint.cols {
+            if col >= self.num_cols || seen[col] || self.is_artificial[col] {
+                return false;
+            }
+            seen[col] = true;
+        }
+        let basis_columns: Vec<&[(usize, Rat)]> =
+            hint.cols.iter().map(|&b| self.cols[b].as_slice()).collect();
+        let mut inv = BasisInverse::identity(m);
+        if !inv.refactor(&basis_columns) {
+            return false;
+        }
+        let mut x_b = self.rhs.clone();
+        inv.ftran(&mut x_b);
+        if x_b.iter().any(Rat::is_negative) {
+            return false;
+        }
+        self.inv = inv;
+        self.x_b = x_b;
+        self.in_basis = vec![false; self.num_cols];
+        for &col in &hint.cols {
+            self.in_basis[col] = true;
+        }
+        self.basis = hint.cols.clone();
+        true
+    }
+
+    /// Runs phase 1 (when artificials exist), returning `Some(Infeasible)`
+    /// to short-circuit or `None` to proceed to phase 2.
+    fn phase_one(&mut self) -> Result<Option<LpOutcome>, LpError> {
+        if self.has_artificials {
+            let mut phase1_cost = vec![Rat::ZERO; self.num_cols];
+            for (j, cost) in phase1_cost.iter_mut().enumerate() {
+                if self.is_artificial[j] {
+                    *cost = -Rat::ONE;
+                }
+            }
+            let outcome = self.optimize(&phase1_cost, /*bar_artificials=*/ false)?;
+            debug_assert!(
+                !matches!(outcome, Phase::Unbounded),
+                "phase 1 objective is bounded above by zero"
+            );
+            let phase1_value = self.current_objective(&phase1_cost);
+            if phase1_value.is_negative() {
+                return Ok(Some(LpOutcome::Infeasible));
+            }
+            self.pivot_out_basic_artificials();
+        }
+        Ok(None)
+    }
+
+    /// Runs the simplex iterations for the given cost vector.
+    fn optimize(&mut self, cost: &[Rat], bar_artificials: bool) -> Result<Phase, LpError> {
+        let m = self.basis.len();
+        let bland_threshold = 4 * (m + self.num_cols) + 64;
+        for iteration in 0..ITERATION_LIMIT {
+            let use_bland = iteration >= bland_threshold;
+            let y = self.duals_vector(cost);
+            let entering = self.choose_entering(cost, &y, bar_artificials, use_bland);
+            let Some(entering) = entering else {
+                return Ok(Phase::Optimal);
+            };
+            let w = self.transformed_column(entering);
+            let Some(leaving_row) = self.choose_leaving(&w) else {
+                return Ok(Phase::Unbounded);
+            };
+            self.pivot(leaving_row, entering, &w);
+        }
+        Err(LpError::IterationLimit(ITERATION_LIMIT))
+    }
+
+    /// The simplex multipliers `y = c_B B⁻¹` (one BTRAN).
+    fn duals_vector(&self, cost: &[Rat]) -> Vec<Rat> {
+        let mut y: Vec<Rat> = self.basis.iter().map(|&b| cost[b]).collect();
+        self.inv.btran(&mut y);
+        y
+    }
+
+    /// The reduced cost `d_j = c_j − y · a_j` of one column (sparse dot).
+    fn reduced_cost(&self, cost: &[Rat], y: &[Rat], j: usize) -> Rat {
+        let mut d = cost[j];
+        for &(i, v) in &self.cols[j] {
+            if !y[i].is_zero() {
+                d -= y[i] * v;
+            }
+        }
+        d
+    }
+
+    /// Entering-column choice, mirroring the dense engine: Dantzig's
+    /// largest-reduced-cost rule (first index on ties) with a switch to
+    /// Bland's smallest-index rule.  Basic columns are skipped outright —
+    /// their reduced cost is identically zero, never positive.
+    fn choose_entering(
+        &self,
+        cost: &[Rat],
+        y: &[Rat],
+        bar_artificials: bool,
+        use_bland: bool,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, Rat)> = None;
+        for j in 0..self.num_cols {
+            if self.in_basis[j] || (bar_artificials && self.is_artificial[j]) {
+                continue;
+            }
+            let d = self.reduced_cost(cost, y, j);
+            if !d.is_positive() {
+                continue;
+            }
+            if use_bland {
+                return Some(j);
+            }
+            match &best {
+                Some((_, v)) if *v >= d => {}
+                _ => best = Some((j, d)),
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Ratio test over `w = B⁻¹ a_entering`, with the dense engine's
+    /// tie-break: smallest ratio, then smallest basic-variable index.
+    fn choose_leaving(&self, w: &[Rat]) -> Option<usize> {
+        let mut best: Option<(usize, Rat)> = None;
+        for (i, coeff) in w.iter().enumerate() {
+            if coeff.is_positive() {
+                let ratio = self.x_b[i] / *coeff;
+                let better = match &best {
+                    None => true,
+                    Some((row, r)) => {
+                        ratio < *r || (ratio == *r && self.basis[i] < self.basis[*row])
+                    }
+                };
+                if better {
+                    best = Some((i, ratio));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// `B⁻¹ a_j` (one FTRAN of the sparse column scattered dense).
+    fn transformed_column(&self, j: usize) -> Vec<Rat> {
+        let mut w = vec![Rat::ZERO; self.basis.len()];
+        for &(i, v) in &self.cols[j] {
+            w[i] = v;
+        }
+        self.inv.ftran(&mut w);
+        w
+    }
+
+    /// Applies one pivot: updates `x_B`, the basis, and the eta file, and
+    /// refactorises when the file grows past [`REFACTOR_EVERY`].
+    fn pivot(&mut self, row: usize, col: usize, w: &[Rat]) {
+        let pivot = w[row];
+        debug_assert!(!pivot.is_zero(), "pivot element must be non-zero");
+        let t = self.x_b[row] / pivot;
+        for (i, wi) in w.iter().enumerate() {
+            if i == row {
+                self.x_b[i] = t;
+            } else if !wi.is_zero() && !t.is_zero() {
+                self.x_b[i] -= *wi * t;
+            }
+        }
+        let entries: Vec<(usize, Rat)> =
+            w.iter().enumerate().filter(|(_, v)| !v.is_zero()).map(|(i, v)| (i, *v)).collect();
+        self.inv.etas.push(Eta { row, entries, pivot });
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[col] = true;
+        self.basis[row] = col;
+        if self.inv.etas.len() >= REFACTOR_EVERY {
+            let basis_columns: Vec<&[(usize, Rat)]> =
+                self.basis.iter().map(|&b| self.cols[b].as_slice()).collect();
+            self.inv.refactor(&basis_columns);
+            debug_assert_eq!(self.x_b, {
+                let mut v = self.rhs.clone();
+                self.inv.ftran(&mut v);
+                v
+            });
+        }
+    }
+
+    /// Removes artificial variables from the basis after phase 1, mirroring
+    /// the dense engine: for each such row, pivot on the first non-artificial
+    /// column with a non-zero entry in the row (read off via one BTRAN of
+    /// the row's unit vector).  Rows whose artificial cannot be pivoted out
+    /// are redundant and keep the artificial basic at value zero.
+    fn pivot_out_basic_artificials(&mut self) {
+        let m = self.basis.len();
+        for row in 0..m {
+            if !self.is_artificial[self.basis[row]] {
+                continue;
+            }
+            let mut rho = vec![Rat::ZERO; m];
+            rho[row] = Rat::ONE;
+            self.inv.btran(&mut rho);
+            let col = (0..self.num_cols).find(|&j| {
+                if self.is_artificial[j] {
+                    return false;
+                }
+                let mut entry = Rat::ZERO;
+                for &(i, v) in &self.cols[j] {
+                    if !rho[i].is_zero() {
+                        entry += rho[i] * v;
+                    }
+                }
+                !entry.is_zero()
+            });
+            if let Some(col) = col {
+                let w = self.transformed_column(col);
+                self.pivot(row, col, &w);
+            }
+        }
+    }
+
+    fn current_objective(&self, cost: &[Rat]) -> Rat {
+        self.basis
+            .iter()
+            .zip(&self.x_b)
+            .filter(|(&b, _)| !cost[b].is_zero())
+            .map(|(&b, x)| cost[b] * *x)
+            .sum()
+    }
+
+    fn extract_primal(&self) -> Vec<Rat> {
+        let mut primal = vec![Rat::ZERO; self.num_structural];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.num_structural {
+                primal[b] = self.x_b[i];
+            }
+        }
+        primal
+    }
+
+    /// Recovers the dual values `y = c_B B⁻¹` directly from one BTRAN; the
+    /// sign is flipped back for rows that were normalised by −1.
+    fn extract_duals(&self, cost: &[Rat]) -> Vec<Rat> {
+        let y = self.duals_vector(cost);
+        self.row_info
+            .iter()
+            .enumerate()
+            .map(|(i, info)| if info.flipped { -y[i] } else { y[i] })
+            .collect()
+    }
+}

@@ -7,42 +7,51 @@ use crate::solution::{LpOutcome, Solution};
 use crate::LpError;
 
 /// Hard cap on simplex pivots; far larger than anything the paper's LPs
-/// need, but prevents an infinite loop if a bug slips in.
-const ITERATION_LIMIT: usize = 200_000;
+/// need.  Both engines return [`LpError::IterationLimit`] (they never
+/// panic) if a bug or a pathological input exhausts it.
+pub(crate) const ITERATION_LIMIT: usize = 200_000;
 
 /// Per-row bookkeeping connecting standard-form rows back to the user's
-/// constraints.
+/// constraints.  Shared with the revised engine so both solvers normalise
+/// rows — and therefore recover duals — identically.
 #[derive(Debug, Clone, Copy)]
-struct RowInfo {
+pub(crate) struct RowInfo {
     /// `true` if the row was multiplied by −1 to make its right-hand side
     /// non-negative.
-    flipped: bool,
+    pub(crate) flipped: bool,
     /// Column index of the variable that is basic in this row in the
     /// *initial* tableau (a slack or an artificial).  Reading this column of
     /// the final tableau yields the corresponding column of `B⁻¹`, which is
     /// how dual values are recovered.
-    initial_basic_col: usize,
+    pub(crate) initial_basic_col: usize,
 }
 
-/// The working state of a simplex solve.
-pub(crate) struct Simplex<'a> {
-    lp: &'a LinearProgram,
-    /// Dense tableau: `rows × (num_cols + 1)`, last column is the RHS.
-    tableau: Vec<Vec<Rat>>,
-    /// Basic variable (column index) of each row.
-    basis: Vec<usize>,
+/// The shared standard-form normalisation both engines are built from —
+/// the single source of truth for row flipping, the column layout
+/// (structural variables first, then slacks/surpluses in row order, then
+/// artificials in row order) and the initial all-slack/artificial basis.
+///
+/// The engines' bit-for-bit equivalence (identical bases, optima and
+/// duals) requires them to see the *same* standard form; constructing it
+/// once here means a future change to the normalisation cannot silently
+/// apply to one engine and not the other.
+pub(crate) struct StandardForm {
+    /// Sparse sign-adjusted columns, `num_cols` of them.
+    pub(crate) cols: Vec<Vec<(usize, Rat)>>,
+    /// Normalised (non-negative) right-hand side.
+    pub(crate) rhs: Vec<Rat>,
+    /// Initial basic column of each row (its slack or artificial).
+    pub(crate) basis: Vec<usize>,
     /// Total number of structural + slack/surplus + artificial columns.
-    num_cols: usize,
-    /// Number of structural (user) variables.
-    num_structural: usize,
+    pub(crate) num_cols: usize,
     /// Columns that are artificial variables (barred from entering in
     /// phase 2).
-    artificial_cols: Vec<usize>,
-    row_info: Vec<RowInfo>,
+    pub(crate) artificial_cols: Vec<usize>,
+    pub(crate) row_info: Vec<RowInfo>,
 }
 
-impl<'a> Simplex<'a> {
-    pub(crate) fn new(lp: &'a LinearProgram) -> Self {
+impl StandardForm {
+    pub(crate) fn new(lp: &LinearProgram) -> Self {
         let m = lp.num_constraints();
         let n = lp.num_vars();
 
@@ -64,7 +73,8 @@ impl<'a> Simplex<'a> {
         }
 
         let num_cols = n + num_slack + num_artificial;
-        let mut tableau = vec![vec![Rat::ZERO; num_cols + 1]; m];
+        let mut cols: Vec<Vec<(usize, Rat)>> = vec![Vec::new(); num_cols];
+        let mut rhs = vec![Rat::ZERO; m];
         let mut basis = vec![0usize; m];
         let mut row_info = Vec::with_capacity(m);
         let mut artificial_cols = Vec::with_capacity(num_artificial);
@@ -76,25 +86,25 @@ impl<'a> Simplex<'a> {
             let flipped = c.rhs.is_negative();
             let sign = if flipped { -Rat::ONE } else { Rat::ONE };
             for (j, coeff) in &c.coeffs {
-                tableau[i][*j] = *coeff * sign;
+                cols[*j].push((i, *coeff * sign));
             }
-            tableau[i][num_cols] = c.rhs * sign;
+            rhs[i] = c.rhs * sign;
             let op = effective_op(c.op, flipped);
             let initial_basic_col = match op {
                 ConstraintOp::Le => {
                     let col = next_slack;
                     next_slack += 1;
-                    tableau[i][col] = Rat::ONE;
+                    cols[col].push((i, Rat::ONE));
                     basis[i] = col;
                     col
                 }
                 ConstraintOp::Ge => {
                     let surplus = next_slack;
                     next_slack += 1;
-                    tableau[i][surplus] = -Rat::ONE;
+                    cols[surplus].push((i, -Rat::ONE));
                     let art = next_artificial;
                     next_artificial += 1;
-                    tableau[i][art] = Rat::ONE;
+                    cols[art].push((i, Rat::ONE));
                     artificial_cols.push(art);
                     basis[i] = art;
                     art
@@ -102,7 +112,7 @@ impl<'a> Simplex<'a> {
                 ConstraintOp::Eq => {
                     let art = next_artificial;
                     next_artificial += 1;
-                    tableau[i][art] = Rat::ONE;
+                    cols[art].push((i, Rat::ONE));
                     artificial_cols.push(art);
                     basis[i] = art;
                     art
@@ -111,7 +121,49 @@ impl<'a> Simplex<'a> {
             row_info.push(RowInfo { flipped, initial_basic_col });
         }
 
-        Simplex { lp, tableau, basis, num_cols, num_structural: n, artificial_cols, row_info }
+        StandardForm { cols, rhs, basis, num_cols, artificial_cols, row_info }
+    }
+}
+
+/// The working state of a simplex solve.
+pub(crate) struct Simplex<'a> {
+    lp: &'a LinearProgram,
+    /// Dense tableau: `rows × (num_cols + 1)`, last column is the RHS.
+    tableau: Vec<Vec<Rat>>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Total number of structural + slack/surplus + artificial columns.
+    num_cols: usize,
+    /// Number of structural (user) variables.
+    num_structural: usize,
+    /// Columns that are artificial variables (barred from entering in
+    /// phase 2).
+    artificial_cols: Vec<usize>,
+    row_info: Vec<RowInfo>,
+}
+
+impl<'a> Simplex<'a> {
+    pub(crate) fn new(lp: &'a LinearProgram) -> Self {
+        let form = StandardForm::new(lp);
+        let m = lp.num_constraints();
+        let mut tableau = vec![vec![Rat::ZERO; form.num_cols + 1]; m];
+        for (j, col) in form.cols.iter().enumerate() {
+            for &(i, v) in col {
+                tableau[i][j] = v;
+            }
+        }
+        for (i, &b) in form.rhs.iter().enumerate() {
+            tableau[i][form.num_cols] = b;
+        }
+        Simplex {
+            lp,
+            tableau,
+            basis: form.basis,
+            num_cols: form.num_cols,
+            num_structural: lp.num_vars(),
+            artificial_cols: form.artificial_cols,
+            row_info: form.row_info,
+        }
     }
 
     pub(crate) fn run(mut self) -> Result<LpOutcome, LpError> {
@@ -311,12 +363,12 @@ impl<'a> Simplex<'a> {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     Optimal,
     Unbounded,
 }
 
-fn effective_op(op: ConstraintOp, flipped: bool) -> ConstraintOp {
+pub(crate) fn effective_op(op: ConstraintOp, flipped: bool) -> ConstraintOp {
     if !flipped {
         return op;
     }

@@ -55,6 +55,25 @@ impl LpOutcome {
 /// These are exactly the properties the entropy crate needs to read off a
 /// Shannon-flow inequality (Lemma 6.1 of the paper) from the submodular
 /// width LP.
+///
+/// # Example
+///
+/// ```
+/// use panda_lp::{ConstraintOp, LinearProgram};
+/// use panda_rational::Rat;
+///
+/// // maximise x  subject to  x ≤ 3, x + y ≥ 1
+/// let mut lp = LinearProgram::new(2);
+/// lp.set_objective(vec![Rat::ONE, Rat::ZERO]);
+/// lp.add_constraint(vec![(0, Rat::ONE)], ConstraintOp::Le, Rat::from_int(3));
+/// lp.add_constraint(vec![(0, Rat::ONE), (1, Rat::ONE)], ConstraintOp::Ge, Rat::ONE);
+/// let solution = lp.solve().unwrap().expect_optimal("example");
+/// assert_eq!(solution.objective, Rat::from_int(3));
+/// // Strong duality: Σ duals[i] · rhs_i == objective, with the binding
+/// // `≤` constraint carrying multiplier 1 and the slack `≥` carrying 0.
+/// assert_eq!(solution.duals, vec![Rat::ONE, Rat::ZERO]);
+/// assert!(solution.certificate_violations(&lp).is_empty());
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Solution {
     /// Optimal objective value.

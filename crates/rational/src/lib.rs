@@ -14,6 +14,10 @@
 //! handful of variables, hence LPs with a few hundred rows) stay far away
 //! from these limits.
 
+// Every public item in this crate must be documented; broken or missing
+// docs fail CI via the `cargo doc` job (RUSTDOCFLAGS="-D warnings").
+#![warn(missing_docs)]
+
 mod rat;
 
 pub use rat::{ParseRatError, Rat};

@@ -13,6 +13,7 @@ pub mod paper;
 
 pub use generators::{erdos_renyi_db, fd_instance, path_instance, star_instance, zipf_graph_db};
 pub use paper::{
-    double_star_db, figure2_db, four_cycle_boolean, four_cycle_full, four_cycle_projected,
-    s_full_statistics, s_square_statistics, triangle_query, two_path_projected,
+    double_star_db, figure2_db, five_cycle_projected, four_cycle_boolean, four_cycle_full,
+    four_cycle_projected, s_full_statistics, s_pentagon_statistics, s_square_statistics,
+    triangle_query, two_path_projected,
 };

@@ -29,6 +29,24 @@ pub fn triangle_query() -> ConjunctiveQuery {
     parse_query("Tri(A,B,C) :- R(A,B), S(B,C), T(A,C)").expect("valid query")
 }
 
+/// The projected 5-cycle query `Q⬠(A,B)` — the natural next instance in the
+/// cycle family of Eq. (2).  With five variables its polymatroid LPs have
+/// `2⁵ − 1 = 31` entropy variables and ~100 elemental rows, an order of
+/// magnitude past the 4-cycle, which makes it the workspace's reference
+/// workload for LP-solver performance (`subw` enumerates 197 bag selectors,
+/// each one a Γ₅ LP).
+#[must_use]
+pub fn five_cycle_projected() -> ConjunctiveQuery {
+    parse_query("Q(A,B) :- R(A,B), S(B,C), T(C,D), U(D,E), V(E,A)").expect("valid query")
+}
+
+/// The identical-cardinality statistics for the 5-cycle (the `S□` analogue
+/// of Eq. (23) with five relations of size `n`).
+#[must_use]
+pub fn s_pentagon_statistics(n: u64) -> StatisticsSet {
+    StatisticsSet::identical_cardinalities(&five_cycle_projected(), n)
+}
+
 /// The non-free-connex 2-path projection `Q(X,Y) :- R(X,Z), S(Z,Y)`
 /// (Section 3.4's contrast case).
 #[must_use]

@@ -371,6 +371,10 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "property macro_failure failed at case")]
+    // The self-test intentionally declares a `#[test]` fn inside another
+    // test to exercise the macro's failure reporting; rustc flags the inner
+    // item as unnameable.  This is one of the workspace's two documented
+    // allowances (see the "Clippy debt" entry in ROADMAP.md).
     #[allow(unnameable_test_items)]
     fn macro_reports_failing_inputs() {
         proptest! {
