@@ -8,11 +8,12 @@
 //!   Figure 2 worked example through the width computations, DDR
 //!   evaluation, adaptive-vs-static scaling and the FMM comparison of
 //!   Section 9.3,
-//! * the **Criterion benches** (`benches/`, 8 targets) time the individual
+//! * the **Criterion benches** (`benches/`, 9 targets) time the individual
 //!   hot paths: the polymatroid-bound and width LPs (E2–E4, including the
 //!   5-variable `subw` configurations that size the LP solver), WCOJ
-//!   joins, Yannakakis, DDR evaluation, semiring FAQ and the 4-cycle
-//!   scaling study,
+//!   joins, Yannakakis, DDR evaluation, semiring FAQ, the 4-cycle
+//!   scaling study, and the relational operator layer (cached vs fresh
+//!   indexes, hash vs sort-merge joins),
 //! * this library holds the shared helpers: [`time_it`], the power-law
 //!   slope fit [`log_log_slope`] used to check `N^{3/2}` vs `N²` scaling
 //!   (E8), and the [`render_table`] text-table renderer.

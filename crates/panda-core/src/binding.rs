@@ -32,16 +32,36 @@ impl VarRelation {
         VarRelation { vars, rel }
     }
 
-    /// Binds a query atom to its relation instance in the database.
+    /// Binds a query atom to its relation instance in the database — an
+    /// O(1) operation for the common case: the stored relation is handed
+    /// out as a zero-copy clone sharing tuple storage and cached indexes.
     /// Repeated variables in the atom (e.g. `R(X,X)`) are handled by
     /// selecting the rows where the corresponding columns are equal and
     /// keeping a single column per variable.
     ///
     /// Missing relations are treated as empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored relation's arity differs from the atom's — a
+    /// mismatched `db.insert` would otherwise surface as a confusing
+    /// schema panic or row-index error much deeper in evaluation.
     #[must_use]
     pub fn from_atom(atom: &Atom, db: &Database) -> Self {
-        let rel =
-            db.relation(&atom.relation).cloned().unwrap_or_else(|| Relation::new(atom.arity()));
+        let rel = match db.relation(&atom.relation) {
+            Some(stored) => {
+                assert_eq!(
+                    stored.arity(),
+                    atom.arity(),
+                    "atom {}/{} is bound to a stored relation of arity {}",
+                    atom.relation,
+                    atom.arity(),
+                    stored.arity()
+                );
+                stored.clone()
+            }
+            None => Relation::new(atom.arity()),
+        };
         // Detect repeated variables.
         let mut kept_cols: Vec<usize> = Vec::new();
         let mut kept_vars: Vec<Var> = Vec::new();
@@ -69,7 +89,9 @@ impl VarRelation {
         VarRelation::new(kept_vars, filtered)
     }
 
-    /// Binds every atom of a query.
+    /// Binds every atom of a query.  Thanks to `Arc`-shared relation
+    /// storage this hands out zero-copy views of the database — no tuple
+    /// data is duplicated per query.
     #[must_use]
     pub fn bind_all(query: &ConjunctiveQuery, db: &Database) -> Vec<VarRelation> {
         query.atoms().iter().map(|a| VarRelation::from_atom(a, db)).collect()
@@ -271,5 +293,25 @@ mod tests {
     #[should_panic(expected = "repeated variable")]
     fn repeated_schema_variable_panics() {
         let _ = VarRelation::new(vec![Var(0), Var(0)], Relation::new(2));
+    }
+
+    #[test]
+    fn bind_all_shares_storage_with_the_database() {
+        let q = parse_query("Q(X,Y,Z) :- R(X,Y), S(Y,Z)").unwrap();
+        let db = db_edges();
+        let bound = VarRelation::bind_all(&q, &db);
+        assert!(bound[0].rel.shares_storage_with(db.relation("R").unwrap()));
+        assert!(bound[1].rel.shares_storage_with(db.relation("S").unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "atom R/3 is bound to a stored relation of arity 2")]
+    fn arity_mismatch_is_reported_at_binding_time() {
+        // Regression: a mismatched insert used to surface as a confusing
+        // "schema/arity mismatch" panic deep inside VarRelation::new.
+        let q = parse_query("Q(X,Y,Z) :- R(X,Y,Z)").unwrap();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, vec![[1, 2]]));
+        let _ = VarRelation::from_atom(&q.atoms()[0], &db);
     }
 }

@@ -10,9 +10,10 @@
 //! values compatible with the current partial assignment.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use panda_query::{ConjunctiveQuery, Var, VarSet};
-use panda_relation::{Database, Relation, Value};
+use panda_relation::{Database, Relation, Value, ValueIndex};
 
 use crate::binding::VarRelation;
 
@@ -41,14 +42,30 @@ impl GenericJoin {
     /// Joins the given bound relations over all variables of the order that
     /// appear in them and projects the result onto `output`, deduplicated.
     ///
-    /// Relations whose variables are disjoint from the order are treated as
-    /// Boolean filters: if any of them is empty the result is empty.
+    /// Variable-free relations are treated as Boolean filters: if any of
+    /// them is empty the result is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable order does not cover every variable occurring
+    /// in the inputs (an incomplete order would silently drop those
+    /// variables' join constraints and return wrong answers), or if an
+    /// output variable does not occur in the join.
     #[must_use]
     pub fn join(&self, inputs: &[VarRelation], output: &[Var]) -> VarRelation {
-        // Keep only the order variables that actually occur.
+        // Keep only the order variables that actually occur — but the order
+        // must mention every occurring variable.
         let occurring: VarSet = inputs.iter().fold(VarSet::EMPTY, |acc, r| acc.union(r.var_set()));
         let order: Vec<Var> =
             self.variable_order.iter().copied().filter(|v| occurring.contains(*v)).collect();
+        let covered: VarSet = order.iter().copied().collect();
+        assert!(
+            occurring.is_subset_of(covered),
+            "variable order {:?} does not cover the occurring variables {:?}; the missing \
+             variables' join constraints would be dropped",
+            self.variable_order,
+            occurring.difference(covered).to_vec()
+        );
         for out in output {
             assert!(order.contains(out), "output variable {out:?} does not occur in the join");
         }
@@ -58,12 +75,15 @@ impl GenericJoin {
 
         // Per level, per atom: an index from the atom's already-bound
         // columns to the distinct candidate values of the current variable.
+        // These are served from each relation's shared cache, so repeated
+        // generic joins over the same relation (across PANDA branches, or
+        // across bench iterations) rebuild nothing.
         struct LevelIndex {
-            /// columns of the atom bound before this level (in order of the
-            /// global variable order)
+            /// variables of the atom bound before this level, in ascending
+            /// column order (the cache's canonical key order)
             bound_vars: Vec<Var>,
             /// candidate values for the level variable, per bound key
-            candidates: HashMap<Vec<Value>, Vec<Value>>,
+            candidates: Arc<ValueIndex>,
         }
 
         let mut levels: Vec<Vec<LevelIndex>> = Vec::with_capacity(order.len());
@@ -72,23 +92,16 @@ impl GenericJoin {
             let mut per_atom = Vec::new();
             for input in inputs {
                 let Some(v_col) = input.column_of(v) else { continue };
-                let bound_vars: Vec<Var> =
-                    input.vars.iter().copied().filter(|w| bound_set.contains(*w)).collect();
-                let bound_cols: Vec<usize> = bound_vars
+                // Enumerating the schema yields ascending (hence canonical)
+                // column order.
+                let (bound_cols, bound_vars): (Vec<usize>, Vec<Var>) = input
+                    .vars
                     .iter()
-                    .map(|w| input.column_of(*w).expect("bound var present"))
-                    .collect();
-                let mut candidates: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
-                for row in input.rel.iter() {
-                    let key: Vec<Value> = bound_cols.iter().map(|&c| row[c]).collect();
-                    candidates.entry(key).or_default().push(row[v_col]);
-                }
-                // Deduplicate each candidate list once (sorting keeps the
-                // per-key work linearithmic even for very heavy keys).
-                for values in candidates.values_mut() {
-                    values.sort_unstable();
-                    values.dedup();
-                }
+                    .enumerate()
+                    .filter(|(_, w)| bound_set.contains(**w))
+                    .map(|(i, w)| (i, *w))
+                    .unzip();
+                let candidates = input.rel.value_index(&bound_cols, v_col);
                 per_atom.push(LevelIndex { bound_vars, candidates });
             }
             levels.push(per_atom);
@@ -127,7 +140,7 @@ impl GenericJoin {
             let mut lists: Vec<&Vec<Value>> = Vec::with_capacity(indexes.len());
             for idx in indexes {
                 let key: Vec<Value> = idx.bound_vars.iter().map(|w| assignment[w]).collect();
-                match idx.candidates.get(&key) {
+                match idx.candidates.candidates(&key) {
                     Some(values) => lists.push(values),
                     None => return, // no compatible tuple in this atom
                 }
@@ -254,6 +267,29 @@ mod tests {
             default.canonical_rows_ordered(&[Var(0), Var(1), Var(2)]),
             reversed.canonical_rows_ordered(&[Var(0), Var(1), Var(2)])
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn incomplete_variable_order_panics_instead_of_dropping_constraints() {
+        // Regression: an order missing an occurring variable used to drop
+        // that variable's join constraints silently.  Here Y links R and S;
+        // with order [X] the old code returned {1, 4} instead of {1}.
+        let r =
+            VarRelation::new(vec![Var(0), Var(1)], Relation::from_rows(2, vec![[1, 2], [4, 9]]));
+        let s = VarRelation::new(vec![Var(1)], Relation::from_rows(1, vec![[2]]));
+        let _ = GenericJoin::with_order(vec![Var(0)]).join(&[r, s], &[Var(0)]);
+    }
+
+    #[test]
+    fn variable_free_relations_still_act_as_boolean_filters() {
+        let r = VarRelation::new(vec![Var(0)], Relation::from_rows(1, vec![[1], [2]]));
+        let t = VarRelation::boolean(true);
+        let out = GenericJoin::with_order(vec![Var(0)]).join(&[r.clone(), t], &[Var(0)]);
+        assert_eq!(out.len(), 2);
+        let f = VarRelation::boolean(false);
+        let out = GenericJoin::with_order(vec![Var(0)]).join(&[r, f], &[Var(0)]);
+        assert_eq!(out.len(), 0);
     }
 
     #[test]

@@ -405,28 +405,36 @@ pub fn chain_join_estimate(atoms: &[&Atom], db: &Database) -> f64 {
     bound
 }
 
-/// The exact size of the natural join of two atoms: group the first
-/// relation by the shared variables and sum the matching group sizes over
-/// the second relation (`Σ_k |A_k| · |B_k|`), all in linear time.
+/// The exact size of the natural join of two atoms: probe the first
+/// relation's (cached) hash index on the shared variables with every row of
+/// the second relation and sum the matching group sizes (`Σ_k |A_k| ·
+/// |B_k|`), all in linear time.  The per-branch TD choice calls this for
+/// every bag of every candidate decomposition, so serving the group counts
+/// from the relation's shared index cache is what keeps adaptive planning
+/// cheap across branches.
 fn exact_pairwise_join_size(a: &Atom, b: &Atom, db: &Database) -> f64 {
-    use std::collections::HashMap;
     let (Some(ra), Some(rb)) = (db.relation(&a.relation), db.relation(&b.relation)) else {
         return 0.0;
     };
     let shared: Vec<Var> = a.vars.iter().copied().filter(|v| b.vars.contains(v)).collect();
-    let cols_a: Vec<usize> = shared.iter().map(|v| a.position_of(*v).expect("shared")).collect();
-    let cols_b: Vec<usize> = shared.iter().map(|v| b.position_of(*v).expect("shared")).collect();
-    let mut counts: HashMap<Vec<u64>, u64> = HashMap::with_capacity(ra.len());
-    for row in ra.iter() {
-        let key: Vec<u64> = cols_a.iter().map(|&c| row[c]).collect();
-        *counts.entry(key).or_default() += 1;
-    }
+    // `position_of` returns first positions of distinct variables, so the
+    // canonicalised column pairs have distinct `a`-columns as the cache
+    // requires.
+    let mut pairs: Vec<(usize, usize)> = shared
+        .iter()
+        .map(|v| (a.position_of(*v).expect("shared"), b.position_of(*v).expect("shared")))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let cols_a: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+    let cols_b: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+    let idx = ra.index_for(&cols_a);
     let mut total: f64 = 0.0;
+    let mut key: Vec<u64> = Vec::with_capacity(cols_b.len());
     for row in rb.iter() {
-        let key: Vec<u64> = cols_b.iter().map(|&c| row[c]).collect();
-        if let Some(&c) = counts.get(&key) {
-            total += c as f64;
-        }
+        key.clear();
+        key.extend(cols_b.iter().map(|&c| row[c]));
+        total += idx.probe(&key).len() as f64;
     }
     total.max(1.0)
 }

@@ -8,6 +8,12 @@ use crate::relation::{Relation, Value};
 /// instances, plus a small string-interning dictionary so callers can build
 /// instances from symbolic data.
 ///
+/// Because [`Relation`] storage is `Arc`-shared, cloning a `Database` is
+/// O(relations), not O(tuples): every clone hands out zero-copy views that
+/// share tuple data and cached indexes until a relation is mutated or
+/// replaced.  The PANDA evaluators lean on this when they fan a database
+/// out into per-branch copies that differ in a single partitioned relation.
+///
 /// # Examples
 ///
 /// ```
@@ -149,6 +155,19 @@ mod tests {
         assert_eq!(db.label_of(a), Some("a"));
         assert_eq!(db.label_of(b), Some("b"));
         assert_eq!(db.label_of(999), None);
+    }
+
+    #[test]
+    fn database_clones_share_relation_storage() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, vec![[1, 2], [2, 3]]));
+        let branch = db.clone();
+        assert!(branch.relation("R").unwrap().shares_storage_with(db.relation("R").unwrap()));
+        // Replacing a relation in the branch leaves the original untouched.
+        let mut branch = branch;
+        branch.insert("R", Relation::from_rows(2, vec![[9, 9]]));
+        assert_eq!(db.relation("R").unwrap().len(), 2);
+        assert_eq!(branch.relation("R").unwrap().len(), 1);
     }
 
     #[test]

@@ -2,6 +2,10 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
+
+use crate::index::{is_canonical_cols, HashIndex, IndexCache, ValueIndex};
+use crate::stats::GroupedDegrees;
 
 /// A single attribute value.  The engine is value-agnostic; strings and
 /// other domains are dictionary-encoded to `u64` (see
@@ -14,7 +18,12 @@ pub type Tuple = Vec<Value>;
 /// A finite relation instance with positional columns.
 ///
 /// Tuples are stored row-major in a single flat vector, `arity` values per
-/// row.  The relation is a *set* semantically; [`Relation::dedup`] and the
+/// row.  The vector is `Arc`-shared: cloning a relation is O(1) and shares
+/// both the tuple storage and the relation's [`index cache`](Relation::index_for),
+/// while mutation is copy-on-write (a mutated clone copies the data once
+/// and detaches from the shared cache, leaving other clones untouched).
+///
+/// The relation is a *set* semantically; [`Relation::dedup`] and the
 /// set-producing operators enforce this, while bulk-loading methods allow
 /// temporary duplicates for speed.
 ///
@@ -31,24 +40,60 @@ pub type Tuple = Vec<Value>;
 /// let r = r.deduped();
 /// assert_eq!(r.len(), 2);
 /// assert!(r.contains(&[2, 20]));
+///
+/// // Clones are O(1) and share storage until one side mutates.
+/// let snapshot = r.clone();
+/// assert!(snapshot.shares_storage_with(&r));
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Relation {
     arity: usize,
-    data: Vec<Value>,
+    data: Arc<Vec<Value>>,
+    /// When set, rows are in non-decreasing lexicographic order of these
+    /// columns (ties in arbitrary order) — the precondition for the
+    /// sort-merge join path in [`crate::operators::join`].
+    sort_order: Option<Vec<usize>>,
+    cache: Arc<IndexCache>,
 }
 
 impl Relation {
     /// Creates an empty relation with the given number of columns.
     #[must_use]
     pub fn new(arity: usize) -> Self {
-        Relation { arity, data: Vec::new() }
+        Relation {
+            arity,
+            data: Arc::new(Vec::new()),
+            sort_order: None,
+            cache: Arc::new(IndexCache::default()),
+        }
     }
 
     /// Creates an empty relation with capacity for `rows` tuples.
     #[must_use]
     pub fn with_capacity(arity: usize, rows: usize) -> Self {
-        Relation { arity, data: Vec::with_capacity(arity * rows) }
+        Relation {
+            arity,
+            data: Arc::new(Vec::with_capacity(arity * rows)),
+            sort_order: None,
+            cache: Arc::new(IndexCache::default()),
+        }
+    }
+
+    /// Wraps an already-validated flat row-major buffer — the fast path for
+    /// operator output sinks that assemble rows without per-row checks.
+    /// For arity zero the buffer must be the empty-or-marker encoding.
+    pub(crate) fn from_flat(arity: usize, data: Vec<Value>) -> Self {
+        debug_assert!(
+            if arity == 0 { data.len() <= 1 } else { data.len() % arity == 0 },
+            "flat buffer of length {} is not row-aligned for arity {arity}",
+            data.len()
+        );
+        Relation {
+            arity,
+            data: Arc::new(data),
+            sort_order: None,
+            cache: Arc::new(IndexCache::default()),
+        }
     }
 
     /// Builds a relation from an iterator of rows.
@@ -91,6 +136,23 @@ impl Relation {
         self.len() == 0
     }
 
+    /// `true` iff `self` and `other` share the same underlying tuple
+    /// storage (O(1) clones of each other with no intervening mutation).
+    #[must_use]
+    pub fn shares_storage_with(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Detaches this relation from any cache shared with clones.  Called by
+    /// every mutating method *before* the data changes: other clones keep
+    /// the (still valid) cached structures for the old storage, while this
+    /// relation starts from an empty cache.
+    fn invalidate_derived(&mut self) {
+        if self.cache.is_populated() || Arc::strong_count(&self.cache) > 1 {
+            self.cache = Arc::new(IndexCache::default());
+        }
+    }
+
     /// Appends a row.
     ///
     /// # Panics
@@ -104,12 +166,15 @@ impl Relation {
             row.len(),
             self.arity
         );
+        self.invalidate_derived();
+        self.sort_order = None;
+        let data = Arc::make_mut(&mut self.data);
         if self.arity == 0 {
-            if self.data.is_empty() {
-                self.data.push(1); // marker: the empty tuple is present
+            if data.is_empty() {
+                data.push(1); // marker: the empty tuple is present
             }
         } else {
-            self.data.extend_from_slice(row);
+            data.extend_from_slice(row);
         }
     }
 
@@ -148,19 +213,31 @@ impl Relation {
         self.iter().any(|r| r == row)
     }
 
-    /// Removes duplicate rows in place (order is not preserved).
+    /// Removes duplicate rows in place, keeping the first occurrence of
+    /// every row (so a sorted relation stays sorted).  When the relation is
+    /// already duplicate-free this is a no-op that preserves shared storage
+    /// and cached indexes.
     pub fn dedup(&mut self) {
         if self.arity == 0 || self.len() <= 1 {
             return;
         }
-        let mut seen: HashSet<&[Value]> = HashSet::with_capacity(self.len());
-        let mut out = Vec::with_capacity(self.data.len());
-        for row in self.data.chunks_exact(self.arity) {
-            if seen.insert(row) {
-                out.extend_from_slice(row);
+        let out = {
+            let mut seen: HashSet<&[Value]> = HashSet::with_capacity(self.len());
+            let mut out = Vec::with_capacity(self.data.len());
+            for row in self.data.chunks_exact(self.arity) {
+                if seen.insert(row) {
+                    out.extend_from_slice(row);
+                }
             }
-        }
-        self.data = out;
+            if out.len() == self.data.len() {
+                return; // duplicate-free: keep shared storage and cache
+            }
+            out
+        };
+        self.invalidate_derived();
+        self.data = Arc::new(out);
+        // `sort_order` is preserved: dropping later duplicates keeps a
+        // sorted sequence sorted.
     }
 
     /// Returns a deduplicated copy.
@@ -170,18 +247,78 @@ impl Relation {
         self
     }
 
-    /// Sorts rows lexicographically in place.  Useful for canonical
-    /// comparisons in tests and for merge-style operators.
+    /// Sorts rows lexicographically in place and records the sort order.
+    /// Useful for canonical comparisons in tests and for the sort-merge
+    /// join path.  A no-op when the relation already carries the full
+    /// lexicographic order.
     pub fn sort(&mut self) {
         if self.arity == 0 {
+            self.sort_order = Some(Vec::new());
             return;
         }
-        let mut rows: Vec<Tuple> = self.iter().map(<[Value]>::to_vec).collect();
-        rows.sort_unstable();
-        self.data.clear();
-        for row in rows {
-            self.data.extend_from_slice(&row);
+        let identity: Vec<usize> = (0..self.arity).collect();
+        if self.sort_order.as_ref() == Some(&identity) {
+            return;
         }
+        let mut rows: Vec<&[Value]> = self.iter().collect();
+        rows.sort_unstable();
+        let mut data = Vec::with_capacity(self.data.len());
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        self.invalidate_derived();
+        self.data = Arc::new(data);
+        self.sort_order = Some(identity);
+    }
+
+    /// Returns a copy whose rows are sorted lexicographically by the given
+    /// columns (ties in arbitrary order), with the sort order recorded so
+    /// the operator layer can pick the sort-merge join path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    #[must_use]
+    pub fn sorted_by_columns(&self, cols: &[usize]) -> Relation {
+        for &c in cols {
+            assert!(c < self.arity, "sort column {c} out of range for arity {}", self.arity);
+        }
+        if self.sort_order.as_deref() == Some(cols) {
+            return self.clone();
+        }
+        let mut rows: Vec<&[Value]> = self.iter().collect();
+        rows.sort_by(|a, b| cols.iter().map(|&c| a[c]).cmp(cols.iter().map(|&c| b[c])));
+        let mut data = Vec::with_capacity(self.data.len());
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Relation {
+            arity: self.arity,
+            data: Arc::new(data),
+            sort_order: Some(cols.to_vec()),
+            cache: Arc::new(IndexCache::default()),
+        }
+    }
+
+    /// The recorded sort order, if any: rows are in non-decreasing
+    /// lexicographic order of these columns.
+    #[must_use]
+    pub fn sort_order(&self) -> Option<&[usize]> {
+        self.sort_order.as_deref()
+    }
+
+    /// Records a sort order the caller has established by construction
+    /// (debug-asserted).  Crate-internal: operators use it to propagate
+    /// orderedness through order-preserving outputs.
+    pub(crate) fn assume_sort_order(&mut self, order: Vec<usize>) {
+        debug_assert!(
+            self.iter().zip(self.iter().skip(1)).all(|(a, b)| {
+                order.iter().map(|&c| a[c]).cmp(order.iter().map(|&c| b[c]))
+                    != std::cmp::Ordering::Greater
+            }),
+            "assume_sort_order called with an order the rows do not satisfy"
+        );
+        self.sort_order = Some(order);
     }
 
     /// Returns the rows as a sorted, deduplicated vector of owned tuples —
@@ -194,17 +331,35 @@ impl Relation {
         rows
     }
 
-    /// The number of *distinct* rows.
+    /// The number of *distinct* rows (the count — and only the count — is
+    /// cached across repeated calls).
     #[must_use]
     pub fn distinct_count(&self) -> usize {
         if self.arity == 0 {
             return self.len();
         }
-        let mut seen: HashSet<&[Value]> = HashSet::with_capacity(self.len());
-        for i in 0..self.len() {
-            seen.insert(&self.data[i * self.arity..(i + 1) * self.arity]);
+        let cols: Vec<usize> = (0..self.arity).collect();
+        self.cache.distinct_count(self, &cols)
+    }
+
+    /// The number of distinct values of a set of columns (order and
+    /// repetition irrelevant; the count is cached across repeated calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    #[must_use]
+    pub fn distinct_count_of(&self, cols: &[usize]) -> usize {
+        let mut canonical = cols.to_vec();
+        canonical.sort_unstable();
+        canonical.dedup();
+        for &c in &canonical {
+            assert!(c < self.arity, "count column {c} out of range for arity {}", self.arity);
         }
-        seen.len()
+        if self.arity == 0 {
+            return self.len();
+        }
+        self.cache.distinct_count(self, &canonical)
     }
 
     /// Extends this relation with all rows of `other`.
@@ -214,20 +369,110 @@ impl Relation {
     /// Panics if the arities differ.
     pub fn extend_from(&mut self, other: &Relation) {
         assert_eq!(self.arity, other.arity, "arity mismatch in extend_from");
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            // Adopt the other side's storage wholesale — O(1), and the
+            // shared cache rides along.
+            *self = other.clone();
+            return;
+        }
+        self.invalidate_derived();
+        self.sort_order = None;
+        let data = Arc::make_mut(&mut self.data);
         if self.arity == 0 {
-            if !other.is_empty() && self.data.is_empty() {
-                self.data.push(1);
+            if data.is_empty() {
+                data.push(1);
             }
         } else {
-            self.data.extend_from_slice(&other.data);
+            data.extend_from_slice(&other.data);
         }
     }
 
     /// Reserves space for `additional` more rows.
     pub fn reserve(&mut self, additional: usize) {
-        self.data.reserve(additional * self.arity.max(1));
+        Arc::make_mut(&mut self.data).reserve(additional * self.arity.max(1));
+    }
+
+    /// The cached hash index on the given canonical (strictly increasing)
+    /// key columns, building it on first use.  Clones of this relation
+    /// share the cache, so repeated joins on the same `(relation, key
+    /// columns)` pair build the index once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is not strictly increasing or a column is out of
+    /// range.
+    #[must_use]
+    pub fn index_for(&self, cols: &[usize]) -> Arc<HashIndex> {
+        assert!(
+            is_canonical_cols(cols),
+            "index_for requires strictly increasing key columns, got {cols:?}"
+        );
+        self.cache.index(self, cols)
+    }
+
+    /// The cached hash index on the given canonical key columns, if one was
+    /// already built — used by the operator layer to prefer an indexed
+    /// build side.
+    #[must_use]
+    pub fn try_cached_index(&self, cols: &[usize]) -> Option<Arc<HashIndex>> {
+        self.cache.cached_index(cols)
+    }
+
+    /// The cached [`ValueIndex`] for `value_col` grouped by the canonical
+    /// (strictly increasing) `group_cols`, building it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_cols` is not strictly increasing or a column is out
+    /// of range.
+    #[must_use]
+    pub fn value_index(&self, group_cols: &[usize], value_col: usize) -> Arc<ValueIndex> {
+        assert!(
+            is_canonical_cols(group_cols),
+            "value_index requires strictly increasing group columns, got {group_cols:?}"
+        );
+        self.cache.value_index(self, group_cols, value_col)
+    }
+
+    /// The cached [`GroupedDegrees`] of `value_cols` given `group_cols`
+    /// (column order and repetitions are irrelevant to degrees, so the sets
+    /// are canonicalised internally), building it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    #[must_use]
+    pub fn grouped_degrees(
+        &self,
+        group_cols: &[usize],
+        value_cols: &[usize],
+    ) -> Arc<GroupedDegrees> {
+        let canonical = |cols: &[usize]| -> Vec<usize> {
+            let mut v = cols.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let group = canonical(group_cols);
+        let value = canonical(value_cols);
+        for &c in group.iter().chain(value.iter()) {
+            assert!(c < self.arity, "degree column {c} out of range for arity {}", self.arity);
+        }
+        self.cache.grouped_degrees(self, &group, &value)
     }
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+    }
+}
+
+impl Eq for Relation {}
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -296,6 +541,7 @@ mod tests {
         assert_eq!(r.row(0), &[1, 2]);
         assert_eq!(r.row(1), &[1, 5]);
         assert_eq!(r.row(2), &[2, 1]);
+        assert_eq!(r.sort_order(), Some(&[0, 1][..]));
     }
 
     #[test]
@@ -306,6 +552,56 @@ mod tests {
         r.extend_from(&other);
         assert_eq!(r.len(), 5);
         assert_eq!(r.distinct_count(), 3);
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutation() {
+        let mut r = Relation::from_rows(2, vec![[1, 2], [3, 4]]);
+        let snapshot = r.clone();
+        assert!(snapshot.shares_storage_with(&r));
+        r.push_row(&[5, 6]);
+        assert!(!snapshot.shares_storage_with(&r));
+        assert_eq!(snapshot.len(), 2, "the clone must not see the mutation");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn dedup_of_a_duplicate_free_relation_preserves_sharing() {
+        let r = Relation::from_rows(2, vec![[1, 2], [3, 4]]);
+        let d = r.clone().deduped();
+        assert!(d.shares_storage_with(&r));
+    }
+
+    #[test]
+    fn extend_from_into_empty_adopts_storage() {
+        let other = Relation::from_rows(2, vec![[1, 2], [3, 4]]);
+        let mut r = Relation::new(2);
+        r.extend_from(&other);
+        assert!(r.shares_storage_with(&other));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn sorted_by_columns_records_the_order() {
+        let r = Relation::from_rows(2, vec![[9, 1], [3, 2], [3, 1]]);
+        let s = r.sorted_by_columns(&[1, 0]);
+        assert_eq!(s.sort_order(), Some(&[1, 0][..]));
+        assert_eq!(s.row(0), &[3, 1]);
+        assert_eq!(s.row(1), &[9, 1]);
+        assert_eq!(s.row(2), &[3, 2]);
+        // The original is untouched and unordered.
+        assert_eq!(r.sort_order(), None);
+        // Re-sorting by the recorded order is an O(1) clone.
+        assert!(s.sorted_by_columns(&[1, 0]).shares_storage_with(&s));
+    }
+
+    #[test]
+    fn mutation_clears_the_sort_order() {
+        let mut r = Relation::from_rows(1, vec![[1], [2]]);
+        r.sort();
+        assert!(r.sort_order().is_some());
+        r.push_row(&[0]);
+        assert_eq!(r.sort_order(), None);
     }
 
     proptest! {

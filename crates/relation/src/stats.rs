@@ -11,11 +11,149 @@
 //! * **power-of-two degree bucketing**, which produces `O(log N)` buckets
 //!   within which degrees are uniform up to a factor of two — the
 //!   "uniformization" that turns worst-case bounds into per-branch costs.
+//!
+//! All measurements go through one shared [`GroupedDegrees`] map (group →
+//! number of distinct value-tuples), obtained via
+//! [`Relation::grouped_degrees`] so repeated measurements of the same
+//! `(relation, group, value)` triple — ubiquitous in the adaptive plan's
+//! per-branch costing — are served from the relation's cache.
 
 use std::collections::{HashMap, HashSet};
 
 use crate::index::HashIndex;
-use crate::relation::{Relation, Tuple};
+use crate::relation::{Relation, Tuple, Value};
+
+/// The per-group distinct-value counts of a relation for one split of its
+/// columns into group columns `X` and value columns `Y`: for every distinct
+/// `X`-value, the number of distinct `Y`-values co-occurring with it
+/// (`deg_R(Y|X=x) = |π_Y σ_{X=x} R|`).  Duplicate rows are ignored.
+///
+/// The column sets are canonical (sorted, deduplicated) — degrees do not
+/// depend on column order or repetition — which is what lets one computed
+/// map serve [`degree_profile`], [`split_heavy_light`],
+/// [`bucket_by_degree`] and [`degree_sequence`] alike, cached on the
+/// relation via [`Relation::grouped_degrees`].
+#[derive(Debug, Clone)]
+pub struct GroupedDegrees {
+    group_cols: Vec<usize>,
+    value_cols: Vec<usize>,
+    degrees: HashMap<Tuple, usize>,
+    max_degree: usize,
+    min_degree: usize,
+    total: usize,
+}
+
+impl GroupedDegrees {
+    /// Measures the degrees on a relation.  `group_cols` and `value_cols`
+    /// must already be canonical (strictly increasing); use
+    /// [`Relation::grouped_degrees`] to canonicalise and cache.
+    #[must_use]
+    pub(crate) fn compute(relation: &Relation, group_cols: &[usize], value_cols: &[usize]) -> Self {
+        if value_cols.is_empty() {
+            // Every group has exactly one distinct (empty) value-tuple, so
+            // this degenerates to a distinct count over the group columns —
+            // no per-group set needed.
+            let mut degrees: HashMap<Tuple, usize> = HashMap::with_capacity(relation.len());
+            for row in relation.iter() {
+                let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
+                degrees.entry(key).or_insert(1);
+            }
+            let n = degrees.len();
+            return GroupedDegrees {
+                group_cols: group_cols.to_vec(),
+                value_cols: Vec::new(),
+                degrees,
+                max_degree: usize::from(n > 0),
+                min_degree: usize::from(n > 0),
+                total: n,
+            };
+        }
+        let mut groups: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
+        for row in relation.iter() {
+            let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
+            let value: Tuple = value_cols.iter().map(|&c| row[c]).collect();
+            groups.entry(key).or_default().insert(value);
+        }
+        let mut max_degree = 0;
+        let mut min_degree = usize::MAX;
+        let mut total = 0;
+        let degrees: HashMap<Tuple, usize> = groups
+            .into_iter()
+            .map(|(key, values)| {
+                let d = values.len();
+                max_degree = max_degree.max(d);
+                min_degree = min_degree.min(d);
+                total += d;
+                (key, d)
+            })
+            .collect();
+        if degrees.is_empty() {
+            min_degree = 0;
+        }
+        GroupedDegrees {
+            group_cols: group_cols.to_vec(),
+            value_cols: value_cols.to_vec(),
+            degrees,
+            max_degree,
+            min_degree,
+            total,
+        }
+    }
+
+    /// The canonical group (conditioning) columns.
+    #[must_use]
+    pub fn group_cols(&self) -> &[usize] {
+        &self.group_cols
+    }
+
+    /// The canonical value columns.
+    #[must_use]
+    pub fn value_cols(&self) -> &[usize] {
+        &self.value_cols
+    }
+
+    /// Number of distinct group values.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Maximum over groups of the number of distinct value-tuples, i.e.
+    /// `deg_R(Y | X)`.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Minimum over groups of the number of distinct value-tuples (zero for
+    /// an empty relation).
+    #[must_use]
+    pub fn min_degree(&self) -> usize {
+        self.min_degree
+    }
+
+    /// Total number of distinct `(X, Y)` pairs.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The degree of the group the given row belongs to (zero if the row's
+    /// group does not occur, i.e. the row is not from this relation).
+    #[must_use]
+    pub fn degree_of_row(&self, row: &[Value]) -> usize {
+        let key: Tuple = self.group_cols.iter().map(|&c| row[c]).collect();
+        self.degrees.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Every degree value observed per group, sorted descending.
+    #[must_use]
+    pub fn sequence_desc(&self) -> Vec<usize> {
+        let mut seq: Vec<usize> = self.degrees.values().copied().collect();
+        seq.sort_unstable_by(|a, b| b.cmp(a));
+        seq
+    }
+}
 
 /// The measured degree profile of a relation with respect to a split of its
 /// columns into group columns `X` and value columns `Y`.
@@ -70,45 +208,37 @@ pub fn degree_profile(
     group_cols: &[usize],
     value_cols: &[usize],
 ) -> DegreeProfile {
-    let mut groups: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
-    for row in relation.iter() {
-        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
-        let value: Tuple = value_cols.iter().map(|&c| row[c]).collect();
-        groups.entry(key).or_default().insert(value);
-    }
-    let num_groups = groups.len();
-    let max_degree = groups.values().map(HashSet::len).max().unwrap_or(0);
-    let total = groups.values().map(HashSet::len).sum();
+    let gd = relation.grouped_degrees(group_cols, value_cols);
     DegreeProfile {
         group_cols: group_cols.to_vec(),
         value_cols: value_cols.to_vec(),
-        num_groups,
-        max_degree,
-        total,
+        num_groups: gd.num_groups(),
+        max_degree: gd.max_degree(),
+        total: gd.total(),
     }
 }
 
 /// The maximum degree `deg_R(Y | X)`; convenience wrapper around
-/// [`degree_profile`].
+/// [`Relation::grouped_degrees`].
 #[must_use]
 pub fn max_degree(relation: &Relation, group_cols: &[usize], value_cols: &[usize]) -> usize {
-    degree_profile(relation, group_cols, value_cols).max_degree
+    relation.grouped_degrees(group_cols, value_cols).max_degree()
 }
 
-/// The number of distinct values of a set of columns.
+/// The number of distinct values of a set of columns.  Only the resulting
+/// count is cached on the relation (see [`Relation::distinct_count_of`]).
 #[must_use]
 pub fn distinct_count(relation: &Relation, cols: &[usize]) -> usize {
-    let mut seen: HashSet<Tuple> = HashSet::with_capacity(relation.len());
-    for row in relation.iter() {
-        seen.insert(cols.iter().map(|&c| row[c]).collect());
-    }
-    seen.len()
+    relation.distinct_count_of(cols)
 }
 
 /// Splits `relation` into `(light, heavy)` parts: a tuple goes to `heavy`
 /// iff its group value has strictly more than `threshold` distinct
 /// value-column assignments.  This is the partitioning used in the paper's
 /// running example (`deg_S(Z|Y=y) ≤ √N` vs `> √N`, Section 8.2).
+///
+/// When one side is empty the other is an O(1) clone of the input (shared
+/// storage, shared index cache).
 #[must_use]
 pub fn split_heavy_light(
     relation: &Relation,
@@ -116,17 +246,17 @@ pub fn split_heavy_light(
     value_cols: &[usize],
     threshold: usize,
 ) -> (Relation, Relation) {
-    let mut degrees: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
-    for row in relation.iter() {
-        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
-        let value: Tuple = value_cols.iter().map(|&c| row[c]).collect();
-        degrees.entry(key).or_default().insert(value);
+    let gd = relation.grouped_degrees(group_cols, value_cols);
+    if gd.max_degree() <= threshold {
+        return (relation.clone(), Relation::new(relation.arity()));
+    }
+    if gd.min_degree() > threshold {
+        return (Relation::new(relation.arity()), relation.clone());
     }
     let mut light = Relation::new(relation.arity());
     let mut heavy = Relation::new(relation.arity());
     for row in relation.iter() {
-        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
-        if degrees[&key].len() > threshold {
+        if gd.degree_of_row(row) > threshold {
             heavy.push_row(row);
         } else {
             light.push_row(row);
@@ -135,27 +265,50 @@ pub fn split_heavy_light(
     (light, heavy)
 }
 
+/// The inclusive upper end of the power-of-two degree bucket starting at
+/// `2^j`, saturating instead of overflowing for the top bucket.
+fn bucket_hi(j: u32) -> usize {
+    match 1usize.checked_shl(j + 1) {
+        Some(v) => v - 1,
+        None => usize::MAX,
+    }
+}
+
 /// Buckets `relation` by the degree of its groups into power-of-two ranges
 /// `[2^j, 2^{j+1})`.  Buckets are returned in increasing degree order and
 /// empty buckets are omitted; together they partition the relation's rows.
+///
+/// When all groups fall in one bucket, that bucket's relation is an O(1)
+/// clone of the input (shared storage, shared index cache).
 #[must_use]
 pub fn bucket_by_degree(
     relation: &Relation,
     group_cols: &[usize],
     value_cols: &[usize],
 ) -> Vec<DegreeBucket> {
-    let mut degrees: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
-    for row in relation.iter() {
-        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
-        let value: Tuple = value_cols.iter().map(|&c| row[c]).collect();
-        degrees.entry(key).or_default().insert(value);
+    if relation.is_empty() {
+        return Vec::new();
+    }
+    let gd = relation.grouped_degrees(group_cols, value_cols);
+    let bucket_of = |degree: usize| -> u32 {
+        debug_assert!(degree >= 1);
+        usize::BITS - 1 - degree.leading_zeros() // floor(log2(degree))
+    };
+    let lo_bucket = bucket_of(gd.min_degree());
+    let hi_bucket = bucket_of(gd.max_degree());
+    if lo_bucket == hi_bucket {
+        return vec![DegreeBucket {
+            degree_lo: 1usize << lo_bucket,
+            degree_hi: bucket_hi(lo_bucket),
+            relation: relation.clone(),
+            num_groups: gd.num_groups(),
+        }];
     }
     let mut buckets: HashMap<u32, (Relation, HashSet<Tuple>)> = HashMap::new();
     for row in relation.iter() {
-        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
-        let degree = degrees[&key].len();
-        debug_assert!(degree >= 1);
-        let bucket_id = usize::BITS - 1 - degree.leading_zeros(); // floor(log2(degree))
+        let degree = gd.degree_of_row(row);
+        let bucket_id = bucket_of(degree);
+        let key: Tuple = gd.group_cols().iter().map(|&c| row[c]).collect();
         let entry = buckets
             .entry(bucket_id)
             .or_insert_with(|| (Relation::new(relation.arity()), HashSet::new()));
@@ -166,7 +319,7 @@ pub fn bucket_by_degree(
         .into_iter()
         .map(|(j, (rel, groups))| DegreeBucket {
             degree_lo: 1usize << j,
-            degree_hi: (1usize << (j + 1)) - 1,
+            degree_hi: bucket_hi(j),
             relation: rel,
             num_groups: groups.len(),
         })
@@ -183,15 +336,7 @@ pub fn degree_sequence(
     group_cols: &[usize],
     value_cols: &[usize],
 ) -> Vec<usize> {
-    let mut degrees: HashMap<Tuple, HashSet<Tuple>> = HashMap::new();
-    for row in relation.iter() {
-        let key: Tuple = group_cols.iter().map(|&c| row[c]).collect();
-        let value: Tuple = value_cols.iter().map(|&c| row[c]).collect();
-        degrees.entry(key).or_default().insert(value);
-    }
-    let mut seq: Vec<usize> = degrees.values().map(HashSet::len).collect();
-    seq.sort_unstable_by(|a, b| b.cmp(a));
-    seq
+    relation.grouped_degrees(group_cols, value_cols).sequence_desc()
 }
 
 /// The ℓ_k norm of the degree sequence of `value_cols` given `group_cols`,
@@ -258,6 +403,28 @@ mod tests {
     }
 
     #[test]
+    fn grouped_degrees_is_order_and_repetition_invariant() {
+        let r = Relation::from_rows(3, vec![[1, 10, 5], [1, 11, 5], [2, 20, 6]]);
+        let a = r.grouped_degrees(&[0, 2], &[1]);
+        let b = r.grouped_degrees(&[2, 0, 0], &[1, 1]);
+        assert_eq!(a.group_cols(), b.group_cols());
+        assert_eq!(a.max_degree(), b.max_degree());
+        assert_eq!(a.num_groups(), 2);
+        assert_eq!(a.min_degree(), 1);
+        assert_eq!(a.max_degree(), 2);
+        assert_eq!(a.degree_of_row(&[1, 99, 5]), 2);
+        assert_eq!(a.degree_of_row(&[9, 0, 9]), 0);
+    }
+
+    #[test]
+    fn grouped_degrees_is_cached_on_the_relation() {
+        let r = skewed();
+        let a = r.grouped_degrees(&[0], &[1]);
+        let b = r.clone().grouped_degrees(&[0], &[1]);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "clones must share the degree cache");
+    }
+
+    #[test]
     fn heavy_light_split_partitions_rows() {
         let r = skewed();
         let (light, heavy) = split_heavy_light(&r, &[0], &[1], 2);
@@ -266,6 +433,17 @@ mod tests {
         assert_eq!(heavy.len(), 4);
         assert_eq!(light.len(), 3);
         assert!(heavy.iter().all(|row| row[0] == 1));
+    }
+
+    #[test]
+    fn heavy_light_split_fast_paths_share_storage() {
+        let r = skewed();
+        let (light, heavy) = split_heavy_light(&r, &[0], &[1], 100);
+        assert!(light.shares_storage_with(&r), "all-light split must be an O(1) clone");
+        assert!(heavy.is_empty());
+        let (light, heavy) = split_heavy_light(&r, &[0], &[1], 0);
+        assert!(heavy.shares_storage_with(&r), "all-heavy split must be an O(1) clone");
+        assert!(light.is_empty());
     }
 
     #[test]
@@ -288,6 +466,23 @@ mod tests {
         assert_eq!(buckets[0].degree_lo, 1);
         assert_eq!(buckets[1].degree_lo, 2);
         assert_eq!(buckets[2].degree_lo, 4);
+    }
+
+    #[test]
+    fn single_bucket_shares_storage() {
+        // All groups have degree 1 → one bucket, O(1) clone.
+        let r = Relation::from_rows(2, vec![[1, 10], [2, 20], [3, 30]]);
+        let buckets = bucket_by_degree(&r, &[0], &[1]);
+        assert_eq!(buckets.len(), 1);
+        assert!(buckets[0].relation.shares_storage_with(&r));
+        assert_eq!(buckets[0].num_groups, 3);
+    }
+
+    #[test]
+    fn bucket_hi_saturates_at_the_top() {
+        assert_eq!(bucket_hi(0), 1);
+        assert_eq!(bucket_hi(2), 7);
+        assert_eq!(bucket_hi(usize::BITS - 1), usize::MAX);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Differential tests for the operator layer: every join-shaped operator is
+//! checked against a naive nested-loop reference on random inputs, through
+//! all three execution paths — fresh index, cached index, and sort-merge.
+
+use panda_relation::{operators, Relation, Tuple, Value};
+use proptest::prelude::*;
+
+/// Nested-loop reference join: all columns of `left` followed by the
+/// non-join columns of `right`, as a canonical (sorted, unique) row set.
+fn naive_join(left: &Relation, right: &Relation, on: &[(usize, usize)]) -> Vec<Tuple> {
+    let right_join_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let right_keep_cols: Vec<usize> =
+        (0..right.arity()).filter(|c| !right_join_cols.contains(c)).collect();
+    let mut rows = Vec::new();
+    for lrow in left.iter() {
+        for rrow in right.iter() {
+            if on.iter().all(|&(l, r)| lrow[l] == rrow[r]) {
+                let mut row: Tuple = lrow.to_vec();
+                row.extend(right_keep_cols.iter().map(|&c| rrow[c]));
+                rows.push(row);
+            }
+        }
+    }
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+fn naive_semijoin(left: &Relation, right: &Relation, on: &[(usize, usize)]) -> Vec<Tuple> {
+    let mut rows: Vec<Tuple> = left
+        .iter()
+        .filter(|lrow| right.iter().any(|rrow| on.iter().all(|&(l, r)| lrow[l] == rrow[r])))
+        .map(<[Value]>::to_vec)
+        .collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+fn naive_antijoin(left: &Relation, right: &Relation, on: &[(usize, usize)]) -> Vec<Tuple> {
+    let mut rows: Vec<Tuple> = left
+        .iter()
+        .filter(|lrow| !right.iter().any(|rrow| on.iter().all(|&(l, r)| lrow[l] == rrow[r])))
+        .map(<[Value]>::to_vec)
+        .collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+fn rel_from(arity: usize, rows: &[Vec<Value>]) -> Relation {
+    Relation::from_rows(arity, rows.iter().map(Vec::as_slice))
+}
+
+/// Strategy: rows for a relation of the given arity over a small domain
+/// (small domains force key collisions, the interesting case).
+fn rows_strategy(arity: usize, max_rows: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(proptest::collection::vec(0u64..6, arity..arity + 1), 0..max_rows)
+}
+
+proptest! {
+    #[test]
+    fn prop_join_matches_nested_loop(
+        lrows in rows_strategy(2, 40),
+        rrows in rows_strategy(2, 40),
+        lcol in 0usize..2,
+        rcol in 0usize..2,
+    ) {
+        let left = rel_from(2, &lrows);
+        let right = rel_from(2, &rrows);
+        let on = [(lcol, rcol)];
+        let expected = naive_join(&left, &right, &on);
+        prop_assert_eq!(operators::join(&left, &right, &on).canonical_rows(), expected);
+    }
+
+    #[test]
+    fn prop_join_on_two_columns_matches_nested_loop(
+        lrows in rows_strategy(3, 30),
+        rrows in rows_strategy(2, 30),
+    ) {
+        let left = rel_from(3, &lrows);
+        let right = rel_from(2, &rrows);
+        let on = [(0, 0), (2, 1)];
+        let expected = naive_join(&left, &right, &on);
+        prop_assert_eq!(operators::join(&left, &right, &on).canonical_rows(), expected);
+    }
+
+    #[test]
+    fn prop_join_with_empty_on_is_cartesian(
+        lrows in rows_strategy(2, 15),
+        rrows in rows_strategy(1, 15),
+    ) {
+        let left = rel_from(2, &lrows);
+        let right = rel_from(1, &rrows);
+        let expected = naive_join(&left, &right, &[]);
+        prop_assert_eq!(operators::join(&left, &right, &[]).canonical_rows(), expected);
+        prop_assert_eq!(operators::cartesian_product(&left, &right).canonical_rows(),
+            naive_join(&left, &right, &[]));
+    }
+
+    #[test]
+    fn prop_cached_and_fresh_index_paths_agree(
+        lrows in rows_strategy(2, 30),
+        rrows in rows_strategy(2, 30),
+    ) {
+        let left = rel_from(2, &lrows);
+        let right = rel_from(2, &rrows);
+        let on = [(1, 0)];
+        // Fresh relations (cold cache) vs the same join repeated (warm
+        // cache on the build side) vs a pre-warmed probe-side index (which
+        // flips the build-side choice).
+        let cold = operators::join(&left, &right, &on).canonical_rows();
+        let warm = operators::join(&left, &right, &on).canonical_rows();
+        prop_assert_eq!(&cold, &warm);
+        let _ = left.index_for(&[1]);
+        let _ = right.index_for(&[0]);
+        let both_cached = operators::join(&left, &right, &on).canonical_rows();
+        prop_assert_eq!(&cold, &both_cached);
+    }
+
+    #[test]
+    fn prop_merge_join_agrees_with_hash_join(
+        lrows in rows_strategy(2, 40),
+        rrows in rows_strategy(2, 40),
+        lcol in 0usize..2,
+        rcol in 0usize..2,
+    ) {
+        let left = rel_from(2, &lrows);
+        let right = rel_from(2, &rrows);
+        let on = [(lcol, rcol)];
+        let expected = naive_join(&left, &right, &on);
+        let lsorted = left.sorted_by_columns(&[lcol, 1 - lcol]);
+        let rsorted = right.sorted_by_columns(&[rcol, 1 - rcol]);
+        prop_assert!(lsorted.sort_order().is_some());
+        prop_assert_eq!(operators::join(&lsorted, &rsorted, &on).canonical_rows(), expected);
+    }
+
+    #[test]
+    fn prop_semijoin_and_antijoin_match_nested_loop(
+        lrows in rows_strategy(2, 40),
+        rrows in rows_strategy(2, 40),
+        lcol in 0usize..2,
+        rcol in 0usize..2,
+    ) {
+        let left = rel_from(2, &lrows).deduped();
+        let right = rel_from(2, &rrows);
+        let on = [(lcol, rcol)];
+        prop_assert_eq!(
+            operators::semijoin(&left, &right, &on).canonical_rows(),
+            naive_semijoin(&left, &right, &on)
+        );
+        prop_assert_eq!(
+            operators::antijoin(&left, &right, &on).canonical_rows(),
+            naive_antijoin(&left, &right, &on)
+        );
+        // Semijoin and antijoin partition the (deduplicated) left side.
+        let semi = operators::semijoin(&left, &right, &on);
+        let anti = operators::antijoin(&left, &right, &on);
+        prop_assert_eq!(semi.len() + anti.len(), left.len());
+    }
+
+    #[test]
+    fn prop_set_operations_match_set_semantics(
+        lrows in rows_strategy(2, 40),
+        rrows in rows_strategy(2, 40),
+    ) {
+        use std::collections::BTreeSet;
+        let left = rel_from(2, &lrows);
+        let right = rel_from(2, &rrows);
+        let lset: BTreeSet<Tuple> = left.iter().map(<[Value]>::to_vec).collect();
+        let rset: BTreeSet<Tuple> = right.iter().map(<[Value]>::to_vec).collect();
+        let union_exp: Vec<Tuple> = lset.union(&rset).cloned().collect();
+        let diff_exp: Vec<Tuple> = lset.difference(&rset).cloned().collect();
+        let inter_exp: Vec<Tuple> = lset.intersection(&rset).cloned().collect();
+        prop_assert_eq!(operators::union(&left, &right).canonical_rows(), union_exp);
+        prop_assert_eq!(operators::difference(&left, &right).canonical_rows(), diff_exp);
+        prop_assert_eq!(operators::intersection(&left, &right).canonical_rows(), inter_exp);
+    }
+}
+
+#[test]
+fn zero_arity_relations_through_all_operators() {
+    let truthy = {
+        let mut r = Relation::new(0);
+        r.push_row(&[]);
+        r
+    };
+    let falsy = Relation::new(0);
+    let data = Relation::from_rows(2, vec![[1, 2], [3, 4]]);
+
+    // Joining with the zero-arity "true" is the identity; with "false" it
+    // is empty — in both argument orders, through the hash path.
+    assert_eq!(operators::join(&data, &truthy, &[]).canonical_rows(), data.canonical_rows());
+    assert_eq!(operators::join(&truthy, &data, &[]).len(), 2);
+    assert!(operators::join(&data, &falsy, &[]).is_empty());
+    assert!(operators::join(&falsy, &data, &[]).is_empty());
+
+    // Zero-arity × zero-arity behaves like Boolean conjunction.
+    assert_eq!(operators::join(&truthy, &truthy, &[]).len(), 1);
+    assert!(operators::join(&truthy, &falsy, &[]).is_empty());
+
+    // Semijoin/antijoin with an empty `on` test the other side's
+    // non-emptiness.
+    assert_eq!(operators::semijoin(&data, &truthy, &[]).len(), 2);
+    assert!(operators::semijoin(&data, &falsy, &[]).is_empty());
+    assert!(operators::antijoin(&data, &truthy, &[]).is_empty());
+    assert_eq!(operators::antijoin(&data, &falsy, &[]).len(), 2);
+
+    // Set operations on zero-arity relations.
+    assert_eq!(operators::union(&truthy, &falsy,).len(), 1);
+    assert_eq!(operators::intersection(&truthy, &truthy).len(), 1);
+    assert!(operators::intersection(&truthy, &falsy).is_empty());
+    assert!(operators::difference(&truthy, &truthy).is_empty());
+    assert_eq!(operators::difference(&truthy, &falsy).len(), 1);
+}
+
+#[test]
+fn projection_of_zero_columns_is_boolean() {
+    let data = Relation::from_rows(2, vec![[1, 2], [3, 4]]);
+    let p = operators::project(&data, &[]);
+    assert_eq!(p.arity(), 0);
+    assert_eq!(p.len(), 1);
+    let empty = Relation::new(2);
+    assert!(operators::project(&empty, &[]).is_empty());
+}
