@@ -1,6 +1,7 @@
 //! The experiment harness: regenerates every table and figure of the paper
-//! (see DESIGN.md's experiment index E1–E15 and EXPERIMENTS.md for the
-//! recorded results).
+//! (experiment index E1–E15; EXPERIMENTS.md at the workspace root holds
+//! the recorded results, and PAPER.md's design summary maps the pipeline
+//! the experiments exercise).
 //!
 //! ```text
 //! cargo run --release -p panda-bench --bin experiments            # all experiments

@@ -535,6 +535,24 @@ pub fn fhtw(query: &ConjunctiveQuery, stats: &StatisticsSet) -> Result<FhtwRepor
     fhtw_with_tds(query, &tds, stats)
 }
 
+/// Splits `items` into at most `threads` balanced contiguous chunks — the
+/// unit of work of the parallel width computations: each chunk is one
+/// warm-started LP chain on one pool worker.
+fn chunked<T>(items: &[T], threads: usize) -> Vec<&[T]> {
+    let k = threads.min(items.len()).max(1);
+    (0..k).map(|i| &items[items.len() * i / k..items.len() * (i + 1) / k]).collect()
+}
+
+/// Flattens per-chunk results in chunk order, surfacing the error of the
+/// earliest failing item so parallel runs fail deterministically.
+fn flatten_chunks<T>(chunks: Vec<Result<Vec<T>, BoundError>>) -> Result<Vec<T>, BoundError> {
+    let mut out = Vec::new();
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
 /// [`fhtw`] over an explicit set of tree decompositions.
 pub fn fhtw_with_tds(
     query: &ConjunctiveQuery,
@@ -561,6 +579,65 @@ pub fn fhtw_with_tds(
         }
         per_td.push((td.clone(), worst, per_bag));
     }
+    let best = per_td
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .1.cmp(&b.1 .1))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    Ok(FhtwReport { value: per_td[best].1, best, per_td })
+}
+
+/// [`fhtw_with_tds`] with the per-TD bag-LP chains distributed over up to
+/// `threads` pool workers.
+///
+/// The decompositions are split into contiguous chunks; each worker runs
+/// the warm-started per-bag chain for its chunk, rebuilding the Γ_n
+/// scaffold once per worker (the scaffold memo is thread-local, so each
+/// worker's chain reuses its own).  Optimal LP values are unique, so the
+/// reported widths and per-bag bounds are **identical** to the sequential
+/// chain at any thread count; only wall-clock time changes.  With
+/// `threads <= 1` this is exactly [`fhtw_with_tds`].
+pub fn fhtw_with_tds_parallel(
+    query: &ConjunctiveQuery,
+    tds: &[TreeDecomposition],
+    stats: &StatisticsSet,
+    threads: usize,
+) -> Result<FhtwReport, BoundError> {
+    assert!(!tds.is_empty(), "fhtw requires at least one tree decomposition");
+    if threads <= 1 || tds.len() < 2 {
+        return fhtw_with_tds(query, tds, stats);
+    }
+    let universe = query.all_vars();
+    let chunks = chunked(tds, threads);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction is infallible");
+    let per_chunk: Vec<Result<Vec<TdCost>, BoundError>> = pool.install(|| {
+        use rayon::prelude::*;
+        chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut carried: Option<Basis> = None;
+                let mut per_td = Vec::with_capacity(chunk.len());
+                for td in *chunk {
+                    let mut worst = Rat::ZERO;
+                    let mut per_bag = Vec::with_capacity(td.num_bags());
+                    for &bag in td.bags() {
+                        let lp = GammaLp::build(universe, stats, &[bag]);
+                        let (report, basis) = lp.solve_warm(stats, &[bag], carried.as_ref())?;
+                        carried = basis;
+                        worst = worst.max(report.log_bound);
+                        per_bag.push((bag, report.log_bound));
+                    }
+                    per_td.push((td.clone(), worst, per_bag));
+                }
+                Ok(per_td)
+            })
+            .collect()
+    });
+    let per_td = flatten_chunks(per_chunk)?;
     let best = per_td
         .iter()
         .enumerate()
@@ -602,6 +679,68 @@ pub fn subw_with_tds(
         value = value.max(report.log_bound);
         per_selector.push(SelectorBound { selector, report });
     }
+    Ok(SubwReport { value, tds: tds.to_vec(), per_selector })
+}
+
+/// [`subw_with_tds`] with the selector LP chains distributed over up to
+/// `threads` pool workers — the dominant cost of `subw` on larger queries
+/// (the 5-cycle enumerates 197 bag selectors, each one Γ₅ LP).
+///
+/// The selectors are split into contiguous chunks; each worker runs a
+/// warm-started chain over its chunk with its own thread-local Γ_n
+/// scaffold memo, exactly like the sequential chain does globally.  The
+/// submodular width and every per-selector bound are **identical** to the
+/// sequential computation (optimal LP values are unique); the dual
+/// *certificates* of warm-started solves may differ across chain shapes,
+/// as already documented on the warm-start API, and every certificate is
+/// verified before it is returned.  With `threads <= 1` this is exactly
+/// [`subw_with_tds`].
+pub fn subw_with_tds_parallel(
+    query: &ConjunctiveQuery,
+    tds: &[TreeDecomposition],
+    stats: &StatisticsSet,
+    threads: usize,
+) -> Result<SubwReport, BoundError> {
+    assert!(!tds.is_empty(), "subw requires at least one tree decomposition");
+    // Bail out before the (combinatorial) selector enumeration: the
+    // sequential fallback re-enumerates, and the default engine is
+    // sequential.
+    if threads <= 1 {
+        return subw_with_tds(query, tds, stats);
+    }
+    let universe = query.all_vars();
+    let selectors = BagSelector::enumerate(tds);
+    if selectors.len() < 2 {
+        return subw_with_tds(query, tds, stats);
+    }
+    let chunks = chunked(&selectors, threads);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction is infallible");
+    let per_chunk: Vec<Result<Vec<SelectorBound>, BoundError>> = pool.install(|| {
+        use rayon::prelude::*;
+        chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut carried: Option<Basis> = None;
+                let mut bounds = Vec::with_capacity(chunk.len());
+                for selector in *chunk {
+                    let lp = GammaLp::build(universe, stats, selector.bags());
+                    let (report, basis) =
+                        lp.solve_warm(stats, selector.bags(), carried.as_ref())?;
+                    carried = basis;
+                    bounds.push(SelectorBound { selector: selector.clone(), report });
+                }
+                Ok(bounds)
+            })
+            .collect()
+    });
+    let per_selector = flatten_chunks(per_chunk)?;
+    let value = per_selector
+        .iter()
+        .map(|sel| sel.report.log_bound)
+        .fold(Rat::ZERO, |acc, bound| acc.max(bound));
     Ok(SubwReport { value, tds: tds.to_vec(), per_selector })
 }
 
@@ -854,6 +993,32 @@ mod tests {
             let cold = ddr_polymatroid_bound(sel.selector.bags(), q.all_vars(), &stats).unwrap();
             assert_eq!(cold.log_bound, sel.report.log_bound);
             sel.report.flow.verify_identity().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_width_chains_match_sequential_values() {
+        let q = four_cycle();
+        let stats = s_square(1000);
+        let tds = TreeDecomposition::enumerate(&q);
+        let seq_subw = subw_with_tds(&q, &tds, &stats).unwrap();
+        let seq_fhtw = fhtw_with_tds(&q, &tds, &stats).unwrap();
+        for threads in [1, 2, 8] {
+            let par_subw = subw_with_tds_parallel(&q, &tds, &stats, threads).unwrap();
+            assert_eq!(par_subw.value, seq_subw.value, "subw, threads = {threads}");
+            assert_eq!(par_subw.per_selector.len(), seq_subw.per_selector.len());
+            for (p, s) in par_subw.per_selector.iter().zip(&seq_subw.per_selector) {
+                assert_eq!(p.selector, s.selector, "selector order must be preserved");
+                assert_eq!(p.report.log_bound, s.report.log_bound);
+                p.report.flow.verify_identity().unwrap();
+            }
+            let par_fhtw = fhtw_with_tds_parallel(&q, &tds, &stats, threads).unwrap();
+            assert_eq!(par_fhtw.value, seq_fhtw.value, "fhtw, threads = {threads}");
+            assert_eq!(par_fhtw.best, seq_fhtw.best);
+            for (p, s) in par_fhtw.per_td.iter().zip(&seq_fhtw.per_td) {
+                assert_eq!(p.1, s.1);
+                assert_eq!(p.2, s.2, "per-bag bounds must be identical");
+            }
         }
     }
 

@@ -28,6 +28,10 @@
 //!
 //! Everything is computed exactly over rationals; the LP solver is
 //! `panda-lp`.
+//!
+//! `docs/NOTATION.md` at the workspace root maps the paper's notation
+//! (Γ_n, subw, fhtw, DDR bounds, ℓ_k-norms) onto the items of this
+//! crate; `docs/ARCHITECTURE.md` places it in the execution flow.
 
 // Every public item in this crate must be documented; broken or missing
 // docs fail CI via the `cargo doc` job (RUSTDOCFLAGS="-D warnings").
@@ -41,8 +45,9 @@ pub mod shannon;
 pub mod varspace;
 
 pub use bounds::{
-    agm_bound, ddr_polymatroid_bound, fhtw, fhtw_with_tds, polymatroid_bound, subw, subw_with_tds,
-    BoundError, BoundReport, FhtwReport, SelectorBound, SubwReport,
+    agm_bound, ddr_polymatroid_bound, fhtw, fhtw_with_tds, fhtw_with_tds_parallel,
+    polymatroid_bound, subw, subw_with_tds, subw_with_tds_parallel, BoundError, BoundReport,
+    FhtwReport, SelectorBound, SubwReport,
 };
 pub use constraints::{exact_log, StatKind, Statistic, StatisticsSet};
 pub use elemental::Elemental;

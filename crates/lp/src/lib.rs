@@ -71,6 +71,22 @@ mod solution;
 pub use problem::{Basis, Constraint, ConstraintOp, LinearProgram, SimplexEngine};
 pub use solution::{LpOutcome, Solution};
 
+// Compile-time thread-safety guarantee for the parallel selector/bag LP
+// chains in `panda-entropy`: whole `LinearProgram`s are built on pool
+// workers and `Basis`/`Solution` values are carried between warm-started
+// solves inside a worker, so every solver artifact must be `Send + Sync`
+// (plain owned rational data, no interior mutability).  A regression that
+// introduced e.g. an `Rc` into these types would break parallel width
+// computation at a distance — this pins it at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LinearProgram>();
+    assert_send_sync::<Basis>();
+    assert_send_sync::<Solution>();
+    assert_send_sync::<LpOutcome>();
+    assert_send_sync::<LpError>();
+};
+
 /// Errors reported by the solver.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LpError {

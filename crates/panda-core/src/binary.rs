@@ -11,6 +11,7 @@ use panda_query::{ConjunctiveQuery, Var, VarSet};
 use panda_relation::Database;
 
 use crate::binding::VarRelation;
+use crate::config::Engine;
 use crate::yannakakis::empty_result;
 
 /// A greedy left-deep binary-join plan.
@@ -39,9 +40,25 @@ impl BinaryJoinPlan {
     /// Evaluates the query with greedy pairwise joins: start from the
     /// smallest relation; at every step join with the connected relation
     /// that minimises the estimated intermediate size (estimated as
-    /// `|acc| · max-degree of the new attributes`).
+    /// `|acc| · max-degree of the new attributes`).  Uses the engine
+    /// selected by `PANDA_THREADS` ([`Engine::from_env`], sequential by
+    /// default).
     #[must_use]
     pub fn evaluate(&self, query: &ConjunctiveQuery, db: &Database) -> VarRelation {
+        self.evaluate_with_engine(query, db, Engine::from_env())
+    }
+
+    /// [`BinaryJoinPlan::evaluate`] under an explicit [`Engine`]: each
+    /// pairwise hash join shards its probe side over the pool
+    /// ([`panda_relation::operators::par_join`]), with bit-identical
+    /// output at any thread count.
+    #[must_use]
+    pub fn evaluate_with_engine(
+        &self,
+        query: &ConjunctiveQuery,
+        db: &Database,
+        engine: Engine,
+    ) -> VarRelation {
         let mut remaining = VarRelation::bind_all(query, db);
         if remaining.iter().any(VarRelation::is_empty) {
             return empty_result(query.free_vars());
@@ -58,7 +75,7 @@ impl BinaryJoinPlan {
                 .collect();
             let pick = connected.into_iter().min_by_key(|&i| remaining[i].len()).unwrap_or(0);
             let next = remaining.remove(pick);
-            acc = acc.natural_join(&next);
+            acc = acc.natural_join_with_engine(&next, engine);
             if self.project_early {
                 let needed: VarSet = remaining
                     .iter()

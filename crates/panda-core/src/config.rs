@@ -1,0 +1,153 @@
+//! Execution-engine configuration: the sequential/parallel knob.
+//!
+//! Every evaluator in this crate runs **sequentially by default**
+//! ([`Engine::Sequential`]); parallelism is strictly opt-in, either
+//! programmatically (`Panda::new(q).with_engine(Engine::Parallel(
+//! Parallelism::threads(4)))`) or through the `PANDA_THREADS` environment
+//! variable ([`Engine::from_env`]), which every default-constructed
+//! evaluator consults.
+//!
+//! Parallel execution is **deterministic**: work is split into contiguous
+//! chunks whose results are merged back in input order, so the output of
+//! every evaluator is bit-identical to its sequential output at any thread
+//! count (the workspace's `parallel_determinism` suite pins this).  What
+//! parallelism changes is wall-clock time only — never answers, plans or
+//! row order.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// How many worker threads parallel stages may use.
+///
+/// A plain positive thread count; [`Parallelism::auto`] resolves to the
+/// machine's available parallelism at construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism(NonZeroUsize);
+
+impl Parallelism {
+    /// A fixed thread count; `n` is clamped up to at least 1.
+    #[must_use]
+    pub fn threads(n: usize) -> Self {
+        Parallelism(NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero"))
+    }
+
+    /// The machine's available parallelism (at least 1).
+    #[must_use]
+    pub fn auto() -> Self {
+        Parallelism(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// The thread count.
+    #[must_use]
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+}
+
+/// The execution engine used by the evaluators.
+///
+/// [`Engine::Sequential`] is the default; [`Engine::Parallel`] fans
+/// independent work units (generic-join top-level branches, PANDA degree
+/// branches, DDR branches, probe shards, selector LP chains) out over a
+/// thread pool and merges the results in a fixed order, producing
+/// bit-identical outputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Evaluate everything on the calling thread (the default).
+    #[default]
+    Sequential,
+    /// Evaluate independent work units on a pool of the given size.
+    Parallel(Parallelism),
+}
+
+impl Engine {
+    /// The engine selected by the `PANDA_THREADS` environment variable
+    /// (read once per process):
+    ///
+    /// * unset, empty, `1`, or unparsable — [`Engine::Sequential`],
+    /// * `0` or `auto` — [`Engine::Parallel`] at the machine's available
+    ///   parallelism,
+    /// * `n > 1` — [`Engine::Parallel`] with `n` threads.
+    ///
+    /// This is what every default-constructed evaluator uses, and what the
+    /// CI matrix toggles to run the whole test suite under both engines.
+    #[must_use]
+    pub fn from_env() -> Self {
+        static FROM_ENV: OnceLock<Engine> = OnceLock::new();
+        *FROM_ENV.get_or_init(|| match std::env::var("PANDA_THREADS") {
+            Ok(value) if value.eq_ignore_ascii_case("auto") => {
+                Engine::Parallel(Parallelism::auto())
+            }
+            Ok(value) => match value.trim().parse::<usize>() {
+                Ok(0) => Engine::Parallel(Parallelism::auto()),
+                Ok(1) | Err(_) => Engine::Sequential,
+                Ok(n) => Engine::Parallel(Parallelism::threads(n)),
+            },
+            Err(_) => Engine::Sequential,
+        })
+    }
+
+    /// The number of worker threads this engine may use (1 when
+    /// sequential).
+    #[must_use]
+    pub fn threads(self) -> usize {
+        match self {
+            Engine::Sequential => 1,
+            Engine::Parallel(p) => p.get(),
+        }
+    }
+
+    /// `true` iff this engine may use more than one thread.
+    #[must_use]
+    pub fn is_parallel(self) -> bool {
+        self.threads() > 1
+    }
+
+    /// Runs `op` under this engine: directly on the calling thread when
+    /// sequential, inside a thread pool of [`Engine::threads`] workers when
+    /// parallel (so `rayon` primitives called inside see that budget).
+    pub fn install<OP, R>(self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        match self {
+            Engine::Sequential => op(),
+            Engine::Parallel(p) => rayon::ThreadPoolBuilder::new()
+                .num_threads(p.get())
+                .build()
+                .expect("thread pool construction is infallible")
+                .install(op),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_the_default_with_one_thread() {
+        assert_eq!(Engine::default(), Engine::Sequential);
+        assert_eq!(Engine::Sequential.threads(), 1);
+        assert!(!Engine::Sequential.is_parallel());
+    }
+
+    #[test]
+    fn parallelism_clamps_and_reports_threads() {
+        assert_eq!(Parallelism::threads(0).get(), 1);
+        assert_eq!(Parallelism::threads(4).get(), 4);
+        assert!(Parallelism::auto().get() >= 1);
+        let engine = Engine::Parallel(Parallelism::threads(4));
+        assert_eq!(engine.threads(), 4);
+        assert!(engine.is_parallel());
+    }
+
+    #[test]
+    fn install_runs_the_closure_under_the_budget() {
+        let seq = Engine::Sequential.install(|| 41 + 1);
+        assert_eq!(seq, 42);
+        let par = Engine::Parallel(Parallelism::threads(3)).install(rayon::current_num_threads);
+        assert_eq!(par, 3);
+    }
+}

@@ -32,6 +32,7 @@ use panda_query::{Atom, DisjunctiveRule, Var, VarSet};
 use panda_relation::{stats as rstats, Database, Relation};
 
 use crate::binding::VarRelation;
+use crate::config::Engine;
 use crate::generic_join::GenericJoin;
 use crate::plans::{
     chain_join_estimate, estimate_bag_size, greedy_projection_cover, PartitionSpec,
@@ -150,9 +151,22 @@ impl DdrEvaluator {
         })
     }
 
-    /// Evaluates the rule on a database instance, producing a model.
+    /// Evaluates the rule on a database instance, producing a model.  Uses
+    /// the engine selected by `PANDA_THREADS` ([`Engine::from_env`],
+    /// sequential by default).
     #[must_use]
     pub fn evaluate(&self, db: &Database) -> DdrModel {
+        self.evaluate_with_engine(db, Engine::from_env())
+    }
+
+    /// [`DdrEvaluator::evaluate`] under an explicit [`Engine`]: the degree
+    /// branches are independent (each picks its cheapest target and covers
+    /// it), so a parallel engine evaluates them on the thread pool; branch
+    /// contributions are merged into the targets **in branch order**
+    /// before the final per-target deduplication, making the model
+    /// bit-identical to sequential evaluation at any thread count.
+    #[must_use]
+    pub fn evaluate_with_engine(&self, db: &Database, engine: Engine) -> DdrModel {
         let mut targets: Vec<(VarSet, VarRelation)> = self
             .rule
             .head()
@@ -164,20 +178,36 @@ impl DdrEvaluator {
             })
             .collect();
 
-        for branch_db in self.build_branches(db) {
+        let branches = self.build_branches(db);
+        let across_branches = engine.is_parallel() && branches.len() > 1;
+        // Branch workers own the coarse-grained parallelism; with a single
+        // branch the engine is spent inside the bag materialisation
+        // instead.
+        let inner_engine = if across_branches { Engine::Sequential } else { engine };
+        let evaluate_branch = |branch_db: &Database| -> (usize, VarRelation) {
             // Choose the cheapest target for this branch.
             let (best_idx, _) = self
                 .rule
                 .head()
                 .iter()
                 .enumerate()
-                .map(|(i, &b)| (i, estimate_bag_size(self.rule.body(), &branch_db, b)))
+                .map(|(i, &b)| (i, estimate_bag_size(self.rule.body(), branch_db, b)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite estimates"))
                 .expect("a DDR has at least one head disjunct");
             let bag = self.rule.head()[best_idx];
-            let covered = materialize_bag(self.rule.body(), &branch_db, bag);
+            (best_idx, materialize_bag_with_engine(self.rule.body(), branch_db, bag, inner_engine))
+        };
+        let covered: Vec<(usize, VarRelation)> = if across_branches {
+            engine.install(|| {
+                use rayon::prelude::*;
+                branches.par_iter().map(evaluate_branch).collect()
+            })
+        } else {
+            branches.iter().map(evaluate_branch).collect()
+        };
+        for (best_idx, rel) in covered {
             let order = targets[best_idx].1.vars.clone();
-            targets[best_idx].1.rel.extend_from(&covered.project_onto(&order).rel);
+            targets[best_idx].1.rel.extend_from(&rel.project_onto(&order).rel);
         }
         for (_, rel) in &mut targets {
             rel.rel.dedup();
@@ -226,9 +256,23 @@ impl DdrEvaluator {
 }
 
 /// Materialises a superset of `π_bag(⋈ atoms)` using the cheaper of the two
-/// constructions described in the module documentation.
+/// constructions described in the module documentation.  Uses the engine
+/// selected by `PANDA_THREADS` ([`Engine::from_env`], sequential by
+/// default).
 #[must_use]
 pub fn materialize_bag(atoms: &[Atom], db: &Database, bag: VarSet) -> VarRelation {
+    materialize_bag_with_engine(atoms, db, bag, Engine::from_env())
+}
+
+/// [`materialize_bag`] under an explicit [`Engine`] (applied to the
+/// worst-case-optimal join of construction (i)).
+#[must_use]
+pub fn materialize_bag_with_engine(
+    atoms: &[Atom],
+    db: &Database,
+    bag: VarSet,
+    engine: Engine,
+) -> VarRelation {
     // Cost of construction (i): degree-aware chain bound on the join of the
     // atoms contained in the bag, provided they cover it.
     let contained: Vec<&Atom> = atoms.iter().filter(|a| a.var_set().is_subset_of(bag)).collect();
@@ -247,7 +291,7 @@ pub fn materialize_bag(atoms: &[Atom], db: &Database, bag: VarSet) -> VarRelatio
         let inputs: Vec<VarRelation> =
             contained.iter().map(|a| VarRelation::from_atom(a, db)).collect();
         let join = GenericJoin::new(bag);
-        join.join(&inputs, &bag_vars)
+        join.join_with_engine(&inputs, &bag_vars, engine)
     } else {
         // (ii) join of the covering projections (disjoint pieces are a
         // Cartesian product).

@@ -16,6 +16,7 @@ use panda_query::{ConjunctiveQuery, Var, VarSet};
 use panda_relation::{Database, Relation, Value, ValueIndex};
 
 use crate::binding::VarRelation;
+use crate::config::Engine;
 
 /// A worst-case-optimal join evaluator for (sub)queries.
 #[derive(Debug, Clone)]
@@ -41,6 +42,9 @@ impl GenericJoin {
 
     /// Joins the given bound relations over all variables of the order that
     /// appear in them and projects the result onto `output`, deduplicated.
+    /// Equivalent to [`GenericJoin::join_with_engine`] with the engine
+    /// selected by `PANDA_THREADS` ([`Engine::from_env`], sequential by
+    /// default).
     ///
     /// Variable-free relations are treated as Boolean filters: if any of
     /// them is empty the result is empty.
@@ -53,6 +57,28 @@ impl GenericJoin {
     /// output variable does not occur in the join.
     #[must_use]
     pub fn join(&self, inputs: &[VarRelation], output: &[Var]) -> VarRelation {
+        self.join_with_engine(inputs, output, Engine::from_env())
+    }
+
+    /// [`GenericJoin::join`] under an explicit [`Engine`].
+    ///
+    /// Under a parallel engine the **top-level branches** of the
+    /// backtracking search — the candidate values of the first variable in
+    /// the order — are split into contiguous chunks evaluated on the
+    /// thread pool; chunk outputs are concatenated in candidate order and
+    /// deduplicated exactly like the sequential stream, so the result is
+    /// bit-identical to sequential evaluation at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// As [`GenericJoin::join`].
+    #[must_use]
+    pub fn join_with_engine(
+        &self,
+        inputs: &[VarRelation],
+        output: &[Var],
+        engine: Engine,
+    ) -> VarRelation {
         // Keep only the order variables that actually occur — but the order
         // must mention every occurring variable.
         let occurring: VarSet = inputs.iter().fold(VarSet::EMPTY, |acc, r| acc.union(r.var_set()));
@@ -71,19 +97,6 @@ impl GenericJoin {
         }
         if inputs.iter().any(|r| r.is_empty() && r.vars.is_empty()) {
             return VarRelation::new(output.to_vec(), Relation::new(output.len()));
-        }
-
-        // Per level, per atom: an index from the atom's already-bound
-        // columns to the distinct candidate values of the current variable.
-        // These are served from each relation's shared cache, so repeated
-        // generic joins over the same relation (across PANDA branches, or
-        // across bench iterations) rebuild nothing.
-        struct LevelIndex {
-            /// variables of the atom bound before this level, in ascending
-            /// column order (the cache's canonical key order)
-            bound_vars: Vec<Var>,
-            /// candidate values for the level variable, per bound key
-            candidates: Arc<ValueIndex>,
         }
 
         let mut levels: Vec<Vec<LevelIndex>> = Vec::with_capacity(order.len());
@@ -107,67 +120,155 @@ impl GenericJoin {
             levels.push(per_atom);
         }
 
-        // Backtracking search.
+        let output_vars = output.to_vec();
+        if !order.is_empty() && !levels[0].is_empty() {
+            // Top-level case split: the candidates of the first variable.
+            // Both engines consume this one candidate sequence, so the
+            // parallel/sequential bit-identical contract has a single
+            // source of truth for the top-level order.
+            let Some(candidates) = top_level_candidates(&levels[0]) else {
+                return VarRelation::new(output_vars, Relation::new(output.len()));
+            };
+            let v0 = order[0];
+            let run_chunk = |chunk: &[Value]| -> Relation {
+                let mut assignment: HashMap<Var, Value> = HashMap::new();
+                let mut out = Relation::new(output_vars.len());
+                for &value in chunk {
+                    assignment.insert(v0, value);
+                    search(&order, 1, &levels, &mut assignment, &output_vars, &mut out);
+                    assignment.remove(&v0);
+                }
+                out
+            };
+            let threads = engine.threads();
+            if threads > 1 && candidates.len() >= 2 {
+                let k = threads.min(candidates.len());
+                let chunks: Vec<&[Value]> = (0..k)
+                    .map(|i| &candidates[candidates.len() * i / k..candidates.len() * (i + 1) / k])
+                    .collect();
+                let pieces: Vec<Relation> = engine.install(|| {
+                    use rayon::prelude::*;
+                    chunks.par_iter().map(|chunk| run_chunk(chunk)).collect()
+                });
+                let merged = Relation::concatenated(output_vars.len(), &pieces);
+                return VarRelation::new(output_vars, merged.deduped());
+            }
+            let out = run_chunk(&candidates);
+            return VarRelation::new(output_vars, out.deduped());
+        }
+
+        // Degenerate shapes (no occurring variables, or a first variable
+        // bound by no atom): plain backtracking from level 0.
         let mut assignment: HashMap<Var, Value> = HashMap::new();
         let mut out = Relation::new(output.len());
-        let output_vars = output.to_vec();
         search(&order, 0, &levels, &mut assignment, &output_vars, &mut out);
-        return VarRelation::new(output_vars, out.deduped());
-
-        fn search(
-            order: &[Var],
-            level: usize,
-            levels: &[Vec<LevelIndex>],
-            assignment: &mut HashMap<Var, Value>,
-            output: &[Var],
-            out: &mut Relation,
-        ) {
-            if level == order.len() {
-                let row: Vec<Value> = output.iter().map(|v| assignment[v]).collect();
-                out.push_row(&row);
-                return;
-            }
-            let v = order[level];
-            let indexes = &levels[level];
-            if indexes.is_empty() {
-                // The variable occurs in no atom (cannot happen for
-                // well-formed queries); skip it.
-                search(order, level + 1, levels, assignment, output, out);
-                return;
-            }
-            // Candidate lists for the current assignment, one per atom
-            // containing v; intersect starting from the smallest.
-            let mut lists: Vec<&Vec<Value>> = Vec::with_capacity(indexes.len());
-            for idx in indexes {
-                let key: Vec<Value> = idx.bound_vars.iter().map(|w| assignment[w]).collect();
-                match idx.candidates.candidates(&key) {
-                    Some(values) => lists.push(values),
-                    None => return, // no compatible tuple in this atom
-                }
-            }
-            lists.sort_by_key(|l| l.len());
-            let (smallest, rest) = lists.split_first().expect("non-empty");
-            'values: for &value in smallest.iter() {
-                for other in rest {
-                    if other.binary_search(&value).is_err() {
-                        continue 'values;
-                    }
-                }
-                assignment.insert(v, value);
-                search(order, level + 1, levels, assignment, output, out);
-                assignment.remove(&v);
-            }
-        }
+        VarRelation::new(output_vars, out.deduped())
     }
 
     /// Evaluates a full or projected conjunctive query with a worst-case
     /// optimal join over all its atoms, returning the answer over the free
-    /// variables.
+    /// variables.  Uses the engine selected by `PANDA_THREADS`
+    /// ([`Engine::from_env`], sequential by default).
     #[must_use]
     pub fn evaluate(query: &ConjunctiveQuery, db: &Database) -> VarRelation {
+        GenericJoin::evaluate_with_engine(query, db, Engine::from_env())
+    }
+
+    /// [`GenericJoin::evaluate`] under an explicit [`Engine`].
+    #[must_use]
+    pub fn evaluate_with_engine(
+        query: &ConjunctiveQuery,
+        db: &Database,
+        engine: Engine,
+    ) -> VarRelation {
         let inputs = VarRelation::bind_all(query, db);
         let join = GenericJoin::new(query.all_vars());
-        join.join(&inputs, &query.free_vars().to_vec())
+        join.join_with_engine(&inputs, &query.free_vars().to_vec(), engine)
+    }
+}
+
+/// Per level, per atom: an index from the atom's already-bound columns to
+/// the distinct candidate values of the current variable.  These are served
+/// from each relation's shared cache, so repeated generic joins over the
+/// same relation (across PANDA branches, or across bench iterations)
+/// rebuild nothing.
+struct LevelIndex {
+    /// variables of the atom bound before this level, in ascending column
+    /// order (the cache's canonical key order)
+    bound_vars: Vec<Var>,
+    /// candidate values for the level variable, per bound key
+    candidates: Arc<ValueIndex>,
+}
+
+/// The intersected candidate values of the *first* order variable — the
+/// generic join's top-level branches, in exactly the order the sequential
+/// search visits them (ascending: the smallest atom's sorted candidate
+/// list, filtered against the others).  `None` means some atom has no
+/// tuples at all, i.e. an empty result.
+fn top_level_candidates(indexes: &[LevelIndex]) -> Option<Vec<Value>> {
+    let mut lists: Vec<&Vec<Value>> = Vec::with_capacity(indexes.len());
+    for idx in indexes {
+        debug_assert!(idx.bound_vars.is_empty(), "level 0 has no bound variables");
+        lists.push(idx.candidates.candidates(&[])?);
+    }
+    lists.sort_by_key(|l| l.len());
+    let (smallest, rest) = lists.split_first().expect("at least one atom");
+    Some(
+        smallest
+            .iter()
+            .copied()
+            .filter(|value| rest.iter().all(|other| other.binary_search(value).is_ok()))
+            .collect(),
+    )
+}
+
+/// The recursive backtracking search of the generic join: binds the
+/// variables of `order[level..]` one at a time by intersecting, per atom,
+/// the candidate values compatible with the current partial `assignment`,
+/// and pushes the projection of every full assignment onto `output` into
+/// `out` (in candidate order — deterministic).
+fn search(
+    order: &[Var],
+    level: usize,
+    levels: &[Vec<LevelIndex>],
+    assignment: &mut HashMap<Var, Value>,
+    output: &[Var],
+    out: &mut Relation,
+) {
+    if level == order.len() {
+        let row: Vec<Value> = output.iter().map(|v| assignment[v]).collect();
+        out.push_row(&row);
+        return;
+    }
+    let v = order[level];
+    let indexes = &levels[level];
+    if indexes.is_empty() {
+        // The variable occurs in no atom (cannot happen for well-formed
+        // queries); skip it.
+        search(order, level + 1, levels, assignment, output, out);
+        return;
+    }
+    // Candidate lists for the current assignment, one per atom containing
+    // v; intersect starting from the smallest.
+    let mut lists: Vec<&Vec<Value>> = Vec::with_capacity(indexes.len());
+    for idx in indexes {
+        let key: Vec<Value> = idx.bound_vars.iter().map(|w| assignment[w]).collect();
+        match idx.candidates.candidates(&key) {
+            Some(values) => lists.push(values),
+            None => return, // no compatible tuple in this atom
+        }
+    }
+    lists.sort_by_key(|l| l.len());
+    let (smallest, rest) = lists.split_first().expect("non-empty");
+    'values: for &value in smallest.iter() {
+        for other in rest {
+            if other.binary_search(&value).is_err() {
+                continue 'values;
+            }
+        }
+        assignment.insert(v, value);
+        search(order, level + 1, levels, assignment, output, out);
+        assignment.remove(&v);
     }
 }
 
@@ -304,6 +405,36 @@ mod tests {
             let n = db.relation("R").unwrap().distinct_count() as f64;
             let out = GenericJoin::evaluate(&q, &db);
             assert!((out.len() as f64) <= n.powf(1.5) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_top_level_split_is_bit_identical_to_sequential() {
+        use crate::config::{Engine, Parallelism};
+        let q = parse_query("Q(X,Y,Z,W) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut db = Database::new();
+        for name in ["R", "S", "T", "U"] {
+            let rel = Relation::from_rows(
+                2,
+                (0..80).map(|_| [rng.gen_range(0..10u64), rng.gen_range(0..10u64)]),
+            )
+            .deduped();
+            db.insert(name, rel);
+        }
+        let seq = GenericJoin::evaluate_with_engine(&q, &db, Engine::Sequential);
+        for threads in [2, 3, 8] {
+            let par = GenericJoin::evaluate_with_engine(
+                &q,
+                &db,
+                Engine::Parallel(Parallelism::threads(threads)),
+            );
+            assert_eq!(par.vars, seq.vars);
+            // Bit-identical: same rows in the same storage order, not just
+            // the same set.
+            let seq_rows: Vec<Vec<u64>> = seq.rel.iter().map(<[u64]>::to_vec).collect();
+            let par_rows: Vec<Vec<u64>> = par.rel.iter().map(<[u64]>::to_vec).collect();
+            assert_eq!(par_rows, seq_rows, "threads = {threads}");
         }
     }
 

@@ -22,10 +22,23 @@
 //! * [`BinaryJoinPlan`] — a textbook binary-join baseline,
 //! * [`faq`] — FAQ / semiring aggregate evaluation over join trees
 //!   (Section 9.1),
-//! * [`Panda`] — the end-to-end facade: `Panda::new(query).evaluate(&db)`.
+//! * [`Panda`] — the end-to-end facade: `Panda::new(query).evaluate(&db)`,
+//! * [`config`] — the [`Engine`]/[`Parallelism`] knob: evaluation is
+//!   sequential by default and opt-in parallel (deterministic —
+//!   bit-identical outputs at any thread count), toggled per evaluator or
+//!   through the `PANDA_THREADS` environment variable.
+//!
+//! See `docs/ARCHITECTURE.md` at the workspace root for the execution
+//! flow and the paper-section → module map, and `docs/NOTATION.md` for
+//! the paper-notation glossary.
+
+// Every public item in this crate must be documented; broken or missing
+// docs fail CI via the `cargo doc` job (RUSTDOCFLAGS="-D warnings").
+#![warn(missing_docs)]
 
 pub mod binary;
 pub mod binding;
+pub mod config;
 pub mod ddr_eval;
 pub mod faq;
 pub mod generic_join;
@@ -35,6 +48,7 @@ pub mod yannakakis;
 
 pub use binary::BinaryJoinPlan;
 pub use binding::VarRelation;
+pub use config::{Engine, Parallelism};
 pub use ddr_eval::{DdrEvaluator, DdrModel};
 pub use generic_join::GenericJoin;
 pub use panda::{EvaluationStrategy, Panda, PlanReport};

@@ -19,6 +19,7 @@ use panda_relation::Database;
 
 use crate::binary::BinaryJoinPlan;
 use crate::binding::VarRelation;
+use crate::config::Engine;
 use crate::generic_join::GenericJoin;
 use crate::plans::{PandaEvaluator, PartitionSpec, StaticTdPlan};
 use crate::yannakakis::yannakakis_query;
@@ -60,15 +61,18 @@ pub struct PlanReport {
 pub struct Panda {
     query: ConjunctiveQuery,
     statistics: Option<StatisticsSet>,
+    engine: Engine,
 }
 
 impl Panda {
     /// Creates an evaluator for a query.  Statistics are measured from the
     /// data at evaluation time unless supplied with
-    /// [`Panda::with_statistics`].
+    /// [`Panda::with_statistics`]; the execution engine is the one
+    /// selected by `PANDA_THREADS` ([`Engine::from_env`], sequential by
+    /// default) unless overridden with [`Panda::with_engine`].
     #[must_use]
     pub fn new(query: ConjunctiveQuery) -> Self {
-        Panda { query, statistics: None }
+        Panda { query, statistics: None, engine: Engine::from_env() }
     }
 
     /// Uses the given statistics for planning instead of measuring them.
@@ -76,6 +80,22 @@ impl Panda {
     pub fn with_statistics(mut self, statistics: StatisticsSet) -> Self {
         self.statistics = Some(statistics);
         self
+    }
+
+    /// Uses the given execution engine.  Parallel engines change
+    /// wall-clock time only: outputs are bit-identical to sequential
+    /// evaluation at any thread count, and planning (strategy choice,
+    /// partitions, branch structure) is engine-independent.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured execution engine.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// The query being evaluated.
@@ -100,11 +120,19 @@ impl Panda {
 
     /// Produces the planning report (widths, decompositions, partitions)
     /// for the given database.
+    ///
+    /// Under a parallel engine the selector/bag LP chains behind the width
+    /// computations run on the thread pool
+    /// ([`panda_entropy::subw_with_tds_parallel`]); the reported widths
+    /// are identical either way (optimal LP values are unique), and the
+    /// partition derivation itself stays sequential so the plan structure
+    /// is engine-independent.
     pub fn plan_report(&self, db: &Database) -> Result<PlanReport, BoundError> {
         let stats = self.stats_for(db);
         let tds = TreeDecomposition::enumerate(&self.query);
-        let fhtw = panda_entropy::fhtw_with_tds(&self.query, &tds, &stats)?.value;
-        let subw = panda_entropy::subw_with_tds(&self.query, &tds, &stats)?.value;
+        let threads = self.engine.threads();
+        let fhtw = panda_entropy::fhtw_with_tds_parallel(&self.query, &tds, &stats, threads)?.value;
+        let subw = panda_entropy::subw_with_tds_parallel(&self.query, &tds, &stats, threads)?.value;
         let strategy = if self.is_free_connex_acyclic() {
             EvaluationStrategy::Yannakakis
         } else if subw < fhtw {
@@ -158,17 +186,21 @@ impl Panda {
                 let plan = StaticTdPlan::best_for(&self.query, &stats).unwrap_or_else(|_| {
                     StaticTdPlan::new(TreeDecomposition::new(vec![self.query.all_vars()]))
                 });
-                plan.evaluate(&self.query, db)
+                plan.evaluate_with_engine(&self.query, db, self.engine)
             }
             EvaluationStrategy::Adaptive => {
                 let stats = self.stats_for(db);
                 match PandaEvaluator::plan(&self.query, &stats) {
-                    Ok(evaluator) => evaluator.evaluate(&self.query, db),
-                    Err(_) => GenericJoin::evaluate(&self.query, db),
+                    Ok(evaluator) => evaluator.evaluate_with_engine(&self.query, db, self.engine),
+                    Err(_) => GenericJoin::evaluate_with_engine(&self.query, db, self.engine),
                 }
             }
-            EvaluationStrategy::GenericJoin => GenericJoin::evaluate(&self.query, db),
-            EvaluationStrategy::BinaryJoin => BinaryJoinPlan::new().evaluate(&self.query, db),
+            EvaluationStrategy::GenericJoin => {
+                GenericJoin::evaluate_with_engine(&self.query, db, self.engine)
+            }
+            EvaluationStrategy::BinaryJoin => {
+                BinaryJoinPlan::new().evaluate_with_engine(&self.query, db, self.engine)
+            }
         }
     }
 }

@@ -21,6 +21,7 @@ use panda_query::{Atom, ConjunctiveQuery, TreeDecomposition, Var, VarSet};
 use panda_relation::{stats as rstats, Database, Relation};
 
 use crate::binding::VarRelation;
+use crate::config::Engine;
 use crate::generic_join::GenericJoin;
 use crate::yannakakis::{empty_result, yannakakis_free_connex};
 
@@ -51,9 +52,24 @@ impl StaticTdPlan {
     /// Evaluates the query: every bag is materialised by a worst-case
     /// optimal join of the atoms assigned to it (each atom is assigned to
     /// one bag containing it, Eq. 13), and the bag relations are combined
-    /// with Yannakakis (Eq. 12).
+    /// with Yannakakis (Eq. 12).  Uses the engine selected by
+    /// `PANDA_THREADS` ([`Engine::from_env`], sequential by default).
     #[must_use]
     pub fn evaluate(&self, query: &ConjunctiveQuery, db: &Database) -> VarRelation {
+        self.evaluate_with_engine(query, db, Engine::from_env())
+    }
+
+    /// [`StaticTdPlan::evaluate`] under an explicit [`Engine`]: each bag's
+    /// worst-case-optimal join fans its top-level branches out over the
+    /// pool ([`GenericJoin::join_with_engine`]); the Yannakakis combination
+    /// stays sequential (it is linear in its inputs).
+    #[must_use]
+    pub fn evaluate_with_engine(
+        &self,
+        query: &ConjunctiveQuery,
+        db: &Database,
+        engine: Engine,
+    ) -> VarRelation {
         let bound = VarRelation::bind_all(query, db);
         if bound.iter().any(VarRelation::is_empty) {
             return empty_result(query.free_vars());
@@ -81,7 +97,7 @@ impl StaticTdPlan {
                 inputs.iter().fold(VarSet::EMPTY, |acc, r| acc.union(r.var_set()));
             let bag_vars = self.td.bags()[bag_idx].intersect(covered);
             let join = GenericJoin::new(covered);
-            let bag_rel = join.join(&inputs, &bag_vars.to_vec());
+            let bag_rel = join.join_with_engine(&inputs, &bag_vars.to_vec(), engine);
             bag_relations.push(bag_rel);
         }
         // Combine the bags.  Their schemas are sub-sets of the TD bags and
@@ -214,17 +230,50 @@ impl PandaEvaluator {
     /// into power-of-two degree buckets, every bucket combination forms a
     /// branch, each branch is costed from its own measured statistics, and
     /// the cheapest tree decomposition evaluates it.  The union of the
-    /// branch outputs is the answer.
+    /// branch outputs is the answer.  Uses the engine selected by
+    /// `PANDA_THREADS` ([`Engine::from_env`], sequential by default).
     #[must_use]
     pub fn evaluate(&self, query: &ConjunctiveQuery, db: &Database) -> VarRelation {
+        self.evaluate_with_engine(query, db, Engine::from_env())
+    }
+
+    /// [`PandaEvaluator::evaluate`] under an explicit [`Engine`]: the
+    /// degree branches (the heavy/light case splits of Section 8.2) are
+    /// independent, so a parallel engine evaluates them on the thread pool
+    /// and merges the branch outputs **in branch order** before the final
+    /// deduplication — bit-identical to sequential evaluation at any
+    /// thread count.  Planning (`build_branches`, the per-branch TD
+    /// choice's inputs) is deterministic and engine-independent.
+    #[must_use]
+    pub fn evaluate_with_engine(
+        &self,
+        query: &ConjunctiveQuery,
+        db: &Database,
+        engine: Engine,
+    ) -> VarRelation {
         let branches = self.build_branches(query, db);
-        let mut result = empty_result(query.free_vars());
         let order: Vec<Var> = query.free_vars().to_vec();
-        for branch_db in &branches {
+        let across_branches = engine.is_parallel() && branches.len() > 1;
+        // Branch workers own the coarse-grained parallelism; with a single
+        // branch the engine is spent inside the bag joins instead.
+        let inner_engine = if across_branches { Engine::Sequential } else { engine };
+        let evaluate_branch = |branch_db: &Database| -> Relation {
             let td = self.choose_td_for(query, branch_db);
             let plan = StaticTdPlan::new(td);
-            let out = plan.evaluate(query, branch_db);
-            result.rel.extend_from(&out.project_onto(&order).rel);
+            let out = plan.evaluate_with_engine(query, branch_db, inner_engine);
+            out.project_onto(&order).rel
+        };
+        let outputs: Vec<Relation> = if across_branches {
+            engine.install(|| {
+                use rayon::prelude::*;
+                branches.par_iter().map(evaluate_branch).collect()
+            })
+        } else {
+            branches.iter().map(evaluate_branch).collect()
+        };
+        let mut result = empty_result(query.free_vars());
+        for out in &outputs {
+            result.rel.extend_from(out);
         }
         result.rel.dedup();
         result

@@ -17,6 +17,12 @@
 //!
 //! Everything here is independent of data; the relational substrate lives
 //! in `panda-relation` and the two are tied together by `panda-core`.
+//! `docs/NOTATION.md` at the workspace root maps the paper's notation
+//! onto these types.
+
+// Every public item in this crate must be documented; broken or missing
+// docs fail CI via the `cargo doc` job (RUSTDOCFLAGS="-D warnings").
+#![warn(missing_docs)]
 
 pub mod cq;
 pub mod ddr;

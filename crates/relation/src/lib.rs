@@ -26,6 +26,18 @@
 //! practice in analytic engines.  The [`Database`] type offers a small
 //! helper for interning arbitrary string values when building instances
 //! from external data.
+//!
+//! For the parallel execution layer, [`Relation::partitioned`] splits a
+//! relation into zero-copy contiguous shard views over the shared storage
+//! and [`Relation::concatenated`] re-assembles them in order;
+//! [`operators::par_join`] uses them to evaluate a hash join's probe side
+//! on a thread pool with bit-identical output.  See
+//! `docs/ARCHITECTURE.md` at the workspace root for how the evaluators
+//! drive this.
+
+// Every public item in this crate must be documented; broken or missing
+// docs fail CI via the `cargo doc` job (RUSTDOCFLAGS="-D warnings").
+#![warn(missing_docs)]
 
 pub mod annotated;
 pub mod database;

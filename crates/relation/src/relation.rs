@@ -27,6 +27,11 @@ pub type Tuple = Vec<Value>;
 /// set-producing operators enforce this, while bulk-loading methods allow
 /// temporary duplicates for speed.
 ///
+/// A relation can also be a zero-copy *shard view* over a contiguous row
+/// range of a shared buffer (see [`Relation::partitioned`]): shards share
+/// the parent's tuple storage and behave like independent relations —
+/// mutating a shard copies just its own rows out first.
+///
 /// # Examples
 ///
 /// ```
@@ -49,6 +54,11 @@ pub type Tuple = Vec<Value>;
 pub struct Relation {
     arity: usize,
     data: Arc<Vec<Value>>,
+    /// When set, this relation is a shard view over rows
+    /// `[start, start + rows)` of `data` (only ever set for arity > 0);
+    /// `None` means the whole buffer.  Mutation materialises the view
+    /// first (see [`Relation::make_owned`]).
+    view: Option<(usize, usize)>,
     /// When set, rows are in non-decreasing lexicographic order of these
     /// columns (ties in arbitrary order) — the precondition for the
     /// sort-merge join path in [`crate::operators::join`].
@@ -63,6 +73,7 @@ impl Relation {
         Relation {
             arity,
             data: Arc::new(Vec::new()),
+            view: None,
             sort_order: None,
             cache: Arc::new(IndexCache::default()),
         }
@@ -74,6 +85,7 @@ impl Relation {
         Relation {
             arity,
             data: Arc::new(Vec::with_capacity(arity * rows)),
+            view: None,
             sort_order: None,
             cache: Arc::new(IndexCache::default()),
         }
@@ -91,6 +103,7 @@ impl Relation {
         Relation {
             arity,
             data: Arc::new(data),
+            view: None,
             sort_order: None,
             cache: Arc::new(IndexCache::default()),
         }
@@ -122,11 +135,34 @@ impl Relation {
     /// The number of stored tuples (duplicates included if any).
     #[must_use]
     pub fn len(&self) -> usize {
+        if let Some((_, rows)) = self.view {
+            return rows;
+        }
         match self.data.len().checked_div(self.arity) {
             Some(rows) => rows,
             // A zero-arity relation is either empty or the single empty
             // tuple; we encode the latter by a one-element marker vector.
             None => usize::from(!self.data.is_empty()),
+        }
+    }
+
+    /// The viewed flat row buffer: for a shard view, just its own rows; for
+    /// a whole-buffer relation, all of `data`.  Zero-arity relations are
+    /// never views, so their marker encoding passes through unchanged.
+    fn flat(&self) -> &[Value] {
+        match self.view {
+            Some((start, rows)) => &self.data[start * self.arity..(start + rows) * self.arity],
+            None => &self.data,
+        }
+    }
+
+    /// Materialises a shard view into its own buffer (a one-time copy of
+    /// just this shard's rows).  Called by every mutating method so that
+    /// copy-on-write never touches rows outside the view.
+    fn make_owned(&mut self) {
+        if self.view.is_some() {
+            self.data = Arc::new(self.flat().to_vec());
+            self.view = None;
         }
     }
 
@@ -137,7 +173,8 @@ impl Relation {
     }
 
     /// `true` iff `self` and `other` share the same underlying tuple
-    /// storage (O(1) clones of each other with no intervening mutation).
+    /// storage: O(1) clones of each other with no intervening mutation, or
+    /// shard views ([`Relation::partitioned`]) over the same buffer.
     #[must_use]
     pub fn shares_storage_with(&self, other: &Relation) -> bool {
         Arc::ptr_eq(&self.data, &other.data)
@@ -168,6 +205,7 @@ impl Relation {
         );
         self.invalidate_derived();
         self.sort_order = None;
+        self.make_owned();
         let data = Arc::make_mut(&mut self.data);
         if self.arity == 0 {
             if data.is_empty() {
@@ -189,7 +227,7 @@ impl Relation {
         if self.arity == 0 {
             &[]
         } else {
-            &self.data[i * self.arity..(i + 1) * self.arity]
+            &self.flat()[i * self.arity..(i + 1) * self.arity]
         }
     }
 
@@ -197,13 +235,16 @@ impl Relation {
     pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
         let arity = self.arity;
         let len = self.len();
-        (0..len).map(move |i| {
-            if arity == 0 {
-                &[] as &[Value]
-            } else {
-                &self.data[i * arity..(i + 1) * arity]
-            }
-        })
+        let flat = self.flat();
+        (0..len).map(
+            move |i| {
+                if arity == 0 {
+                    &[] as &[Value]
+                } else {
+                    &flat[i * arity..(i + 1) * arity]
+                }
+            },
+        )
     }
 
     /// Returns `true` iff the relation contains the given row (linear scan;
@@ -222,20 +263,22 @@ impl Relation {
             return;
         }
         let out = {
+            let flat = self.flat();
             let mut seen: HashSet<&[Value]> = HashSet::with_capacity(self.len());
-            let mut out = Vec::with_capacity(self.data.len());
-            for row in self.data.chunks_exact(self.arity) {
+            let mut out = Vec::with_capacity(flat.len());
+            for row in flat.chunks_exact(self.arity) {
                 if seen.insert(row) {
                     out.extend_from_slice(row);
                 }
             }
-            if out.len() == self.data.len() {
+            if out.len() == flat.len() {
                 return; // duplicate-free: keep shared storage and cache
             }
             out
         };
         self.invalidate_derived();
         self.data = Arc::new(out);
+        self.view = None;
         // `sort_order` is preserved: dropping later duplicates keeps a
         // sorted sequence sorted.
     }
@@ -262,12 +305,13 @@ impl Relation {
         }
         let mut rows: Vec<&[Value]> = self.iter().collect();
         rows.sort_unstable();
-        let mut data = Vec::with_capacity(self.data.len());
+        let mut data = Vec::with_capacity(rows.len() * self.arity);
         for row in rows {
             data.extend_from_slice(row);
         }
         self.invalidate_derived();
         self.data = Arc::new(data);
+        self.view = None;
         self.sort_order = Some(identity);
     }
 
@@ -278,6 +322,19 @@ impl Relation {
     /// # Panics
     ///
     /// Panics if a column index is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panda_relation::Relation;
+    ///
+    /// let r = Relation::from_rows(2, vec![[9, 1], [3, 2], [3, 1]]);
+    /// let s = r.sorted_by_columns(&[1, 0]);
+    /// assert_eq!(s.sort_order(), Some(&[1, 0][..]));
+    /// assert_eq!(s.row(0), &[3, 1]);
+    /// // Re-sorting by the recorded order is an O(1) clone.
+    /// assert!(s.sorted_by_columns(&[1, 0]).shares_storage_with(&s));
+    /// ```
     #[must_use]
     pub fn sorted_by_columns(&self, cols: &[usize]) -> Relation {
         for &c in cols {
@@ -288,13 +345,14 @@ impl Relation {
         }
         let mut rows: Vec<&[Value]> = self.iter().collect();
         rows.sort_by(|a, b| cols.iter().map(|&c| a[c]).cmp(cols.iter().map(|&c| b[c])));
-        let mut data = Vec::with_capacity(self.data.len());
+        let mut data = Vec::with_capacity(rows.len() * self.arity);
         for row in rows {
             data.extend_from_slice(row);
         }
         Relation {
             arity: self.arity,
             data: Arc::new(data),
+            view: None,
             sort_order: Some(cols.to_vec()),
             cache: Arc::new(IndexCache::default()),
         }
@@ -380,18 +438,20 @@ impl Relation {
         }
         self.invalidate_derived();
         self.sort_order = None;
+        self.make_owned();
         let data = Arc::make_mut(&mut self.data);
         if self.arity == 0 {
             if data.is_empty() {
                 data.push(1);
             }
         } else {
-            data.extend_from_slice(&other.data);
+            data.extend_from_slice(other.flat());
         }
     }
 
     /// Reserves space for `additional` more rows.
     pub fn reserve(&mut self, additional: usize) {
+        self.make_owned();
         Arc::make_mut(&mut self.data).reserve(additional * self.arity.max(1));
     }
 
@@ -416,6 +476,18 @@ impl Relation {
     /// The cached hash index on the given canonical key columns, if one was
     /// already built — used by the operator layer to prefer an indexed
     /// build side.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panda_relation::Relation;
+    ///
+    /// let r = Relation::from_rows(2, vec![[1, 10], [2, 20]]);
+    /// assert!(r.try_cached_index(&[0]).is_none());
+    /// let built = r.index_for(&[0]); // builds and caches
+    /// let cached = r.try_cached_index(&[0]).unwrap();
+    /// assert!(std::sync::Arc::ptr_eq(&built, &cached));
+    /// ```
     #[must_use]
     pub fn try_cached_index(&self, cols: &[usize]) -> Option<Arc<HashIndex>> {
         self.cache.cached_index(cols)
@@ -428,6 +500,22 @@ impl Relation {
     ///
     /// Panics if `group_cols` is not strictly increasing or a column is out
     /// of range.
+    ///
+    /// # Examples
+    ///
+    /// The candidate values of a generic-join level: distinct, sorted
+    /// values of one column per bound prefix.
+    ///
+    /// ```
+    /// use panda_relation::Relation;
+    ///
+    /// let r = Relation::from_rows(2, vec![[1, 30], [1, 10], [1, 30], [2, 5]]);
+    /// let idx = r.value_index(&[0], 1);
+    /// assert_eq!(idx.candidates(&[1]), Some(&vec![10, 30]));
+    /// assert_eq!(idx.candidates(&[9]), None);
+    /// // Clones share the cached index.
+    /// assert!(std::sync::Arc::ptr_eq(&idx, &r.clone().value_index(&[0], 1)));
+    /// ```
     #[must_use]
     pub fn value_index(&self, group_cols: &[usize], value_col: usize) -> Arc<ValueIndex> {
         assert!(
@@ -444,6 +532,19 @@ impl Relation {
     /// # Panics
     ///
     /// Panics if a column index is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panda_relation::Relation;
+    ///
+    /// // deg(col 1 | col 0): group 1 has two distinct values, group 2 one.
+    /// let r = Relation::from_rows(2, vec![[1, 10], [1, 11], [2, 20]]);
+    /// let gd = r.grouped_degrees(&[0], &[1]);
+    /// assert_eq!(gd.max_degree(), 2);
+    /// assert_eq!(gd.num_groups(), 2);
+    /// assert_eq!(gd.degree_of_row(&[1, 99]), 2);
+    /// ```
     #[must_use]
     pub fn grouped_degrees(
         &self,
@@ -463,12 +564,106 @@ impl Relation {
         }
         self.cache.grouped_degrees(self, &group, &value)
     }
+
+    /// Splits the relation into at most `parts` contiguous, balanced shards
+    /// that together cover all rows in order.  Shards are **zero-copy
+    /// views**: they share the parent's `Arc`-backed tuple storage (no
+    /// tuple data is duplicated until a shard is mutated) and inherit the
+    /// parent's recorded sort order, but start from their own empty index
+    /// cache.  Returns an empty vector for an empty relation and a single
+    /// O(1) clone when `parts == 1` or the relation has a single row (or
+    /// arity zero).
+    ///
+    /// This is the fan-out primitive of the parallel execution layer: a
+    /// probe side split into shards can be joined shard-by-shard on a
+    /// thread pool and re-assembled with [`Relation::concatenated`],
+    /// reproducing the sequential output exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panda_relation::Relation;
+    ///
+    /// let r = Relation::from_rows(2, vec![[1, 2], [3, 4], [5, 6], [7, 8], [9, 10]]);
+    /// let shards = r.partitioned(2);
+    /// assert_eq!(shards.len(), 2);
+    /// assert_eq!(shards[0].len() + shards[1].len(), r.len());
+    /// // Shards are zero-copy views over the parent's storage …
+    /// assert!(shards.iter().all(|s| s.shares_storage_with(&r)));
+    /// // … and re-assembling them in order reproduces the original.
+    /// assert_eq!(Relation::concatenated(2, &shards), r);
+    /// ```
+    #[must_use]
+    pub fn partitioned(&self, parts: usize) -> Vec<Relation> {
+        assert!(parts > 0, "cannot partition a relation into zero shards");
+        let len = self.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        if parts == 1 || len == 1 || self.arity == 0 {
+            return vec![self.clone()];
+        }
+        let base = self.view.map_or(0, |(start, _)| start);
+        let k = parts.min(len);
+        (0..k)
+            .map(|i| {
+                let lo = len * i / k;
+                let hi = len * (i + 1) / k;
+                Relation {
+                    arity: self.arity,
+                    data: Arc::clone(&self.data),
+                    view: Some((base + lo, hi - lo)),
+                    // A contiguous slice of a sorted sequence is sorted.
+                    sort_order: self.sort_order.clone(),
+                    cache: Arc::new(IndexCache::default()),
+                }
+            })
+            .collect()
+    }
+
+    /// Concatenates shards (in order) into one relation of the given
+    /// arity — the merge half of [`Relation::partitioned`].  Rows appear
+    /// exactly in shard order, so partitioning and concatenating is the
+    /// identity; no deduplication is performed.  When at most one shard is
+    /// non-empty the result is an O(1) clone of it (shared storage and
+    /// index cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard's arity differs from `arity`.
+    #[must_use]
+    pub fn concatenated(arity: usize, shards: &[Relation]) -> Relation {
+        for shard in shards {
+            assert_eq!(shard.arity(), arity, "shard arity mismatch in concatenated");
+        }
+        let mut non_empty = shards.iter().filter(|s| !s.is_empty());
+        let Some(first) = non_empty.next() else { return Relation::new(arity) };
+        if non_empty.next().is_none() {
+            return first.clone();
+        }
+        if arity == 0 {
+            let mut out = Relation::new(0);
+            out.push_row(&[]);
+            return out;
+        }
+        let total: usize = shards.iter().map(|s| s.flat().len()).sum();
+        let mut data = Vec::with_capacity(total);
+        for shard in shards {
+            data.extend_from_slice(shard.flat());
+        }
+        Relation::from_flat(arity, data)
+    }
 }
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
         self.arity == other.arity
-            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+            && ((Arc::ptr_eq(&self.data, &other.data) && self.view == other.view)
+                || self.flat() == other.flat())
     }
 }
 
@@ -604,7 +799,99 @@ mod tests {
         assert_eq!(r.sort_order(), None);
     }
 
+    #[test]
+    fn partitioned_shards_are_zero_copy_and_cover_in_order() {
+        let r = Relation::from_rows(2, (0..17u64).map(|i| [i, i * 10]));
+        for parts in [1, 2, 3, 5, 17, 40] {
+            let shards = r.partitioned(parts);
+            assert!(shards.len() <= parts);
+            assert!(shards.iter().all(|s| !s.is_empty()), "parts = {parts}");
+            assert!(shards.iter().all(|s| s.shares_storage_with(&r)), "parts = {parts}");
+            let merged = Relation::concatenated(2, &shards);
+            let expected: Vec<Tuple> = r.iter().map(<[Value]>::to_vec).collect();
+            let got: Vec<Tuple> = merged.iter().map(<[Value]>::to_vec).collect();
+            assert_eq!(got, expected, "parts = {parts}");
+        }
+        assert!(Relation::new(3).partitioned(4).is_empty());
+    }
+
+    #[test]
+    fn shard_views_read_only_their_own_rows() {
+        let r = Relation::from_rows(1, vec![[0], [1], [2], [3], [4]]);
+        let shards = r.partitioned(2);
+        assert_eq!(shards[0].canonical_rows(), vec![vec![0], vec![1]]);
+        assert_eq!(shards[1].canonical_rows(), vec![vec![2], vec![3], vec![4]]);
+        assert_eq!(shards[1].row(0), &[2]);
+        assert!(shards[1].contains(&[4]));
+        assert!(!shards[1].contains(&[1]));
+        assert_eq!(shards[1].distinct_count(), 3);
+    }
+
+    #[test]
+    fn mutating_a_shard_copies_out_and_detaches() {
+        let r = Relation::from_rows(1, vec![[0], [1], [2], [3]]);
+        let shards = r.partitioned(2);
+        let mut shard = shards[1].clone();
+        shard.push_row(&[9]);
+        assert!(!shard.shares_storage_with(&r), "mutation must detach the view");
+        assert_eq!(shard.canonical_rows(), vec![vec![2], vec![3], vec![9]]);
+        // The parent and the sibling shard are untouched.
+        assert_eq!(r.len(), 4);
+        assert_eq!(shards[0].canonical_rows(), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn shards_of_a_sorted_relation_stay_sorted_and_can_renest() {
+        let mut r = Relation::from_rows(2, (0..12u64).map(|i| [i / 3, i % 3]));
+        r.sort();
+        let shards = r.partitioned(3);
+        for shard in &shards {
+            assert_eq!(shard.sort_order(), Some(&[0, 1][..]));
+            // A shard of a shard composes the view offsets.
+            let nested = shard.partitioned(2);
+            let merged = Relation::concatenated(2, &nested);
+            assert_eq!(merged.canonical_rows(), shard.canonical_rows());
+            assert!(nested.iter().all(|s| s.shares_storage_with(&r)));
+        }
+    }
+
+    #[test]
+    fn shard_equality_is_by_viewed_rows() {
+        let r = Relation::from_rows(1, vec![[7], [7], [8]]);
+        let shards = r.partitioned(3);
+        assert_eq!(shards[0], shards[1], "equal single-row views compare equal");
+        assert_ne!(shards[0], shards[2]);
+        assert_ne!(shards[0], r);
+    }
+
+    #[test]
+    fn concatenated_single_nonempty_shard_is_a_clone() {
+        let r = Relation::from_rows(2, vec![[1, 2], [3, 4]]);
+        let merged = Relation::concatenated(2, &[Relation::new(2), r.clone(), Relation::new(2)]);
+        assert!(merged.shares_storage_with(&r));
+        assert_eq!(Relation::concatenated(2, &[]).len(), 0);
+        // Zero-arity concatenation is boolean-or.
+        let mut t = Relation::new(0);
+        t.push_row(&[]);
+        assert_eq!(Relation::concatenated(0, &[t.clone(), t]).len(), 1);
+    }
+
     proptest! {
+        #[test]
+        fn prop_partition_concat_roundtrips(
+            rows in proptest::collection::vec((0u64..30, 0u64..30), 0..80),
+            parts in 1usize..9,
+        ) {
+            let rel = Relation::from_rows(2, rows.iter().map(|(a, b)| [*a, *b]));
+            let shards = rel.partitioned(parts);
+            let merged = Relation::concatenated(2, &shards);
+            let expected: Vec<Tuple> = rel.iter().map(<[Value]>::to_vec).collect();
+            let got: Vec<Tuple> = merged.iter().map(<[Value]>::to_vec).collect();
+            prop_assert_eq!(got, expected);
+            let total: usize = shards.iter().map(Relation::len).sum();
+            prop_assert_eq!(total, rel.len());
+        }
+
         #[test]
         fn prop_dedup_is_idempotent(rows in proptest::collection::vec((0u64..20, 0u64..20), 0..60)) {
             let rel = Relation::from_rows(2, rows.iter().map(|(a, b)| [*a, *b]));

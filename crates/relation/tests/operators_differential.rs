@@ -74,6 +74,38 @@ proptest! {
     }
 
     #[test]
+    fn prop_par_join_is_bit_identical_to_join(
+        lrows in rows_strategy(2, 40),
+        rrows in rows_strategy(2, 40),
+        lcol in 0usize..2,
+        rcol in 0usize..2,
+        threads in 1usize..9,
+    ) {
+        // Stronger than set equality: the parallel shard merge must
+        // reproduce the sequential row order bit for bit.
+        let left = rel_from(2, &lrows);
+        let right = rel_from(2, &rrows);
+        let on = [(lcol, rcol)];
+        let seq: Vec<Tuple> = operators::join(&left, &right, &on).iter().map(<[Value]>::to_vec).collect();
+        let par: Vec<Tuple> =
+            operators::par_join(&left, &right, &on, threads).iter().map(<[Value]>::to_vec).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn prop_par_join_on_shards_matches_nested_loop(
+        lrows in rows_strategy(2, 40),
+        rrows in rows_strategy(2, 40),
+        threads in 2usize..6,
+    ) {
+        let left = rel_from(2, &lrows);
+        let right = rel_from(2, &rrows);
+        let on = [(1, 0)];
+        let expected = naive_join(&left, &right, &on);
+        prop_assert_eq!(operators::par_join(&left, &right, &on, threads).canonical_rows(), expected);
+    }
+
+    #[test]
     fn prop_join_on_two_columns_matches_nested_loop(
         lrows in rows_strategy(3, 30),
         rrows in rows_strategy(2, 30),

@@ -25,6 +25,20 @@
 //! | [`fmm`] | `panda-fmm` | Boolean/counting matrix multiplication, FMM-based detection |
 //! | [`workloads`] | `panda-workloads` | the paper's instances and random workload generators |
 //!
+//! Two workspace-level documents complement the rustdoc: [`docs/ARCHITECTURE.md`]
+//! (crate dependency map, execution flow, paper-section → module table) and
+//! [`docs/NOTATION.md`] (a glossary from the paper's notation — subw, fhtw,
+//! Γ_n, DDRs, heavy/light, AGM — to the types implementing each).
+//!
+//! [`docs/ARCHITECTURE.md`]: https://github.com/panda-rs/panda/blob/main/docs/ARCHITECTURE.md
+//! [`docs/NOTATION.md`]: https://github.com/panda-rs/panda/blob/main/docs/NOTATION.md
+//!
+//! Evaluation is sequential by default; the [`config`] module (re-exported
+//! from `panda-core`) holds the opt-in [`config::Engine`] /
+//! [`config::Parallelism`] knob and the `PANDA_THREADS` environment
+//! toggle.  Parallel execution is deterministic: outputs are bit-identical
+//! to sequential at any thread count.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -45,6 +59,7 @@
 //! ```
 
 pub use panda_core as core;
+pub use panda_core::config;
 pub use panda_entropy as entropy;
 pub use panda_fmm as fmm;
 pub use panda_lp as lp;
@@ -57,8 +72,8 @@ pub use panda_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use panda_core::{
-        BinaryJoinPlan, DdrEvaluator, EvaluationStrategy, GenericJoin, Panda, PandaEvaluator,
-        StaticTdPlan, VarRelation,
+        BinaryJoinPlan, DdrEvaluator, Engine, EvaluationStrategy, GenericJoin, Panda,
+        PandaEvaluator, Parallelism, StaticTdPlan, VarRelation,
     };
     pub use panda_entropy::{
         agm_bound, ddr_polymatroid_bound, fhtw, polymatroid_bound, subw, ShannonFlow, Statistic,

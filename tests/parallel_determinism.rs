@@ -1,0 +1,223 @@
+//! Parallel-determinism suite: the parallel engine must produce
+//! **bit-identical** outputs to sequential evaluation at every tested
+//! thread count {1, 2, 8} — same rows in the same storage order, not just
+//! the same set.
+//!
+//! Coverage mirrors the two corpora named by the docs/parallel PR:
+//!
+//! * the proptest *differential operator corpus* (random relations joined
+//!   through the sharded `par_join` and the generic join's parallel
+//!   top-level split) — complementing the per-operator differential suite
+//!   in `crates/relation/tests/operators_differential.rs`, and
+//! * the *E1–E15 experiment workloads* (Figure 2, the fhtw-hard double
+//!   star of E7/E8, the Erdős–Rényi and Zipf instances of E9, the path
+//!   instance of E13) at reduced sizes, through every evaluation strategy
+//!   plus DDR models and the width computations the tables report.
+//!
+//! The CI matrix additionally re-runs the whole workspace test suite under
+//! `PANDA_THREADS ∈ {1, 4}`, which routes every default-constructed
+//! evaluator through both engines.
+
+use panda::config::{Engine, Parallelism};
+use panda::prelude::*;
+use panda::relation::operators;
+use panda::workloads;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The thread counts the determinism contract is pinned at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Raw rows in storage order — the bit-level comparison.
+fn raw_rows(rel: &VarRelation) -> Vec<Vec<u64>> {
+    rel.rel.iter().map(<[u64]>::to_vec).collect()
+}
+
+fn engines() -> Vec<(usize, Engine)> {
+    THREAD_COUNTS.iter().map(|&n| (n, Engine::Parallel(Parallelism::threads(n)))).collect()
+}
+
+fn random_graph_db(names: &[&str], n: u64, edges: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for name in names {
+        let rel = panda::relation::Relation::from_rows(
+            2,
+            (0..edges).map(|_| [rng.gen_range(0..n), rng.gen_range(0..n)]),
+        )
+        .deduped();
+        db.insert(*name, rel);
+    }
+    db
+}
+
+/// Every (strategy, workload) cell of the experiment tables: parallel
+/// output equals sequential output bit for bit.
+#[test]
+fn all_strategies_are_bit_identical_across_thread_counts() {
+    let cases: Vec<(ConjunctiveQuery, Database, &str)> = vec![
+        // E1: Figure 2's example instance under the projected 4-cycle.
+        (workloads::four_cycle_projected(), workloads::figure2_db(), "figure2"),
+        // E7/E8: the fhtw-hard double star (heavy/light case splits).
+        (workloads::four_cycle_projected(), workloads::double_star_db(32), "double_star"),
+        (workloads::four_cycle_full(), workloads::double_star_db(24), "double_star_full"),
+        // E9: the triangle query on Erdős–Rényi and Zipf-skewed graphs.
+        (
+            workloads::triangle_query(),
+            workloads::erdos_renyi_db(&["R", "S", "T"], 60, 600, 9),
+            "erdos_renyi",
+        ),
+        (
+            workloads::triangle_query(),
+            workloads::zipf_graph_db(&["R", "S", "T"], 60, 600, 1.1, 10),
+            "zipf",
+        ),
+        // E13: a free-connex acyclic path query.
+        (workloads::two_path_projected(), random_graph_db(&["R", "S"], 30, 200, 11), "path"),
+    ];
+    let strategies = [
+        EvaluationStrategy::Auto,
+        EvaluationStrategy::GenericJoin,
+        EvaluationStrategy::StaticTd,
+        EvaluationStrategy::Adaptive,
+        EvaluationStrategy::BinaryJoin,
+    ];
+    for (query, db, label) in &cases {
+        for strategy in strategies {
+            let seq = Panda::new(query.clone())
+                .with_engine(Engine::Sequential)
+                .evaluate_with(db, strategy);
+            let expected = raw_rows(&seq);
+            for (threads, engine) in engines() {
+                let par = Panda::new(query.clone()).with_engine(engine).evaluate_with(db, strategy);
+                assert_eq!(par.vars, seq.vars, "{label}/{strategy:?}/t{threads}");
+                assert_eq!(
+                    raw_rows(&par),
+                    expected,
+                    "{label}/{strategy:?} diverges at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// DDR models (E7): per-target relations are bit-identical too.
+#[test]
+fn ddr_models_are_bit_identical_across_thread_counts() {
+    let query = workloads::four_cycle_projected();
+    let selector = BagSelector::new(vec![
+        VarSet::from_iter([Var(0), Var(1), Var(2)]),
+        VarSet::from_iter([Var(1), Var(2), Var(3)]),
+    ]);
+    let rule = DisjunctiveRule::for_bag_selector(&query, &selector);
+    for db in [workloads::double_star_db(32), random_graph_db(&["R", "S", "T", "U"], 12, 70, 5)] {
+        let stats = StatisticsSet::measure(&query, &db);
+        let evaluator = DdrEvaluator::plan(&rule, &stats).unwrap();
+        let seq = evaluator.evaluate_with_engine(&db, Engine::Sequential);
+        for (threads, engine) in engines() {
+            let par = evaluator.evaluate_with_engine(&db, engine);
+            assert_eq!(par.targets.len(), seq.targets.len());
+            for ((s_schema, s_rel), (p_schema, p_rel)) in seq.targets.iter().zip(&par.targets) {
+                assert_eq!(s_schema, p_schema);
+                assert_eq!(
+                    raw_rows(p_rel),
+                    raw_rows(s_rel),
+                    "DDR target diverges at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// The width computations behind the tables (E3/E4): parallel selector and
+/// bag chains report identical widths and per-selector bounds.
+#[test]
+fn width_computations_are_identical_across_thread_counts() {
+    for query in [workloads::four_cycle_projected(), workloads::four_cycle_boolean()] {
+        let stats = StatisticsSet::identical_cardinalities(&query, 1 << 12);
+        let tds = TreeDecomposition::enumerate(&query);
+        let seq_subw = subw(&query, &stats).unwrap();
+        let seq_fhtw = fhtw(&query, &stats).unwrap();
+        for &threads in &THREAD_COUNTS {
+            let par_subw =
+                panda::entropy::subw_with_tds_parallel(&query, &tds, &stats, threads).unwrap();
+            assert_eq!(par_subw.value, seq_subw.value);
+            for (p, s) in par_subw.per_selector.iter().zip(&seq_subw.per_selector) {
+                assert_eq!(p.report.log_bound, s.report.log_bound);
+            }
+            let par_fhtw =
+                panda::entropy::fhtw_with_tds_parallel(&query, &tds, &stats, threads).unwrap();
+            assert_eq!(par_fhtw.value, seq_fhtw.value);
+            assert_eq!(par_fhtw.best, seq_fhtw.best);
+        }
+    }
+}
+
+/// Planning is engine-independent: the same strategy, widths and
+/// partitions come out of a parallel planner.
+#[test]
+fn plan_reports_are_engine_independent() {
+    let query = workloads::four_cycle_projected();
+    let db = workloads::double_star_db(24);
+    let seq = Panda::new(query.clone())
+        .with_statistics(StatisticsSet::identical_cardinalities(&query, 1 << 12))
+        .with_engine(Engine::Sequential)
+        .plan_report(&db)
+        .unwrap();
+    for (threads, engine) in engines() {
+        let par = Panda::new(query.clone())
+            .with_statistics(StatisticsSet::identical_cardinalities(&query, 1 << 12))
+            .with_engine(engine)
+            .plan_report(&db)
+            .unwrap();
+        assert_eq!(par.strategy, seq.strategy, "t{threads}");
+        assert_eq!(par.fhtw, seq.fhtw);
+        assert_eq!(par.subw, seq.subw);
+        assert_eq!(par.partitions, seq.partitions);
+    }
+}
+
+proptest! {
+    // The differential operator corpus, driven through the parallel
+    // engine: random binary joins via `par_join` shards stay bit-identical
+    // to the sequential operator.
+    #[test]
+    fn prop_operator_corpus_par_join_matches(
+        lrows in proptest::collection::vec((0u64..8, 0u64..8), 0..60),
+        rrows in proptest::collection::vec((0u64..8, 0u64..8), 0..60),
+        threads in 1usize..9,
+    ) {
+        let left = panda::relation::Relation::from_rows(2, lrows.iter().map(|(a, b)| [*a, *b]));
+        let right = panda::relation::Relation::from_rows(2, rrows.iter().map(|(a, b)| [*a, *b]));
+        let seq: Vec<Vec<u64>> =
+            operators::join(&left, &right, &[(1, 0)]).iter().map(<[u64]>::to_vec).collect();
+        let par: Vec<Vec<u64>> = operators::par_join(&left, &right, &[(1, 0)], threads)
+            .iter()
+            .map(<[u64]>::to_vec)
+            .collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    // Random triangle instances through the generic join's parallel
+    // top-level split.
+    #[test]
+    fn prop_operator_corpus_generic_join_matches(
+        edges in proptest::collection::vec((0u64..12, 0u64..12), 1..120),
+        threads in 2usize..9,
+    ) {
+        let query = workloads::triangle_query();
+        let rel = panda::relation::Relation::from_rows(2, edges.iter().map(|(a, b)| [*a, *b])).deduped();
+        let mut db = Database::new();
+        for name in ["R", "S", "T"] {
+            db.insert(name, rel.clone());
+        }
+        let seq = GenericJoin::evaluate_with_engine(&query, &db, Engine::Sequential);
+        let par = GenericJoin::evaluate_with_engine(
+            &query,
+            &db,
+            Engine::Parallel(Parallelism::threads(threads)),
+        );
+        prop_assert_eq!(raw_rows(&par), raw_rows(&seq));
+    }
+}

@@ -1,0 +1,633 @@
+//! A minimal, dependency-free, offline stand-in for the parts of the
+//! [`rayon` 1.10](https://docs.rs/rayon/1.10) API that this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves its `rayon = "1.10"` dependency to this vendored shim.  It
+//! provides:
+//!
+//! * [`join`] — potentially-parallel two-way fork/join,
+//! * [`scope`] and [`Scope::spawn`] — structured task spawning,
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — `num_threads` configuration
+//!   and [`ThreadPool::install`],
+//! * [`prelude`] — `par_iter()` / `into_par_iter()` on slices, `Vec`s and
+//!   `usize` ranges with [`ParallelIterator::map`],
+//!   [`ParallelIterator::for_each`] and [`ParallelIterator::collect`].
+//!
+//! # How it differs from the real crate
+//!
+//! There is **no work-stealing deque and no persistent worker pool**: every
+//! parallel operation spawns plain [`std::thread::scope`] threads, bounded
+//! by a per-thread *budget* that mirrors rayon's `current_num_threads`.
+//! [`ThreadPool::install`] runs its closure on the calling thread with the
+//! pool's thread budget set, rather than moving it to a pool thread.  Tasks
+//! spawned by [`join`] split the caller's budget between the two sides and
+//! tasks spawned by parallel iterators or [`Scope::spawn`] run with a
+//! budget of 1, so the total number of live threads never exceeds the
+//! configured budget and accidental nested-parallelism blow-up is
+//! impossible.  This favours the coarse-grained, few-hundred-microsecond
+//! tasks this workspace parallelises (query branches, LP chains, probe
+//! shards); it would be a poor fit for fine-grained recursive workloads,
+//! which is exactly what the real crate's work stealing is for.
+//!
+//! Ordering is deterministic: [`ParallelIterator::collect`] splits the
+//! input into contiguous chunks and concatenates the chunk results in
+//! input order, so a `par_iter().map(f).collect::<Vec<_>>()` equals its
+//! sequential counterpart element for element (the real crate makes the
+//! same guarantee for indexed parallel iterators).
+//!
+//! Only the surface actually exercised by the workspace is implemented;
+//! anything else is intentionally absent so accidental reliance on
+//! unvendored behaviour fails loudly at compile time.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::Arc;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+};
+
+thread_local! {
+    /// The calling thread's parallelism budget; `None` means "not inside
+    /// any pool", which resolves to the machine's available parallelism.
+    static BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads the current context may use, mirroring
+/// `rayon::current_num_threads`: the installed pool's budget, or the
+/// machine's available parallelism outside any pool.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    BUDGET.with(|b| b.get()).unwrap_or_else(default_num_threads)
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f` with the thread-local budget set to `n`, restoring the
+/// previous budget afterwards (also on panic).
+fn with_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(BUDGET.with(|b| b.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Joins the results of the panicking side(s) of a two-way fork,
+/// propagating the payload like the real crate.
+fn propagate<T>(result: std::thread::Result<T>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
+/// results — mirroring `rayon::join`.
+///
+/// With a budget of one thread the two closures run sequentially on the
+/// caller; otherwise `oper_b` runs on a freshly spawned scoped thread with
+/// half the budget while the caller runs `oper_a` with the other half.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let n = current_num_threads();
+    if n < 2 {
+        return (oper_a(), oper_b());
+    }
+    let (budget_a, budget_b) = (n - n / 2, n / 2);
+    std::thread::scope(|s| {
+        let handle_b = s.spawn(move || with_budget(budget_b, oper_b));
+        let ra = with_budget(budget_a, oper_a);
+        (ra, propagate(handle_b.join()))
+    })
+}
+
+/// A scope for structured task spawning, mirroring `rayon::Scope`.
+///
+/// Unlike the real crate this scope carries two lifetimes (it wraps
+/// [`std::thread::scope`]); closure-based callers (`|s| s.spawn(|_| …)`)
+/// are source-compatible.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope.  The task runs on its own scoped
+    /// thread with a parallelism budget of 1 (see the crate docs) and may
+    /// itself spawn further tasks through the scope handle it receives.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let nested = Scope { inner };
+            with_budget(1, || body(&nested));
+        });
+    }
+}
+
+/// Creates a scope in which tasks can be spawned, waiting for all of them
+/// before returning — mirroring `rayon::scope`.
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]; in this shim pool
+/// construction is infallible, the type exists for API parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error (unreachable in the vendored shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of threads; `0` (the default) means the machine's
+    /// available parallelism, like the real crate.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.  Infallible in the shim (no OS threads are spawned
+    /// until work is submitted), but kept fallible for API parity.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_num_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n.max(1) })
+    }
+}
+
+/// A thread-count budget posing as a thread pool, mirroring
+/// `rayon::ThreadPool`.  See the crate docs for how the shim schedules
+/// work.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The number of threads in the pool.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread budget installed, so that
+    /// [`join`], [`scope`] and parallel iterators called inside use up to
+    /// `num_threads` threads.  Runs on the calling thread (the real crate
+    /// moves `op` to a pool thread).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        with_budget(self.num_threads, op)
+    }
+
+    /// [`join`] under this pool's budget.
+    pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| join(oper_a, oper_b))
+    }
+}
+
+/// Parallel iterators over slices, `Vec`s and ranges.
+pub mod iter {
+    use super::{current_num_threads, propagate, with_budget, Arc};
+
+    /// A parallel iterator, mirroring `rayon::iter::ParallelIterator`.
+    ///
+    /// The three `#[doc(hidden)]` items are the shim's internal driver
+    /// surface (length, contiguous splitting, sequential chunk
+    /// evaluation); user code only calls the adaptor methods.
+    pub trait ParallelIterator: Sized + Send {
+        /// The item type produced.
+        type Item: Send;
+
+        /// The number of items this iterator will produce.
+        #[doc(hidden)]
+        fn par_len(&self) -> usize;
+
+        /// Splits into at most `k` contiguous, in-order chunks.
+        #[doc(hidden)]
+        fn split_into(self, k: usize) -> Vec<Self>;
+
+        /// Evaluates this (chunk) iterator sequentially.
+        #[doc(hidden)]
+        fn collect_chunk(self) -> Vec<Self::Item>;
+
+        /// Maps each item through `f`, mirroring `ParallelIterator::map`.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f: Arc::new(f) }
+        }
+
+        /// Applies `f` to every item, mirroring
+        /// `ParallelIterator::for_each`.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            drop(drive(self.map(f)));
+        }
+
+        /// Collects the items, mirroring `ParallelIterator::collect`.
+        /// Chunk results are concatenated in input order, so collecting
+        /// into a `Vec` is element-for-element identical to the sequential
+        /// iterator.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_chunks(drive(self))
+        }
+    }
+
+    /// Evaluates a parallel iterator: splits it into one contiguous chunk
+    /// per available thread, evaluates the chunks on scoped threads (the
+    /// caller takes the first chunk), and returns the per-chunk results in
+    /// input order.
+    fn drive<I: ParallelIterator>(iter: I) -> Vec<Vec<I::Item>> {
+        let budget = current_num_threads();
+        let k = budget.min(iter.par_len()).max(1);
+        if k <= 1 {
+            return vec![iter.collect_chunk()];
+        }
+        let mut chunks = iter.split_into(k).into_iter();
+        let first = chunks.next().expect("split_into returns at least one chunk");
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .map(|chunk| s.spawn(move || with_budget(1, || chunk.collect_chunk())))
+                .collect();
+            let mut out = Vec::with_capacity(handles.len() + 1);
+            out.push(with_budget(1, || first.collect_chunk()));
+            out.extend(handles.into_iter().map(|h| propagate(h.join())));
+            out
+        })
+    }
+
+    /// The boundaries that split `len` items into `k` balanced contiguous
+    /// chunks: chunk `i` covers `[len * i / k, len * (i + 1) / k)`.
+    fn chunk_bounds(len: usize, k: usize) -> impl Iterator<Item = (usize, usize)> {
+        let k = k.max(1);
+        (0..k).map(move |i| (len * i / k, len * (i + 1) / k))
+    }
+
+    /// Conversion into a parallel iterator, mirroring
+    /// `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// The item type produced.
+        type Item: Send;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// `par_iter()` on references, mirroring
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// The item type produced (a reference).
+        type Item: Send + 'data;
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoParallelIterator,
+    {
+        type Iter = <&'data C as IntoParallelIterator>::Iter;
+        type Item = <&'data C as IntoParallelIterator>::Item;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+
+    /// Collecting from a parallel iterator, mirroring
+    /// `rayon::iter::FromParallelIterator`.
+    pub trait FromParallelIterator<T: Send> {
+        /// Builds `Self` from per-chunk results in input order.
+        #[doc(hidden)]
+        fn from_par_chunks(chunks: Vec<Vec<T>>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_chunks(chunks: Vec<Vec<T>>) -> Self {
+            let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+            for chunk in chunks {
+                out.extend(chunk);
+            }
+            out
+        }
+    }
+
+    /// Parallel iterator over a slice (`slice.par_iter()`).
+    #[derive(Debug)]
+    pub struct Iter<'data, T: Sync> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParallelIterator for Iter<'data, T> {
+        type Item = &'data T;
+
+        fn par_len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn split_into(self, k: usize) -> Vec<Self> {
+            chunk_bounds(self.slice.len(), k)
+                .map(|(lo, hi)| Iter { slice: &self.slice[lo..hi] })
+                .collect()
+        }
+
+        fn collect_chunk(self) -> Vec<Self::Item> {
+            self.slice.iter().collect()
+        }
+    }
+
+    impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+        type Iter = Iter<'data, T>;
+        type Item = &'data T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            Iter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+        type Iter = Iter<'data, T>;
+        type Item = &'data T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            Iter { slice: self }
+        }
+    }
+
+    /// Owning parallel iterator over a `Vec` (`vec.into_par_iter()`).
+    #[derive(Debug)]
+    pub struct IntoIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoIter<T> {
+        type Item = T;
+
+        fn par_len(&self) -> usize {
+            self.items.len()
+        }
+
+        fn split_into(mut self, k: usize) -> Vec<Self> {
+            let bounds: Vec<(usize, usize)> = chunk_bounds(self.items.len(), k).collect();
+            let mut parts = Vec::with_capacity(bounds.len());
+            // Split from the back so each split_off is O(moved items).
+            for &(lo, _) in bounds.iter().rev() {
+                parts.push(IntoIter { items: self.items.split_off(lo) });
+            }
+            parts.reverse();
+            parts
+        }
+
+        fn collect_chunk(self) -> Vec<Self::Item> {
+            self.items
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = IntoIter<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            IntoIter { items: self }
+        }
+    }
+
+    /// Parallel iterator over a `usize` range (`(0..n).into_par_iter()`).
+    #[derive(Debug)]
+    pub struct RangeIter {
+        range: std::ops::Range<usize>,
+    }
+
+    impl ParallelIterator for RangeIter {
+        type Item = usize;
+
+        fn par_len(&self) -> usize {
+            self.range.len()
+        }
+
+        fn split_into(self, k: usize) -> Vec<Self> {
+            let base = self.range.start;
+            chunk_bounds(self.range.len(), k)
+                .map(|(lo, hi)| RangeIter { range: base + lo..base + hi })
+                .collect()
+        }
+
+        fn collect_chunk(self) -> Vec<Self::Item> {
+            self.range.collect()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = RangeIter;
+        type Item = usize;
+
+        fn into_par_iter(self) -> Self::Iter {
+            RangeIter { range: self }
+        }
+    }
+
+    /// A mapped parallel iterator (the return type of
+    /// [`ParallelIterator::map`]).
+    pub struct Map<I, F> {
+        base: I,
+        f: Arc<F>,
+    }
+
+    impl<I, F, R> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+
+        fn par_len(&self) -> usize {
+            self.base.par_len()
+        }
+
+        fn split_into(self, k: usize) -> Vec<Self> {
+            let f = self.f;
+            self.base
+                .split_into(k)
+                .into_iter()
+                .map(|chunk| Map { base: chunk, f: Arc::clone(&f) })
+                .collect()
+        }
+
+        fn collect_chunk(self) -> Vec<Self::Item> {
+            let f = self.f;
+            self.base.collect_chunk().into_iter().map(|item| f(item)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_is_sequential_under_a_budget_of_one() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let outer = std::thread::current().id();
+        let (ta, tb) = pool.join(|| std::thread::current().id(), || std::thread::current().id());
+        assert_eq!(ta, outer);
+        assert_eq!(tb, outer);
+    }
+
+    #[test]
+    fn install_sets_the_thread_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        // Restored outside.
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn par_iter_collect_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 5, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got: Vec<u64> = pool.install(|| input.par_iter().map(|x| x * 3).collect());
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn into_par_iter_moves_items_in_order() {
+        let input: Vec<String> = (0..37).map(|i| i.to_string()).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let got: Vec<String> = pool.install(|| input.clone().into_par_iter().collect());
+        assert_eq!(got, input);
+    }
+
+    #[test]
+    fn range_par_iter_covers_the_range() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let got: Vec<usize> = pool.install(|| (10..30).into_par_iter().map(|i| i * i).collect());
+        let expected: Vec<usize> = (10..30).map(|i| i * i).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..128).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            items.par_iter().for_each(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn scope_spawns_run_to_completion() {
+        let done = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..5 {
+                s.spawn(|_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_sequential_in_workers() {
+        // Workers run with budget 1, so a nested par_iter inside a worker
+        // must not spawn further threads (observable via the budget).
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let budgets: Vec<usize> =
+            pool.install(|| (0..4).into_par_iter().map(|_| current_num_threads()).collect());
+        // The caller-run chunk and the spawned chunks all see budget 1.
+        assert!(budgets.iter().all(|&b| b == 1), "worker budgets: {budgets:?}");
+    }
+
+    #[test]
+    fn empty_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let got: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(got.is_empty());
+        let got: Vec<usize> = (0..0).into_par_iter().collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn builder_zero_threads_means_available_parallelism() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}
