@@ -22,6 +22,7 @@
 //! root, together with the methodology notes for the vendored
 //! median-of-samples bench harness.
 
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 use criterion::Criterion;

@@ -13,6 +13,10 @@
 //! Every bound comes back as a [`BoundReport`] carrying the optimal value
 //! *and* the dual certificate as a verified [`ShannonFlow`].
 
+// panda-lint: allow-file(P1) -- LP variable ids are minted by the
+// Γ-LP builder in this module, so objective/constraint lookups are
+// in range by construction; pool-build expects have no fallible path.
+
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -540,7 +544,13 @@ pub fn fhtw(query: &ConjunctiveQuery, stats: &StatisticsSet) -> Result<FhtwRepor
 /// warm-started LP chain on one pool worker.
 fn chunked<T>(items: &[T], threads: usize) -> Vec<&[T]> {
     let k = threads.min(items.len()).max(1);
-    (0..k).map(|i| &items[items.len() * i / k..items.len() * (i + 1) / k]).collect()
+    let chunks: Vec<&[T]> =
+        (0..k).map(|i| &items[items.len() * i / k..items.len() * (i + 1) / k]).collect();
+    // The chunks must tile the input in order — flattening chunk results
+    // in chunk order is what keeps parallel width chains bit-identical to
+    // the sequential ones.
+    debug_assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), items.len());
+    chunks
 }
 
 /// Flattens per-chunk results in chunk order, surfacing the error of the
@@ -638,6 +648,9 @@ pub fn fhtw_with_tds_parallel(
             .collect()
     });
     let per_td = flatten_chunks(per_chunk)?;
+    // One result per decomposition, in input order — the argmin below must
+    // see the same sequence the sequential chain would produce.
+    debug_assert_eq!(per_td.len(), tds.len());
     let best = per_td
         .iter()
         .enumerate()
@@ -737,6 +750,9 @@ pub fn subw_with_tds_parallel(
             .collect()
     });
     let per_selector = flatten_chunks(per_chunk)?;
+    // One bound per selector, in enumeration order — the report must list
+    // selectors exactly as the sequential chain would.
+    debug_assert_eq!(per_selector.len(), selectors.len());
     let value = per_selector
         .iter()
         .map(|sel| sel.report.log_bound)

@@ -35,6 +35,7 @@
 
 // Every public item in this crate must be documented; broken or missing
 // docs fail CI via the `cargo doc` job (RUSTDOCFLAGS="-D warnings").
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounds;

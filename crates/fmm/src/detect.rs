@@ -9,6 +9,9 @@
 //! products are combinatorial (bit-parallel Boolean or Strassen), so the
 //! experiment compares *strategies* rather than asymptotics.
 
+// panda-lint: allow-file(P1) -- shape detection indexes variables and
+// atoms by positions the pattern match itself established.
+
 use std::collections::HashMap;
 
 use panda_relation::{Database, Relation, Value};

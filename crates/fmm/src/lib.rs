@@ -16,6 +16,7 @@
 //!   experiment E12 compares against the combinatorial evaluators,
 //! * the ω-subw *values* themselves live in `panda_entropy::mm`.
 
+#![forbid(unsafe_code)]
 pub mod detect;
 pub mod matrix;
 

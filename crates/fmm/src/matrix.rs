@@ -1,5 +1,8 @@
 //! Dense Boolean and counting matrices.
 
+// panda-lint: allow-file(P1) -- dense matrix kernel: `(i, j)` accesses
+// are bounded by the `rows`/`cols` dimensions every constructor checks.
+
 use std::collections::HashMap;
 
 use panda_relation::{Relation, Value};

@@ -1,0 +1,136 @@
+//! Parsing and matching of `panda-lint:` allow directives.
+//!
+//! Two forms, both requiring a justification after ` -- `:
+//!
+//! ```text
+//! // panda-lint: allow(P1) -- arity checked three lines up
+//! // panda-lint: allow(D1, P1) -- more than one rule per directive is fine
+//! // panda-lint: allow-file(P1) -- dense numeric kernel; see module docs
+//! ```
+//!
+//! A **line** directive suppresses a matching diagnostic when the directive
+//! sits anywhere inside the diagnostic's statement span, or on the line
+//! directly above it (the conventional "annotation above the statement"
+//! placement).  A justification may continue over following comment lines —
+//! the directive's reach extends through its contiguous comment block, so a
+//! thorough multi-line justification still counts as "directly above".  A
+//! **file** directive suppresses the rule everywhere in the file.  Malformed
+//! directives — unknown rule code, missing justification — are themselves
+//! violations (rule `L0`), so an allowlist can never rot into silent
+//! misconfiguration.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::Comment;
+use std::path::Path;
+
+/// One parsed `allow`/`allow-file` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rules the directive suppresses.
+    pub rules: Vec<Rule>,
+    /// 1-based line the directive comment is on.
+    pub line: usize,
+    /// Last line of the contiguous comment block the directive starts — a
+    /// multi-line justification reaches the statement below the block.
+    pub effective_line: usize,
+    /// Whether this is the file-wide form.
+    pub file_wide: bool,
+}
+
+/// All directives of one file, plus the `L0` diagnostics for malformed ones.
+#[derive(Debug, Default)]
+pub struct Allows {
+    directives: Vec<AllowDirective>,
+}
+
+impl Allows {
+    /// Extracts directives from a file's line comments; malformed ones are
+    /// reported into `diags`.
+    #[must_use]
+    pub fn parse(file: &Path, comments: &[Comment], diags: &mut Vec<Diagnostic>) -> Allows {
+        let comment_lines: std::collections::BTreeSet<usize> =
+            comments.iter().map(|c| c.line).collect();
+        let mut allows = Allows::default();
+        for c in comments {
+            let Some(rest) = directive_body(&c.text) else { continue };
+            match parse_directive(rest) {
+                Ok((rules, file_wide)) => {
+                    let mut effective_line = c.line;
+                    while comment_lines.contains(&(effective_line + 1)) {
+                        effective_line += 1;
+                    }
+                    allows.directives.push(AllowDirective {
+                        rules,
+                        line: c.line,
+                        effective_line,
+                        file_wide,
+                    });
+                }
+                Err(why) => diags.push(Diagnostic {
+                    rule: Rule::L0,
+                    file: file.to_path_buf(),
+                    line: c.line,
+                    span_start: c.line,
+                    span_end: c.line,
+                    message: format!("malformed panda-lint directive: {why}"),
+                }),
+            }
+        }
+        allows
+    }
+
+    /// Whether a diagnostic for `rule` spanning statement lines
+    /// `span_start..=span_end` is suppressed.
+    #[must_use]
+    pub fn suppresses(&self, rule: Rule, span_start: usize, span_end: usize) -> bool {
+        self.directives.iter().any(|d| {
+            d.rules.contains(&rule)
+                && (d.file_wide || (d.effective_line + 1 >= span_start && d.line <= span_end))
+        })
+    }
+}
+
+/// Strips the comment syntax and the `panda-lint:` marker; `None` when the
+/// comment is not a directive at all.
+fn directive_body(comment: &str) -> Option<&str> {
+    let body = comment.trim_start_matches('/').trim_start_matches('!').trim_start();
+    body.strip_prefix("panda-lint:").map(str::trim_start)
+}
+
+/// Parses `allow(RULES) -- justification` / `allow-file(RULES) -- …`.
+fn parse_directive(body: &str) -> Result<(Vec<Rule>, bool), String> {
+    let (file_wide, rest) = if let Some(r) = body.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = body.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Err(format!(
+            "expected `allow(...)` or `allow-file(...)`, found `{}`",
+            body.split_whitespace().next().unwrap_or_default()
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".into());
+    };
+    let Some((list, rest)) = rest.split_once(')') else {
+        return Err("unclosed rule list".into());
+    };
+    let mut rules = Vec::new();
+    for code in list.split(',') {
+        let code = code.trim();
+        match Rule::parse(code) {
+            Some(r) => rules.push(r),
+            None => return Err(format!("unknown rule code `{code}`")),
+        }
+    }
+    if rules.is_empty() {
+        return Err("empty rule list".into());
+    }
+    let rest = rest.trim_start();
+    let justification = rest.strip_prefix("--").map(str::trim).unwrap_or_default();
+    if justification.is_empty() {
+        return Err("missing justification (`-- <reason>` is required)".into());
+    }
+    Ok((rules, file_wide))
+}

@@ -1,0 +1,122 @@
+//! The workspace driver: member discovery, file walking and per-file
+//! classification.
+//!
+//! Discovery reads the root `Cargo.toml`'s `[workspace] members` list with
+//! a purpose-built scanner (the tool is dependency-free, so no TOML crate),
+//! skips `vendor/` members wholesale, and adds the umbrella package's own
+//! `src/`, `tests/` and `examples/` directories.  The walk order is sorted,
+//! so diagnostics come out in the same order on every run.
+
+use crate::diagnostics::Diagnostic;
+use crate::parse::{self, FileContext, Role};
+use crate::rules;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates exempt from rule P1 (instrumentation, not library surface).
+const NON_LIBRARY_CRATES: [&str; 2] = ["crates/bench", "crates/workloads"];
+
+/// Path fragments never walked: the vendored shims police themselves and
+/// the lint fixtures are *deliberate* violations.
+const SKIP_FRAGMENTS: [&str; 2] = ["vendor/", "tests/fixtures"];
+
+/// Lints every workspace member under `root`; returns diagnostics sorted
+/// into canonical order, with paths workspace-relative.
+///
+/// # Errors
+///
+/// Returns a message when the workspace manifest cannot be read or parsed.
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let manifest = root.join("Cargo.toml");
+    let text = fs::read_to_string(&manifest)
+        .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+    let members = workspace_members(&text)?;
+    let mut diags = Vec::new();
+    let mut scanned = Vec::new();
+    for member in &members {
+        if member.starts_with("vendor/") {
+            continue;
+        }
+        collect_rs_files(&root.join(member), &mut scanned);
+    }
+    // The umbrella package lives at the workspace root.
+    for dir in ["src", "tests", "examples"] {
+        collect_rs_files(&root.join(dir), &mut scanned);
+    }
+    scanned.sort();
+    scanned.dedup();
+    for file in &scanned {
+        let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+        let src =
+            fs::read_to_string(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        analyze_source(&rel, &src, &mut diags);
+    }
+    crate::diagnostics::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Lints one file's source text, classifying it from its
+/// workspace-relative path.  Exposed for the fixture tests and the CLI's
+/// explicit-file mode.
+pub fn analyze_source(rel: &Path, src: &str, diags: &mut Vec<Diagnostic>) {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    if SKIP_FRAGMENTS.iter().any(|s| p.contains(s)) {
+        return;
+    }
+    let role = parse::role_of(rel);
+    let bench_crate = p.starts_with("crates/bench/");
+    let library_crate =
+        role == Role::Src && !NON_LIBRARY_CRATES.iter().any(|c| p.starts_with(&format!("{c}/")));
+    let crate_root = p.ends_with("src/lib.rs") || p.ends_with("src/main.rs");
+    let ctx = FileContext::new(
+        rel.to_path_buf(),
+        role,
+        bench_crate,
+        library_crate,
+        crate_root,
+        src,
+        diags,
+    );
+    rules::check_file(&ctx, diags);
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for determinism),
+/// skipping [`SKIP_FRAGMENTS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        let p = path.to_string_lossy().replace('\\', "/");
+        if SKIP_FRAGMENTS.iter().any(|s| p.contains(s)) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts the `members = [ "…" ]` entries from the workspace manifest.
+fn workspace_members(manifest: &str) -> Result<Vec<String>, String> {
+    let start = manifest
+        .find("members")
+        .ok_or_else(|| "no `members` key in workspace manifest".to_string())?;
+    let tail = manifest.get(start..).unwrap_or_default();
+    let open = tail.find('[').ok_or_else(|| "no `[` after `members`".to_string())?;
+    let body = tail.get(open + 1..).unwrap_or_default();
+    let close = body.find(']').ok_or_else(|| "unclosed `members` array".to_string())?;
+    let list = body.get(..close).unwrap_or_default();
+    let mut members = Vec::new();
+    for chunk in list.split(',') {
+        let entry = chunk.trim().trim_matches('"').trim();
+        // Strip a trailing line comment on the entry, if any.
+        let entry = entry.split("#").next().unwrap_or(entry).trim().trim_matches('"');
+        if !entry.is_empty() {
+            members.push(entry.to_string());
+        }
+    }
+    Ok(members)
+}

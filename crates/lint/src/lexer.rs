@@ -1,0 +1,290 @@
+//! A hand-rolled Rust lexer: just enough token structure for the lint rules.
+//!
+//! The lexer's one job is to make the rules immune to the classic grep
+//! failure modes: rule keywords inside string literals, comments or doc
+//! comments must never fire, and `// panda-lint: …` directives must be
+//! recognised wherever a line comment can appear.  It therefore handles the
+//! full literal surface of the language — nested block comments, raw
+//! strings with arbitrary hash counts, byte strings, char-vs-lifetime
+//! disambiguation — while collapsing everything the rules do not care
+//! about into three coarse token kinds (identifier, punctuation, literal).
+
+// panda-lint: allow-file(P1) -- scanner indices are produced by the scan
+// loop itself and are bounded by `bytes.len()` checks on every advance;
+// threading Options through the hot loop would obscure the automaton.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `let`, `for`, …).
+    Ident,
+    /// A single punctuation byte (`.`, `[`, `;`, …).
+    Punct,
+    /// Any literal: string, raw string, byte string, char or number.
+    Literal,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse classification.
+    pub kind: TokKind,
+    /// The token text (for [`TokKind::Punct`] a single byte; literals keep
+    /// only a short prefix — rules never inspect literal bodies).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the given punctuation byte.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this token is the given identifier.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A `//` line comment (doc comments included), with its source line.
+///
+/// Comments are kept out of the token stream — rules match on tokens only —
+/// but are collected separately so the allow-directive parser can see them.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: usize,
+    /// Comment text including the leading `//`.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace stripped.
+    pub tokens: Vec<Token>,
+    /// Every `//` line comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source into tokens and line comments.
+///
+/// The lexer is lossy by design (literal bodies are truncated, block
+/// comments vanish) but never mis-classifies: text inside any literal or
+/// comment form can not leak into the token stream.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment { line, text: src[start..i].to_string() });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (ni, nl) = skip_string(bytes, i, line);
+                out.tokens.push(Token { kind: TokKind::Literal, text: "\"…\"".into(), line });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                let (ni, tok) = lex_quote(src, bytes, i, line);
+                out.tokens.push(tok);
+                i = ni;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        i += 1;
+                    } else if c == b'.'
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        && bytes.get(i.wrapping_sub(1)) != Some(&b'.')
+                    {
+                        i += 1; // decimal point of a float, not a range
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Raw/byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+                let next = bytes.get(i).copied();
+                if matches!(ident, "r" | "b" | "br") && matches!(next, Some(b'"') | Some(b'#')) {
+                    if let Some((ni, nl)) = skip_raw_or_byte_string(bytes, ident, i, line) {
+                        out.tokens.push(Token {
+                            kind: TokKind::Literal,
+                            text: format!("{ident}\"…\""),
+                            line,
+                        });
+                        i = ni;
+                        line = nl;
+                        continue;
+                    }
+                }
+                if ident == "b" && next == Some(b'\'') {
+                    let (ni, _) = lex_quote(src, bytes, i, line);
+                    out.tokens.push(Token { kind: TokKind::Literal, text: "b'…'".into(), line });
+                    i = ni;
+                    continue;
+                }
+                out.tokens.push(Token { kind: TokKind::Ident, text: ident.to_string(), line });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// after the closing quote and the updated line number.
+fn skip_string(bytes: &[u8], start: usize, mut line: usize) -> (usize, usize) {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, line),
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Skips a raw (`r`, `br`) or byte (`b`) string whose prefix identifier has
+/// just been consumed and whose next byte is `"` or `#`.  Returns `None`
+/// when the hashes are not followed by a quote (e.g. the expression
+/// `r#foo` — a raw identifier).
+fn skip_raw_or_byte_string(
+    bytes: &[u8],
+    prefix: &str,
+    start: usize,
+    mut line: usize,
+) -> Option<(usize, usize)> {
+    let mut i = start;
+    let mut hashes = 0usize;
+    if prefix != "b" {
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    if prefix == "b" {
+        // Plain byte string: escapes matter, hashes do not.
+        let (ni, nl) = skip_string(bytes, i, line);
+        return Some((ni, nl));
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = 0usize;
+            while j < hashes && bytes.get(i + 1 + j) == Some(&b'#') {
+                j += 1;
+            }
+            if j == hashes {
+                return Some((i + 1 + hashes, line));
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    Some((i, line))
+}
+
+/// Lexes a `'`-introduced token: a char literal (`'a'`, `'\n'`) or a
+/// lifetime (`'a`, `'static`, `'_`).  Returns the index after the token.
+fn lex_quote(src: &str, bytes: &[u8], start: usize, line: usize) -> (usize, Token) {
+    let mut i = start + 1;
+    if bytes.get(i) == Some(&b'\\') {
+        // Escaped char literal.
+        i += 2;
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1, Token { kind: TokKind::Literal, text: "'…'".into(), line });
+    }
+    let is_ident_char = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    if bytes.get(i).copied().is_some_and(is_ident_char) {
+        if bytes.get(i + 1) == Some(&b'\'') {
+            // 'x'
+            return (i + 2, Token { kind: TokKind::Literal, text: "'…'".into(), line });
+        }
+        // Lifetime: consume identifier characters.
+        let id_start = i;
+        while i < bytes.len() && is_ident_char(bytes[i]) {
+            i += 1;
+        }
+        return (
+            i,
+            Token { kind: TokKind::Lifetime, text: src[start..i.max(id_start)].to_string(), line },
+        );
+    }
+    // A bare quote (e.g. inside macro-rules oddities): emit as punctuation.
+    (i, Token { kind: TokKind::Punct, text: "'".into(), line })
+}

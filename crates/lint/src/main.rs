@@ -1,0 +1,103 @@
+//! The `panda-lint` CLI.
+//!
+//! ```text
+//! cargo run -p panda-lint                  # advisory mode: P1 warns
+//! cargo run -p panda-lint -- --deny-all    # CI mode: every rule is an error
+//! cargo run -p panda-lint -- --list-rules  # print the rule catalogue
+//! cargo run -p panda-lint -- --root <dir>  # lint a different workspace
+//! ```
+//!
+//! Exit codes: `0` clean (or advisory-only findings without `--deny-all`),
+//! `1` violations, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use panda_lint::diagnostics::Rule;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    deny_all: bool,
+    list_rules: bool,
+    quiet: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts =
+        Options { deny_all: false, list_rules: false, quiet: false, root: PathBuf::from(".") };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => opts.deny_all = true,
+            "--list-rules" => opts.list_rules = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--root" => {
+                opts.root =
+                    PathBuf::from(args.next().ok_or_else(|| "--root needs a path".to_string())?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "panda-lint: static analysis for the PANDA workspace's determinism and \
+                     safety invariants\n\n\
+                     USAGE: panda-lint [--deny-all] [--quiet] [--list-rules] [--root <dir>]\n\n\
+                     Without --deny-all, rule P1 (panic-safety justifications) is advisory;\n\
+                     CI runs with --deny-all so every rule is an error.\n\
+                     Rule catalogue: docs/LINTS.md (or --list-rules)."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("panda-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for rule in Rule::ALL {
+            let posture = if rule.advisory_by_default() { "advisory" } else { "deny" };
+            println!("{:<3} [{posture:^8}] {}", rule.code(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+    // When invoked through `cargo run -p panda-lint`, the working directory
+    // is the workspace root; `--root` overrides for out-of-tree use.
+    let diags = match panda_lint::analyze_workspace(&opts.root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("panda-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut errors = 0usize;
+    let mut advisories = 0usize;
+    for d in &diags {
+        let advisory = d.rule.advisory_by_default() && !opts.deny_all;
+        if advisory {
+            advisories += 1;
+        } else {
+            errors += 1;
+        }
+        if !opts.quiet {
+            let sev = if advisory { "warning" } else { "error" };
+            println!("{}:{}: {sev}[{}]: {}", d.file.display(), d.line, d.rule, d.message);
+        }
+    }
+    if !opts.quiet {
+        let mode = if opts.deny_all { " (--deny-all)" } else { "" };
+        println!("panda-lint{mode}: {errors} error(s), {advisories} advisory finding(s)");
+    }
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,322 @@
+//! Lightweight structure over the token stream: file roles, `#[cfg(test)]`
+//! spans, function bodies and statement spans.
+//!
+//! This is deliberately not a Rust parser.  The rules only need four
+//! structural facts about a file — what kind of target it belongs to,
+//! which line ranges are test-only, where function bodies start and end,
+//! and which lines form one logical statement — and all four fall out of
+//! brace/semicolon matching over the lexed tokens.
+
+use crate::allow::Allows;
+use crate::lexer::{self, Lexed, Token};
+use std::path::{Path, PathBuf};
+
+/// What kind of compilation target a file belongs to, derived from its
+/// path inside the crate.  Rules scope themselves by role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// `src/**` of a crate (including `src/bin/**`).
+    Src,
+    /// `tests/**` integration tests.
+    Test,
+    /// `benches/**` bench targets.
+    Bench,
+    /// `examples/**`.
+    Example,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileContext {
+    /// Path as reported in diagnostics (workspace-relative).
+    pub path: PathBuf,
+    /// Target role (src/test/bench/example).
+    pub role: Role,
+    /// Whether the file belongs to `crates/bench` (instrumentation crate —
+    /// exempt from D3 wholesale).
+    pub bench_crate: bool,
+    /// Whether the file belongs to a *library* crate for rule P1 (the
+    /// engine crates; bench is instrumentation and exempt).
+    pub library_crate: bool,
+    /// Whether this file is a crate root (`src/lib.rs`, or `src/main.rs`
+    /// of a binary-only crate) — the S1 anchor.
+    pub crate_root: bool,
+    /// Lexed tokens.
+    pub tokens: Vec<Token>,
+    /// Parsed allow directives.
+    pub allows: Allows,
+    /// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl FileContext {
+    /// Builds the context for one file from its source text.
+    #[must_use]
+    pub fn new(
+        path: PathBuf,
+        role: Role,
+        bench_crate: bool,
+        library_crate: bool,
+        crate_root: bool,
+        src: &str,
+        diags: &mut Vec<crate::diagnostics::Diagnostic>,
+    ) -> FileContext {
+        let Lexed { tokens, comments } = lexer::lex(src);
+        let allows = Allows::parse(&path, &comments, diags);
+        let test_spans = cfg_test_spans(&tokens);
+        FileContext {
+            path,
+            role,
+            bench_crate,
+            library_crate,
+            crate_root,
+            tokens,
+            allows,
+            test_spans,
+        }
+    }
+
+    /// Whether a line is inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test_span(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// The line span of the logical statement enclosing token `idx`.
+    ///
+    /// The scan runs outwards to the nearest `;`/block boundary, but sees
+    /// *through* expression-internal braces — balanced groups are skipped
+    /// whole, a closure-opening `{` (preceded by `|`, `=` or `=>`) does
+    /// not end the backward scan, and an unmatched `}` followed by `)`,
+    /// `.`, `,` or `?` does not end the forward scan.  This is what lets
+    /// an allow directive above a multi-line iterator chain cover a
+    /// violation inside one of its closure bodies.
+    #[must_use]
+    pub fn statement_span(&self, idx: usize) -> (usize, usize) {
+        let toks = &self.tokens;
+        // Backward to the statement start.
+        let mut lo = idx;
+        while let Some(j) = lo.checked_sub(1) {
+            let Some(t) = toks.get(j) else { break };
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('}') {
+                // Skip the whole balanced group.
+                let mut depth = 1isize;
+                let mut k = j;
+                while depth > 0 {
+                    let Some(k1) = k.checked_sub(1) else { break };
+                    k = k1;
+                    match toks.get(k) {
+                        Some(t) if t.is_punct('}') => depth += 1,
+                        Some(t) if t.is_punct('{') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth > 0 {
+                    lo = 0;
+                    break;
+                }
+                lo = k;
+                continue;
+            }
+            if t.is_punct('{') {
+                let before = j.checked_sub(1).and_then(|n| toks.get(n));
+                let expression_internal =
+                    before.is_some_and(|b| b.is_punct('|') || b.is_punct('=') || b.is_punct('>'));
+                if !expression_internal {
+                    break;
+                }
+            }
+            lo = j;
+        }
+        // Forward to the statement end.
+        let mut hi = idx;
+        while let Some(t) = toks.get(hi + 1) {
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('{') {
+                let mut depth = 1isize;
+                let mut k = hi + 1;
+                while depth > 0 {
+                    k += 1;
+                    match toks.get(k) {
+                        Some(t) if t.is_punct('{') => depth += 1,
+                        Some(t) if t.is_punct('}') => depth -= 1,
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                hi = k.min(toks.len().saturating_sub(1));
+                continue;
+            }
+            if t.is_punct('}') {
+                let after = toks.get(hi + 2);
+                let continues = after.is_some_and(|a| {
+                    a.is_punct(')') || a.is_punct('.') || a.is_punct(',') || a.is_punct('?')
+                });
+                if !continues {
+                    break;
+                }
+            }
+            hi += 1;
+        }
+        let line_at = |i: usize| self.tokens.get(i).map_or(1, |t| t.line);
+        (line_at(lo), line_at(hi))
+    }
+
+    /// Emits a diagnostic for the token at `idx` unless an allow directive
+    /// suppresses it.
+    pub fn report(
+        &self,
+        rule: crate::diagnostics::Rule,
+        idx: usize,
+        message: String,
+        diags: &mut Vec<crate::diagnostics::Diagnostic>,
+    ) {
+        let line = self.tokens.get(idx).map_or(1, |t| t.line);
+        let (span_start, span_end) = self.statement_span(idx);
+        if self.allows.suppresses(rule, span_start, span_end) {
+            return;
+        }
+        diags.push(crate::diagnostics::Diagnostic {
+            rule,
+            file: self.path.clone(),
+            line,
+            span_start,
+            span_end,
+            message,
+        });
+    }
+}
+
+/// Finds the spans of items annotated `#[cfg(test)]`.
+///
+/// After the attribute's closing `]`, any further attributes are skipped,
+/// then the item runs to its matching `}` (for brace-bodied items) or to
+/// the first top-level `;` (for `use`/`type`/fn-declarations).
+fn cfg_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let start_line = tokens.get(i).map_or(1, |t| t.line);
+            // Skip to the end of this attribute (the matching `]`).
+            let mut j = skip_attr(tokens, i);
+            // Skip any further attributes on the same item.
+            while tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+                j = skip_attr(tokens, j);
+            }
+            // Consume the item: up to the matching close of the first `{`,
+            // or the first `;` at depth 0.
+            let mut depth = 0isize;
+            let mut end_line = start_line;
+            while let Some(t) = tokens.get(j) {
+                end_line = t.line;
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            spans.push((start_line, end_line));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Whether tokens at `i` start `#[cfg(test)]` (ignoring any additional
+/// predicates such as `#[cfg(all(test, …))]` — the leading `test` ident in
+/// the cfg body is what we look for).
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let ident = |k: usize, s: &str| tokens.get(i + k).is_some_and(|t| t.is_ident(s));
+    let punct = |k: usize, c: char| tokens.get(i + k).is_some_and(|t| t.is_punct(c));
+    if !(punct(0, '#') && punct(1, '[') && ident(2, "cfg") && punct(3, '(')) {
+        return false;
+    }
+    // Scan the cfg predicate for a bare `test` ident before the closing
+    // `)`, skipping over `not(…)` groups so `#[cfg(not(test))]` — which
+    // marks *non*-test code — does not match.
+    let mut depth = 1isize;
+    let mut j = i + 4;
+    while let Some(t) = tokens.get(j) {
+        if t.is_ident("not") && tokens.get(j + 1).is_some_and(|t| t.is_punct('(')) {
+            let mut inner = 1isize;
+            j += 2;
+            while let Some(t) = tokens.get(j) {
+                if t.is_punct('(') {
+                    inner += 1;
+                } else if t.is_punct(')') {
+                    inner -= 1;
+                    if inner == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        } else if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if t.is_ident("test") {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Returns the token index just past the attribute starting at `i`
+/// (which must be a `#`).
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    // Optional `!` of inner attributes.
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return j;
+    }
+    let mut depth = 0isize;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Derives a file's [`Role`] from its path components.
+#[must_use]
+pub fn role_of(rel_path: &Path) -> Role {
+    for comp in rel_path.components() {
+        let s = comp.as_os_str().to_string_lossy();
+        match s.as_ref() {
+            "tests" => return Role::Test,
+            "benches" => return Role::Bench,
+            "examples" => return Role::Example,
+            _ => {}
+        }
+    }
+    Role::Src
+}

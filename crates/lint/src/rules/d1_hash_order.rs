@@ -1,0 +1,502 @@
+//! D1 — hash iteration order must not reach an ordered sink.
+//!
+//! `HashMap`/`HashSet` iteration order is arbitrary (and, with a different
+//! hasher or allocation history, different) — the moment it flows into a
+//! `Vec`, a `String`, or anything else that remembers order, the output is
+//! no longer a function of the input.  This is the single hazard class
+//! behind most determinism regressions, and the one the engine's
+//! bit-identical guarantee can least afford.
+//!
+//! The analysis is function-scoped and name-based:
+//!
+//! 1. collect every identifier the file associates with a hash container
+//!    (`let m = HashMap::new()`, `m: HashMap<…>` in params and struct
+//!    fields, `let m: &HashSet<…>`),
+//! 2. find iterations over those names — method chains
+//!    (`m.iter()`, `m.keys()`, …) and `for` loops (`for k in &m`),
+//! 3. flag the iteration when its statement (or loop body) feeds an
+//!    ordered sink (`collect` into `Vec`/`String`/unknown, `extend`,
+//!    `push`) with no sanitiser in between — a `sort*` call, a collect
+//!    into a `BTreeMap`/`BTreeSet`, or a later `target.sort*()` in the
+//!    same function.
+//!
+//! Like every name-based analysis it is a heuristic: a hash map returned
+//! by a function in *another* file and iterated here is invisible.  The
+//! fixture corpus (`tests/fixtures/{pass,fail}/d1_*.rs`) pins exactly
+//! what fires.
+
+// panda-lint: allow-file(P1) -- token indices in this module all derive
+// from enumerate()/matched-scan positions bounded by the token vector;
+// Option-threading every lookup would bury the automaton.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::Token;
+use crate::parse::{FileContext, Role};
+use std::collections::BTreeSet;
+
+/// Iterator-producing methods on hash containers.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Collect targets that do not observe iteration order.
+const ORDER_INSENSITIVE_TARGETS: [&str; 4] = ["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+/// Entry point: function-scoped hash-order analysis of library source.
+pub fn check(ctx: &FileContext, diags: &mut Vec<Diagnostic>) {
+    if ctx.role != Role::Src {
+        return;
+    }
+    let toks = &ctx.tokens;
+    let hash_names = hash_typed_names(toks);
+    if hash_names.is_empty() {
+        return;
+    }
+    let fns = fn_body_spans(toks);
+    // Chain-form iterations: `name.iter()…`.
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test_span(t.line) {
+            continue;
+        }
+        if !hash_names.contains(t.text.as_str()) {
+            continue;
+        }
+        let is_chain = toks.get(i + 1).is_some_and(|a| a.is_punct('.'))
+            && toks.get(i + 2).is_some_and(|m| ITER_METHODS.iter().any(|im| m.is_ident(im)))
+            && toks.get(i + 3).is_some_and(|p| p.is_punct('('));
+        if !is_chain {
+            continue;
+        }
+        // The run is the whole statement: sinks can precede the iteration
+        // in source order (`out.extend(m.keys())`).
+        let stmt_start = statement_start(toks, i);
+        let stmt_end = statement_end(toks, i);
+        let fn_end = enclosing_fn_end(&fns, i).unwrap_or(toks.len());
+        check_run(ctx, toks, i, stmt_start, stmt_end, fn_end, &t.text, diags);
+    }
+    // Loop-form iterations: `for pat in &name { … }` / `for pat in name.iter() { … }`.
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("for") || ctx.in_test_span(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        let Some((header_end, body_end)) = for_loop_spans(toks, i) else {
+            i += 1;
+            continue;
+        };
+        // Does the header iterate a hash name directly (`in name`,
+        // `in &name`, `in &mut name`)?  Chain-form headers
+        // (`for k in name.keys()`) are already caught by the chain scan
+        // above, whose statement run extends through the loop body.
+        let mut iterated: Option<&str> = None;
+        for j in i + 1..header_end {
+            let t = &toks[j];
+            if hash_names.contains(t.text.as_str()) {
+                let direct = toks
+                    .get(j.wrapping_sub(1))
+                    .is_some_and(|p| p.is_ident("in") || p.is_punct('&') || p.is_ident("mut"));
+                let not_chained = !toks.get(j + 1).is_some_and(|a| a.is_punct('.'));
+                if direct && not_chained {
+                    iterated = Some(t.text.as_str());
+                    break;
+                }
+            }
+        }
+        if let Some(name) = iterated {
+            let fn_end = enclosing_fn_end(&fns, i).unwrap_or(toks.len());
+            check_run(ctx, toks, i, header_end + 1, body_end, fn_end, name, diags);
+        }
+        i = header_end + 1;
+    }
+}
+
+/// Shared sink/sanitiser analysis over a token run.
+///
+/// `at` is the token anchoring the diagnostic, `run` is
+/// `run_start..run_end` (statement tail for chains, loop body for `for`
+/// loops), `fn_end` bounds the deferred-sort search.
+#[allow(clippy::too_many_arguments)]
+fn check_run(
+    ctx: &FileContext,
+    toks: &[Token],
+    at: usize,
+    run_start: usize,
+    run_end: usize,
+    fn_end: usize,
+    name: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut sink: Option<(usize, &'static str)> = None;
+    let mut sanitised = false;
+    let mut j = run_start;
+    while j < run_end {
+        let t = &toks[j];
+        if t.is_punct('.') {
+            if let Some(m) = toks.get(j + 1) {
+                if m.text.starts_with("sort") {
+                    sanitised = true;
+                } else if m.is_ident("collect") {
+                    match collect_target(toks, j + 1) {
+                        CollectTarget::OrderInsensitive => sanitised = true,
+                        CollectTarget::Ordered | CollectTarget::Unknown => {
+                            if sink.is_none() {
+                                sink = Some((j + 1, "collect"));
+                            }
+                        }
+                    }
+                } else if (m.is_ident("extend") || m.is_ident("push"))
+                    && toks.get(j + 2).is_some_and(|p| p.is_punct('('))
+                    && sink.is_none()
+                {
+                    sink = Some((j + 1, if m.is_ident("extend") { "extend" } else { "push" }));
+                }
+            }
+        }
+        j += 1;
+    }
+    let Some((sink_idx, sink_name)) = sink else { return };
+    if sanitised {
+        return;
+    }
+    // A bare `.collect()` whose let-ascription names an order-insensitive
+    // container is fine: `let m: HashMap<_, _> = other.iter().collect();`.
+    if sink_name == "collect" {
+        if let Some(target) = let_ascription_target(toks, at) {
+            if ORDER_INSENSITIVE_TARGETS.iter().any(|t| t == &target) {
+                return;
+            }
+        }
+    }
+    // Deferred sort: the sink's target is sorted later in the function.
+    let target = sink_target(toks, at, sink_idx);
+    if let Some(target) = target {
+        let mut j = run_end;
+        while j + 2 < fn_end.min(toks.len()) {
+            if toks[j].is_ident(&target)
+                && toks[j + 1].is_punct('.')
+                && toks[j + 2].text.starts_with("sort")
+            {
+                return;
+            }
+            j += 1;
+        }
+    }
+    ctx.report(
+        Rule::D1,
+        at,
+        format!(
+            "iteration over hash-ordered `{name}` reaches `{sink_name}` without a sort — \
+             hash order is arbitrary and must not shape an output"
+        ),
+        diags,
+    );
+}
+
+/// Where a flagged sink writes to: the let-bound name for `collect`, the
+/// receiver identifier for `push`/`extend`.
+fn sink_target(toks: &[Token], at: usize, sink_idx: usize) -> Option<String> {
+    let m = toks.get(sink_idx)?;
+    if m.is_ident("collect") {
+        return let_binding_name(toks, at);
+    }
+    let recv = toks.get(sink_idx.checked_sub(2)?)?;
+    if recv.kind == crate::lexer::TokKind::Ident {
+        return Some(recv.text.clone());
+    }
+    None
+}
+
+/// How a `.collect` call orders its output.
+enum CollectTarget {
+    /// Turbofish names a hash/btree container.
+    OrderInsensitive,
+    /// Turbofish names `Vec`, `String`, … — order observable.
+    Ordered,
+    /// No turbofish; decided by the let-ascription, else conservatively
+    /// treated as ordered.
+    Unknown,
+}
+
+/// Inspects the turbofish of `.collect::<T>(…)` at the `collect` token.
+fn collect_target(toks: &[Token], collect_idx: usize) -> CollectTarget {
+    let punct = |k: usize, c: char| toks.get(collect_idx + k).is_some_and(|t| t.is_punct(c));
+    if !(punct(1, ':') && punct(2, ':') && punct(3, '<')) {
+        return CollectTarget::Unknown;
+    }
+    // The target type may be path-qualified (`std::collections::BTreeSet`):
+    // follow `ident::` segments to the final type name.
+    let mut j = collect_idx + 4;
+    let mut last_ident: Option<&Token> = None;
+    while let Some(t) = toks.get(j) {
+        if t.kind == crate::lexer::TokKind::Ident {
+            last_ident = Some(t);
+            let path_continues = toks
+                .get(j + 1)
+                .zip(toks.get(j + 2))
+                .is_some_and(|(a, b)| a.is_punct(':') && b.is_punct(':'));
+            if !path_continues {
+                break;
+            }
+            j += 3;
+            continue;
+        }
+        if t.is_punct('<') || t.is_punct('>') {
+            break;
+        }
+        j += 1;
+    }
+    match last_ident {
+        Some(t) if ORDER_INSENSITIVE_TARGETS.iter().any(|o| t.is_ident(o)) => {
+            CollectTarget::OrderInsensitive
+        }
+        Some(_) => CollectTarget::Ordered,
+        None => CollectTarget::Unknown,
+    }
+}
+
+/// The `NAME` of `let [mut] NAME [: …] = …` for the statement containing
+/// token `at`, if the statement is a let-binding.
+fn let_binding_name(toks: &[Token], at: usize) -> Option<String> {
+    let start = statement_start(toks, at);
+    let mut j = start;
+    if !toks.get(j)?.is_ident("let") {
+        return None;
+    }
+    j += 1;
+    if toks.get(j)?.is_ident("mut") {
+        j += 1;
+    }
+    let name = toks.get(j)?;
+    (name.kind == crate::lexer::TokKind::Ident).then(|| name.text.clone())
+}
+
+/// The first type identifier of a let-ascription (`let x: Vec<…>` →
+/// `Vec`), if the statement containing `at` has one.
+fn let_ascription_target(toks: &[Token], at: usize) -> Option<String> {
+    let start = statement_start(toks, at);
+    if !toks.get(start)?.is_ident("let") {
+        return None;
+    }
+    let mut j = start + 1;
+    // Walk the (possibly tuple/struct) pattern up to `:` or `=`.
+    let mut depth = 0isize;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('=') {
+            return None;
+        } else if depth == 0 && t.is_punct(':') {
+            // First identifier of the type (skipping `&`, `mut`, lifetimes).
+            let mut k = j + 1;
+            while let Some(t) = toks.get(k) {
+                if t.kind == crate::lexer::TokKind::Ident && !t.is_ident("mut") {
+                    return Some(t.text.clone());
+                }
+                k += 1;
+            }
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Token index of the statement start (just past the previous `;`, `{` or
+/// `}`), scanning backwards without depth tracking.
+fn statement_start(toks: &[Token], at: usize) -> usize {
+    let mut j = at;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// Token index just past the statement containing `at`: the next `;` at
+/// closure-brace depth 0, or the `}` closing the enclosing block.
+fn statement_end(toks: &[Token], at: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = at;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// `(header_end, body_end)` token indices of the `for` loop starting at
+/// `for_idx`: `header_end` is the body's `{`, `body_end` its matching `}`.
+fn for_loop_spans(toks: &[Token], for_idx: usize) -> Option<(usize, usize)> {
+    let mut j = for_idx + 1;
+    let mut paren = 0isize;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if t.is_punct('{') && paren == 0 {
+            break;
+        } else if t.is_punct(';') && paren == 0 {
+            return None; // `for` in a type position (`impl Trait for T;`)?
+        }
+        j += 1;
+    }
+    let header_end = j;
+    toks.get(header_end)?;
+    let mut depth = 0isize;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((header_end, j));
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Identifiers the file associates with `HashMap`/`HashSet`:
+/// `let [mut] NAME = Hash…::new()` bindings and
+/// `NAME: [&mut] [path::]Wrapper<…Hash…<…>>` ascriptions (params, struct
+/// fields and let-ascriptions alike).
+fn hash_typed_names(toks: &[Token]) -> BTreeSet<String> {
+    let is_ident = |t: &Token| t.kind == crate::lexer::TokKind::Ident;
+    let mut names = BTreeSet::new();
+    for (k, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over path segments (`std::collections::`), wrapper
+        // types (`Arc<`, `Mutex<`) and reference syntax to whatever
+        // connects the type expression to a name.  Bounded, so pathological
+        // token runs cannot send the walk far afield.
+        let mut j = k;
+        for _ in 0..16 {
+            let Some(p) = j.checked_sub(1).and_then(|n| toks.get(n)) else { break };
+            if p.is_punct(':') && j >= 2 && toks[j - 2].is_punct(':') {
+                j -= 2; // `::`
+                if j > 0 && is_ident(&toks[j - 1]) {
+                    j -= 1; // the path segment before it
+                }
+            } else if p.is_punct('<') {
+                j -= 1; // wrapper generics: `Arc<`, `Mutex<`
+                if j > 0 && is_ident(&toks[j - 1]) {
+                    j -= 1; // the wrapper's name
+                }
+            } else if p.is_punct('&')
+                || p.is_ident("mut")
+                || p.is_ident("dyn")
+                || p.kind == crate::lexer::TokKind::Lifetime
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        let Some(conn) = j.checked_sub(1).and_then(|n| toks.get(n)) else { continue };
+        // `NAME : …Hash…` — ascription (field, param or let).
+        if conn.is_punct(':') && !(j >= 2 && toks[j - 2].is_punct(':')) {
+            if let Some(name) = j.checked_sub(2).and_then(|n| toks.get(n)) {
+                if is_ident(name) {
+                    names.insert(name.text.clone());
+                }
+            }
+            continue;
+        }
+        // `let [mut] NAME = …Hash…::…` — constructor binding.
+        if conn.is_punct('=') {
+            let name = j.checked_sub(2).and_then(|n| toks.get(n));
+            let kw1 = j.checked_sub(3).and_then(|n| toks.get(n));
+            let kw2 = j.checked_sub(4).and_then(|n| toks.get(n));
+            let let_ok = kw1.is_some_and(|t| t.is_ident("let"))
+                || (kw1.is_some_and(|t| t.is_ident("mut"))
+                    && kw2.is_some_and(|t| t.is_ident("let")));
+            if let_ok {
+                if let Some(name) = name.filter(|t| is_ident(t)) {
+                    names.insert(name.text.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Body spans `(body_start, body_end)` of every `fn` in the file, by
+/// brace-matching from the first `{` after each `fn` keyword.
+fn fn_body_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            let mut j = i + 1;
+            let mut angle = 0isize;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    angle -= 1;
+                } else if t.is_punct('{') && angle <= 0 {
+                    break;
+                } else if t.is_punct(';') && angle <= 0 {
+                    j = usize::MAX;
+                    break; // declaration without body (trait method)
+                }
+                j += 1;
+            }
+            if j == usize::MAX || j >= toks.len() {
+                i += 1;
+                continue;
+            }
+            let body_start = j;
+            let mut depth = 0isize;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        spans.push((body_start, j));
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            i = body_start + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// End of the innermost function body containing token `i`.
+fn enclosing_fn_end(fns: &[(usize, usize)], i: usize) -> Option<usize> {
+    fns.iter().filter(|&&(s, e)| s <= i && i <= e).map(|&(s, e)| (e - s, e)).min().map(|(_, e)| e)
+}

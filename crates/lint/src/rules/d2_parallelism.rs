@@ -1,0 +1,83 @@
+//! D2 — no parallelism or synchronisation primitives outside the
+//! deterministic pool.
+//!
+//! The engine's bit-identical-at-any-thread-count guarantee holds because
+//! *all* parallelism is funnelled through the vendored rayon-subset pool
+//! (ordered fork/join, input-ordered merges).  A stray
+//! `std::thread::spawn`, channel or ad-hoc atomic counter re-introduces
+//! scheduling order as an observable, so any use of those primitives must
+//! either live in the two sanctioned places — `vendor/rayon` (not walked)
+//! and `panda_core::config` (thread-count discovery) — or carry an
+//! explicit justification that scheduling order cannot reach an output.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::parse::FileContext;
+
+/// Sync primitives whose bare type name is banned.
+const BANNED_TYPES: [&str; 17] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicIsize",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicPtr",
+    "mpsc",
+];
+
+/// Files exempt from D2 by policy (alongside `vendor/`, which the driver
+/// never walks).
+fn exempt(ctx: &FileContext) -> bool {
+    let p = ctx.path.to_string_lossy().replace('\\', "/");
+    p.ends_with("crates/panda-core/src/config.rs") || p.contains("vendor/")
+}
+
+/// Scans for banned primitives and `std::thread` paths.
+pub fn check(ctx: &FileContext, diags: &mut Vec<Diagnostic>) {
+    if exempt(ctx) {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if BANNED_TYPES.iter().any(|b| t.is_ident(b)) {
+            ctx.report(
+                Rule::D2,
+                i,
+                format!(
+                    "`{}` is a scheduling-order hazard: all parallelism must go through \
+                     the deterministic pool (vendor/rayon via panda::config)",
+                    t.text
+                ),
+                diags,
+            );
+            continue;
+        }
+        // `thread::spawn`, `thread::scope`, `std::thread`, … — any
+        // `thread` path segment outside the sanctioned modules.
+        if t.is_ident("thread") {
+            let after = toks.get(i + 1).zip(toks.get(i + 2));
+            let before = i.checked_sub(2).and_then(|j| toks.get(j).zip(toks.get(j + 1)));
+            let path_after = after.is_some_and(|(a, b)| a.is_punct(':') && b.is_punct(':'));
+            let path_before = before.is_some_and(|(a, b)| a.is_ident("std") && b.is_punct(':'));
+            if path_after || path_before {
+                ctx.report(
+                    Rule::D2,
+                    i,
+                    "`std::thread` is off-limits: spawn work on the deterministic pool \
+                     (vendor/rayon) so merge order stays input-ordered"
+                        .into(),
+                    diags,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! D3 — no wall-clock or entropy sources in result paths.
+//!
+//! LP optima, proof sequences and join outputs are bit-reproducible
+//! functions of (query, statistics, data).  `Instant::now()` feeding a
+//! heuristic, or an unseeded RNG feeding anything, silently turns a
+//! reproducible artifact into a flaky one.  Timing belongs in the bench
+//! crate (`crates/bench`, exempt wholesale), benches, tests and examples;
+//! seeded randomness in library code must carry a justification stating
+//! why it is deterministic.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::parse::{FileContext, Role};
+
+/// Identifiers that read the wall clock or ambient entropy.
+const BANNED: [&str; 5] = ["Instant", "SystemTime", "UNIX_EPOCH", "thread_rng", "from_entropy"];
+
+/// Scans non-bench, non-test library code for clock/entropy identifiers
+/// and `rand` paths.
+pub fn check(ctx: &FileContext, diags: &mut Vec<Diagnostic>) {
+    if ctx.bench_crate || ctx.role != Role::Src {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test_span(t.line) {
+            continue;
+        }
+        if BANNED.iter().any(|b| t.is_ident(b)) {
+            ctx.report(
+                Rule::D3,
+                i,
+                format!(
+                    "`{}` reads the clock or ambient entropy — results must be \
+                     reproducible functions of (query, statistics, data); timing \
+                     belongs in crates/bench",
+                    t.text
+                ),
+                diags,
+            );
+            continue;
+        }
+        // `rand::…` paths and `use rand` imports.
+        if t.is_ident("rand") {
+            let path_after = toks
+                .get(i + 1)
+                .zip(toks.get(i + 2))
+                .is_some_and(|(a, b)| a.is_punct(':') && b.is_punct(':'));
+            let after_use = i > 0 && toks.get(i - 1).is_some_and(|t| t.is_ident("use"));
+            if path_after || after_use {
+                ctx.report(
+                    Rule::D3,
+                    i,
+                    "`rand` in library code: randomness must not reach result paths — \
+                     if the RNG is deterministically seeded, say so in an allow(D3) \
+                     justification"
+                        .into(),
+                    diags,
+                );
+            }
+        }
+    }
+}

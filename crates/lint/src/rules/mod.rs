@@ -1,0 +1,23 @@
+//! The rule registry.
+//!
+//! Each rule module exposes `check(&FileContext, &mut Vec<Diagnostic>)`;
+//! scoping (which roles/crates a rule applies to) lives inside the rule so
+//! the driver stays policy-free.  The catalogue is `docs/LINTS.md`.
+
+pub mod d1_hash_order;
+pub mod d2_parallelism;
+pub mod d3_nondeterminism;
+pub mod p1_panics;
+pub mod s1_unsafe;
+
+use crate::diagnostics::Diagnostic;
+use crate::parse::FileContext;
+
+/// Runs every rule over one file.
+pub fn check_file(ctx: &FileContext, diags: &mut Vec<Diagnostic>) {
+    d1_hash_order::check(ctx, diags);
+    d2_parallelism::check(ctx, diags);
+    d3_nondeterminism::check(ctx, diags);
+    p1_panics::check(ctx, diags);
+    s1_unsafe::check(ctx, diags);
+}

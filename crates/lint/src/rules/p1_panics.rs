@@ -1,0 +1,93 @@
+//! P1 — potential panics in library crates must be justified.
+//!
+//! `unwrap()`, `expect(…)` and slice/array indexing are fine when an
+//! invariant genuinely guarantees them — and landmines when the invariant
+//! lives only in the author's head.  P1 makes the claim explicit: each
+//! occurrence in a library crate either carries an
+//! `// panda-lint: allow(P1) -- <why it cannot panic>` annotation, sits in
+//! a file whose header `allow-file(P1)` explains a file-wide invariant
+//! (dense numeric kernels), or gets rewritten into `Result`/`get`.
+//!
+//! P1 is **advisory by default** and an error under `--deny-all` (the CI
+//! mode) — see `docs/LINTS.md`.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+use crate::parse::{FileContext, Role};
+
+/// Keywords that can directly precede a `[` without forming an index
+/// expression (`let [a, b] = …`, `if let [x] = …`, `in [1, 2]`, …).
+const NON_INDEX_KEYWORDS: [&str; 20] = [
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "break", "continue",
+    "use", "pub", "where", "dyn", "impl", "fn", "for", "while",
+];
+
+/// Scans library-crate source for unwrap/expect calls and index
+/// expressions.
+pub fn check(ctx: &FileContext, diags: &mut Vec<Diagnostic>) {
+    if !ctx.library_crate || ctx.role != Role::Src {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test_span(t.line) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — exact method names only, so the
+        // non-panicking `unwrap_or*` family never matches.
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && toks.get(i - 1).is_some_and(|p| p.is_punct('.'))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let closed = toks.get(i + 2).is_some_and(|n| n.is_punct(')'));
+            if t.is_ident("unwrap") && !closed {
+                continue; // `unwrap(…)` with args is not Option::unwrap.
+            }
+            ctx.report(
+                Rule::P1,
+                i,
+                format!(
+                    "`.{}(…)` can panic: return a `Result`, or state the invariant in an \
+                     `allow(P1)` justification",
+                    t.text
+                ),
+                diags,
+            );
+            continue;
+        }
+        // Index expressions: `expr[…]` where `expr` ends in an identifier
+        // (not a keyword, not a macro name) or a closing bracket.
+        if t.is_punct('[') && i > 0 {
+            let Some(prev) = toks.get(i - 1) else { continue };
+            let prev_is_expr_end = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.iter().any(|k| prev.is_ident(k)),
+                TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                _ => false,
+            };
+            if !prev_is_expr_end {
+                continue;
+            }
+            // `name![…]` is a macro invocation, not indexing.
+            if i >= 2 && toks.get(i - 2).is_some_and(|p| p.is_punct('!')) {
+                continue;
+            }
+            // `x[..]` takes the full range and cannot panic.
+            let full_range =
+                toks.get(i + 1).zip(toks.get(i + 2)).zip(toks.get(i + 3)).is_some_and(
+                    |((a, b), c)| a.is_punct('.') && b.is_punct('.') && c.is_punct(']'),
+                );
+            if full_range {
+                continue;
+            }
+            ctx.report(
+                Rule::P1,
+                i,
+                "indexing can panic: use `.get(…)`, or state the bounds invariant in an \
+                 `allow(P1)` justification"
+                    .into(),
+                diags,
+            );
+        }
+    }
+}

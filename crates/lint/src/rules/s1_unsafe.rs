@@ -1,0 +1,42 @@
+//! S1 — every crate root must declare `#![forbid(unsafe_code)]`.
+//!
+//! The workspace carries zero `unsafe` today; S1 pins that state so it can
+//! only be given up explicitly (deleting a `forbid` is visible in review in
+//! a way that adding one `unsafe` block deep in a module is not).
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::parse::FileContext;
+
+/// Checks a crate-root file for the `#![forbid(unsafe_code)]` attribute.
+pub fn check(ctx: &FileContext, diags: &mut Vec<Diagnostic>) {
+    if !ctx.crate_root {
+        return;
+    }
+    let toks = &ctx.tokens;
+    let mut i = 0usize;
+    while i + 4 < toks.len() {
+        let punct = |k: usize, c: char| toks.get(i + k).is_some_and(|t| t.is_punct(c));
+        let ident = |k: usize, s: &str| toks.get(i + k).is_some_and(|t| t.is_ident(s));
+        if punct(0, '#') && punct(1, '!') && punct(2, '[') && ident(3, "forbid") && punct(4, '(') {
+            let mut j = i + 5;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct(')') {
+                    break;
+                }
+                if t.is_ident("unsafe_code") {
+                    return;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    ctx.report(
+        Rule::S1,
+        0,
+        "crate root is missing `#![forbid(unsafe_code)]` — the workspace is unsafe-free \
+         by policy and every crate must pin that"
+            .into(),
+        diags,
+    );
+}

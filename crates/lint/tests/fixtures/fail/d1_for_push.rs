@@ -1,0 +1,20 @@
+// D1 must fire: a for-loop over a hash container pushing into a Vec, with
+// no later sort of the target in the same function.
+use std::collections::{HashMap, HashSet};
+
+pub fn loop_push(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, _) in m {
+        // line 7: D1 anchors on the `for`
+        out.push(*k);
+    }
+    out
+}
+
+pub fn loop_push_ref(s: &HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for k in s {
+        out.push(*k);
+    }
+    out
+}

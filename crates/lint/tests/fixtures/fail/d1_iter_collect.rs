@@ -1,0 +1,17 @@
+// D1 must fire: HashMap iteration collected into an order-observing Vec.
+use std::collections::HashMap;
+
+pub fn leak_order(m: &HashMap<u64, u64>) -> Vec<u64> {
+    m.keys().copied().collect() // line 5: D1
+}
+
+pub fn leak_order_turbofish(m: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>() // line 9: D1
+}
+
+pub fn leak_order_set() -> Vec<u64> {
+    let s: std::collections::HashSet<u64> = [1, 2, 3].into_iter().collect();
+    let mut out = Vec::new();
+    out.extend(s.iter().copied()); // line 15: D1 (s.iter() feeds extend)
+    out
+}

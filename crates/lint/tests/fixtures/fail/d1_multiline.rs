@@ -1,0 +1,12 @@
+// D1 must fire once on a statement spanning several lines, anchored at the
+// iterated name, with the span covering the whole statement.
+use std::collections::HashMap;
+
+pub fn multiline(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let out: Vec<u64> = m
+        .keys()
+        .copied()
+        .filter(|k| k % 2 == 0)
+        .collect();
+    out
+}

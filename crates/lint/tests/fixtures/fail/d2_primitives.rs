@@ -1,0 +1,12 @@
+// D2 must fire on every ad-hoc parallelism/synchronisation primitive.
+use std::sync::atomic::AtomicUsize; // line 2: D2 (AtomicUsize)
+use std::sync::Mutex; // line 3: D2 (Mutex)
+
+pub fn spawn_something() {
+    let _handle = std::thread::spawn(|| 42); // line 6: D2 (std::thread)
+}
+
+pub struct Guarded {
+    inner: Mutex<u64>, // line 10: D2 (Mutex)
+    count: AtomicUsize, // line 11: D2 (AtomicUsize)
+}

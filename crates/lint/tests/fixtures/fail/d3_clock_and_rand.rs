@@ -1,0 +1,12 @@
+// D3 must fire on clock reads and rand paths in library code.
+use std::time::Instant; // line 2: D3 (Instant)
+
+pub fn timed() -> u64 {
+    let t = Instant::now(); // line 5: D3 (Instant)
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn random() -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42); // line 10: D3 (rand::)
+    rng.gen()
+}

@@ -1,0 +1,13 @@
+//! Malformed `panda-lint:` directives — each is an L0 violation.
+#![forbid(unsafe_code)]
+
+// panda-lint: allow(P1)
+pub fn missing_justification(v: &[u64]) -> u64 {
+    v[0]
+}
+
+// panda-lint: allow(XX) -- no such rule code
+pub fn unknown_rule() {}
+
+// panda-lint: allow() -- empty rule list
+pub fn empty_list() {}

@@ -1,0 +1,15 @@
+// P1 must fire on unjustified unwrap/expect/indexing in library code.
+pub fn panics(v: &[u64], m: Option<u64>) -> u64 {
+    let a = m.unwrap(); // line 3: P1 (unwrap)
+    let b = v.first().copied().expect("non-empty"); // line 4: P1 (expect)
+    let c = v[0]; // line 5: P1 (indexing)
+    a + b + c
+}
+
+pub fn multiline_index(rows: &[Vec<u64>]) -> u64 {
+    rows.iter()
+        .map(|row| {
+            row[0] // line 11: P1 — mid-statement, span covers 10..13
+        })
+        .sum()
+}

@@ -1,0 +1,5 @@
+//! A crate root without `#![forbid(unsafe_code)]` — S1 must fire.
+
+pub fn fine() -> u64 {
+    42
+}

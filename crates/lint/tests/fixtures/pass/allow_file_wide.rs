@@ -1,0 +1,14 @@
+//! A file-wide allow: the header directive suppresses P1 everywhere in
+//! this file, so the dense indexing below lints clean.
+#![forbid(unsafe_code)]
+
+// panda-lint: allow-file(P1) -- dense kernel fixture: indices are loop
+// bounds over `n`, in range by construction.
+
+pub fn dense(a: &[u64], b: &[u64], n: usize) -> u64 {
+    let mut acc = 0;
+    for i in 0..n {
+        acc += a[i] * b[n - 1 - i];
+    }
+    acc
+}

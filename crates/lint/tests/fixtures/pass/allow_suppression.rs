@@ -1,0 +1,37 @@
+//! Every violation here carries a justified allow directive — the file
+//! must lint clean under every rule.
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+
+pub fn annotated(v: &[u64], m: &HashMap<u64, u64>) -> u64 {
+    // panda-lint: allow(P1) -- `v` is non-empty: checked by the caller's arity guard
+    let first = v[0];
+    let count = m.len() as u64; // no iteration — nothing for D1 here
+    // panda-lint: allow(D1) -- feeds a commutative sum, order cannot show
+    let total: u64 = m.values().copied().collect::<Vec<_>>().iter().sum();
+    first + count + total
+}
+
+pub fn trailing_same_line(v: &[u64]) -> u64 {
+    v[1] // panda-lint: allow(P1) -- length asserted at construction
+}
+
+pub fn multiline_statement(rows: &[Vec<u64>]) -> u64 {
+    // panda-lint: allow(P1) -- every row has arity >= 1 by RowSet invariant
+    rows.iter()
+        .map(|row| {
+            row[0]
+        })
+        .sum()
+}
+
+// panda-lint: allow(D2) -- doc example only; never spawned in library paths
+pub fn sanctioned_primitive_mention(f: fn() -> std::thread::JoinHandle<()>) {
+    let _ = f;
+}
+
+pub fn long_justification(v: &[u64]) -> u64 {
+    // panda-lint: allow(P1) -- a justification thorough enough to need a
+    // second comment line still reaches the statement below its block
+    v[2]
+}

@@ -1,0 +1,17 @@
+//! A well-behaved library file: no rule may fire.
+#![forbid(unsafe_code)]
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc; // Arc is fine: sharing is not scheduling
+
+/// Orderly use of hash maps: lookups, order-insensitive folds, BTree
+/// round-trips.
+pub fn summarise(m: &HashMap<u64, u64>) -> Option<u64> {
+    let as_tree: BTreeMap<u64, u64> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    let shared = Arc::new(as_tree);
+    shared.get(&0).copied()
+}
+
+/// Safe accessors only.
+pub fn safe_access(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or_default() + v.get(1).copied().unwrap_or(0)
+}

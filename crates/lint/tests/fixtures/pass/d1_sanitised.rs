@@ -1,0 +1,40 @@
+// D1 must stay silent: every hash iteration here is sanitised before (or
+// after) it reaches an ordered sink, or never reaches one at all.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn sorted_after_collect(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut v: Vec<u64> = m.keys().copied().collect();
+    v.sort_unstable(); // deferred sort of the collect target
+    v
+}
+
+pub fn collect_into_btree(m: &HashMap<u64, u64>) -> BTreeMap<u64, u64> {
+    // The let-ascription names an order-insensitive container.
+    let tree: BTreeMap<u64, u64> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    tree
+}
+
+pub fn collect_via_turbofish(m: &HashMap<u64, u64>) -> Vec<u64> {
+    // BTreeSet collect re-establishes a canonical order before the Vec.
+    m.keys().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect()
+}
+
+pub fn loop_push_then_sort(s: &HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for k in s {
+        out.push(*k);
+    }
+    out.sort_unstable(); // sort after the loop, same function
+    out
+}
+
+pub fn order_insensitive_consumers(m: &HashMap<u64, u64>) -> (usize, u64) {
+    let n = m.keys().count();
+    let max = m.values().copied().max().unwrap_or(0);
+    (n, max)
+}
+
+pub fn rebuild_hash(m: &HashMap<u64, u64>) -> HashMap<u64, u64> {
+    let doubled: HashMap<u64, u64> = m.iter().map(|(k, v)| (*k, v * 2)).collect();
+    doubled
+}

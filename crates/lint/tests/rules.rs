@@ -1,0 +1,248 @@
+//! Fixture corpus: every rule fires on its `fail/` fixtures and stays
+//! silent on the `pass/` corpus; allow directives suppress; multi-line
+//! statement spans anchor correctly.
+//!
+//! Fixtures are analysed under synthetic workspace paths so the fixture
+//! directory itself (excluded from real walks) never matters:
+//! `crates/demo/src/lib.rs` for crate-root rules, `…/src/util.rs` for the
+//! rest.
+
+#![forbid(unsafe_code)]
+
+use panda_lint::{analyze_str, Rule};
+use std::path::Path;
+
+/// Reads a fixture file from `tests/fixtures/`.
+fn fixture(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Lines (1-based) on which `rule` fired for the given fixture analysed
+/// under `as_path`.
+fn lines_for(rule: Rule, as_path: &str, rel: &str) -> Vec<usize> {
+    analyze_str(as_path, &fixture(rel))
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- D1 ----
+
+#[test]
+fn d1_fires_on_iter_collect() {
+    let lines = lines_for(Rule::D1, "crates/demo/src/util.rs", "fail/d1_iter_collect.rs");
+    assert_eq!(lines, vec![5, 9, 15], "keys().collect, iter().collect::<Vec>, extend");
+}
+
+#[test]
+fn d1_fires_on_for_loop_push() {
+    let lines = lines_for(Rule::D1, "crates/demo/src/util.rs", "fail/d1_for_push.rs");
+    assert_eq!(lines, vec![7, 16], "one hit per unsorted loop");
+}
+
+#[test]
+fn d1_multiline_statement_has_full_span() {
+    let diags = analyze_str("crates/demo/src/util.rs", &fixture("fail/d1_multiline.rs"));
+    let d1: Vec<_> = diags.iter().filter(|d| d.rule == Rule::D1).collect();
+    assert_eq!(d1.len(), 1, "exactly one finding for the chained statement");
+    let d = d1[0];
+    assert_eq!(d.line, 6, "anchored at the iterated name");
+    assert!(d.span_start <= 6 && d.span_end >= 10, "span covers the whole chain: {d:?}");
+}
+
+#[test]
+fn d1_silent_on_sanitised_corpus() {
+    assert_eq!(lines_for(Rule::D1, "crates/demo/src/util.rs", "pass/d1_sanitised.rs"), vec![]);
+}
+
+// ---------------------------------------------------------------- D2 ----
+
+#[test]
+fn d2_fires_on_each_primitive() {
+    let lines = lines_for(Rule::D2, "crates/demo/src/util.rs", "fail/d2_primitives.rs");
+    assert_eq!(lines, vec![2, 3, 6, 10, 11], "atomic, mutex, spawn, and both fields");
+}
+
+#[test]
+fn d2_exempts_the_config_module() {
+    // The same source analysed under the sanctioned path is clean.
+    let src = fixture("fail/d2_primitives.rs");
+    let diags = analyze_str("crates/panda-core/src/config.rs", &src);
+    assert!(diags.iter().all(|d| d.rule != Rule::D2), "config.rs is D2-exempt by policy");
+}
+
+// ---------------------------------------------------------------- D3 ----
+
+#[test]
+fn d3_fires_on_clock_and_rand() {
+    let lines = lines_for(Rule::D3, "crates/demo/src/util.rs", "fail/d3_clock_and_rand.rs");
+    assert_eq!(lines, vec![2, 5, 10], "use Instant, Instant::now, rand::");
+}
+
+#[test]
+fn d3_exempts_bench_tests_and_examples() {
+    let src = fixture("fail/d3_clock_and_rand.rs");
+    for path in [
+        "crates/bench/src/lib.rs",
+        "crates/demo/tests/t.rs",
+        "examples/quickstart.rs",
+        "crates/demo/benches/b.rs",
+    ] {
+        let diags = analyze_str(path, &src);
+        assert!(
+            diags.iter().all(|d| d.rule != Rule::D3),
+            "{path} must be D3-exempt, got {diags:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- P1 ----
+
+#[test]
+fn p1_fires_on_unwrap_expect_indexing() {
+    let lines = lines_for(Rule::P1, "crates/demo/src/util.rs", "fail/p1_panics.rs");
+    assert_eq!(lines, vec![3, 4, 5, 12], "unwrap, expect, index, multi-line index");
+}
+
+#[test]
+fn p1_multiline_span_covers_the_chain() {
+    let diags = analyze_str("crates/demo/src/util.rs", &fixture("fail/p1_panics.rs"));
+    let mid = diags.iter().find(|d| d.rule == Rule::P1 && d.line == 12).expect("mid-chain hit");
+    assert!(mid.span_start <= 10 && mid.span_end >= 14, "span is the whole statement: {mid:?}");
+}
+
+#[test]
+fn p1_exempt_in_non_library_crates() {
+    let src = fixture("fail/p1_panics.rs");
+    for path in ["crates/bench/src/lib.rs", "crates/workloads/src/util.rs"] {
+        let diags = analyze_str(path, &src);
+        assert!(diags.iter().all(|d| d.rule != Rule::P1), "{path} is not a library crate");
+    }
+}
+
+// ---------------------------------------------------------------- S1 ----
+
+#[test]
+fn s1_fires_on_missing_forbid() {
+    let lines = lines_for(Rule::S1, "crates/demo/src/lib.rs", "fail/s1_missing_forbid.rs");
+    assert_eq!(lines.len(), 1, "crate root without forbid(unsafe_code)");
+}
+
+#[test]
+fn s1_only_checks_crate_roots() {
+    let src = fixture("fail/s1_missing_forbid.rs");
+    let diags = analyze_str("crates/demo/src/util.rs", &src);
+    assert!(diags.iter().all(|d| d.rule != Rule::S1));
+}
+
+#[test]
+fn s1_satisfied_by_the_attribute() {
+    let diags = analyze_str("crates/demo/src/lib.rs", &fixture("pass/clean_library.rs"));
+    assert!(diags.iter().all(|d| d.rule != Rule::S1));
+}
+
+// ---------------------------------------------------------------- L0 ----
+
+#[test]
+fn l0_fires_on_malformed_directives() {
+    let lines = lines_for(Rule::L0, "crates/demo/src/lib.rs", "fail/l0_bad_directives.rs");
+    assert_eq!(lines, vec![4, 9, 12], "missing justification, unknown rule, empty list");
+}
+
+// ------------------------------------------------------ suppression ----
+
+#[test]
+fn allow_directives_suppress_line_trailing_and_multiline() {
+    let diags = analyze_str("crates/demo/src/util.rs", &fixture("pass/allow_suppression.rs"));
+    assert!(diags.is_empty(), "all violations are justified: {diags:?}");
+}
+
+#[test]
+fn allow_file_suppresses_the_whole_file() {
+    let diags = analyze_str("crates/demo/src/util.rs", &fixture("pass/allow_file_wide.rs"));
+    assert!(diags.is_empty(), "file-wide allow covers the dense kernel: {diags:?}");
+}
+
+#[test]
+fn allow_without_directive_still_fires() {
+    // Sanity: the pass corpus minus its directives is NOT clean — strip
+    // them and the violations resurface.
+    let stripped: String = fixture("pass/allow_suppression.rs")
+        .lines()
+        .filter(|l| !l.contains("panda-lint:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let diags = analyze_str("crates/demo/src/util.rs", &stripped);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::P1) && diags.iter().any(|d| d.rule == Rule::D1),
+        "directives were load-bearing: {diags:?}"
+    );
+}
+
+// ----------------------------------------------------------- corpus ----
+
+#[test]
+fn every_fail_fixture_fires_and_every_pass_fixture_is_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for (sub, want_clean) in [("pass", true), ("fail", false)] {
+        let mut entries: Vec<_> = std::fs::read_dir(dir.join(sub))
+            .expect("fixture dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        assert!(!entries.is_empty(), "fixture corpus must not be empty");
+        for path in entries {
+            let src = std::fs::read_to_string(&path).expect("fixture readable");
+            let as_path =
+                if path.file_name().is_some_and(|n| n.to_string_lossy().starts_with("s1_")) {
+                    "crates/demo/src/lib.rs"
+                } else {
+                    "crates/demo/src/util.rs"
+                };
+            let diags = analyze_str(as_path, &src);
+            if want_clean {
+                assert!(diags.is_empty(), "{} must lint clean, got {diags:?}", path.display());
+            } else {
+                assert!(!diags.is_empty(), "{} must produce findings", path.display());
+            }
+        }
+    }
+}
+
+#[test]
+fn rule_catalogue_is_stable() {
+    // The rule set is part of the tool's contract with docs/LINTS.md.
+    let codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
+    assert_eq!(codes, ["D1", "D2", "D3", "P1", "S1", "L0"]);
+    assert!(Rule::P1.advisory_by_default());
+    assert!(!Rule::D1.advisory_by_default());
+}
+
+#[test]
+fn fail_fixtures_cover_every_rule() {
+    // Acceptance criterion: each rule has at least one failing fixture.
+    let mut covered = Vec::new();
+    for rel in [
+        "fail/d1_iter_collect.rs",
+        "fail/d2_primitives.rs",
+        "fail/d3_clock_and_rand.rs",
+        "fail/p1_panics.rs",
+        "fail/s1_missing_forbid.rs",
+        "fail/l0_bad_directives.rs",
+    ] {
+        let as_path =
+            if rel.contains("s1_") { "crates/demo/src/lib.rs" } else { "crates/demo/src/util.rs" };
+        covered.extend(rules_fired_at(as_path, rel));
+    }
+    for rule in Rule::ALL {
+        assert!(covered.contains(&rule), "no failing fixture covers {rule}");
+    }
+}
+
+/// Like [`rules_fired`] but with an explicit path.
+fn rules_fired_at(as_path: &str, rel: &str) -> Vec<Rule> {
+    analyze_str(as_path, &fixture(rel)).into_iter().map(|d| d.rule).collect()
+}

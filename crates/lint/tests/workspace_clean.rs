@@ -1,0 +1,18 @@
+//! The acceptance gate: linting the workspace that contains the linter
+//! must produce **zero** findings — errors *and* advisories — so the
+//! `--deny-all` CI job is guaranteed to pass at HEAD.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = panda_lint::analyze_workspace(&root).expect("workspace walk succeeds");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "expected a clean workspace, found {} finding(s):\n{}",
+        diags.len(),
+        rendered.join("\n")
+    );
+}

@@ -146,6 +146,7 @@ impl LinearProgram {
     /// Sets a single objective coefficient.
     pub fn set_objective_coeff(&mut self, var: usize, coeff: Rat) -> &mut Self {
         assert!(var < self.num_vars, "variable {var} out of range");
+        // panda-lint: allow(P1) -- in range by the assert directly above.
         self.objective[var] = coeff;
         self
     }

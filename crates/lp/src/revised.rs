@@ -30,6 +30,11 @@
 //! elimination, which bounds the FTRAN/BTRAN cost and keeps the rational
 //! entries at tableau-entry magnitudes (quotients of basis subdeterminants).
 
+// panda-lint: allow-file(P1) -- revised-simplex kernel: basis, eta and
+// column indices are invariants of the pivoting automaton (every index
+// is minted by the same iteration that sized its vector), and the
+// overflow-guard expects are the crate's loud-abort policy.
+
 use panda_rational::Rat;
 
 use crate::problem::{Basis, LinearProgram};

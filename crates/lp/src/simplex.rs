@@ -1,5 +1,9 @@
 //! The two-phase dense-tableau simplex method over exact rationals.
 
+// panda-lint: allow-file(P1) -- dense tableau kernel: every row/column
+// index is bounded by the tableau dimensions fixed at construction;
+// Option-threading each access would bury the pivoting arithmetic.
+
 use panda_rational::Rat;
 
 use crate::problem::{ConstraintOp, LinearProgram};

@@ -126,15 +126,16 @@ impl Solution {
         let mut column_totals = vec![Rat::ZERO; lp.num_vars()];
         for (d, c) in self.duals.iter().zip(lp.constraints()) {
             for (j, coeff) in &c.coeffs {
+                // panda-lint: allow(P1) -- constraint coefficients are
+                // validated against `num_vars` at LP construction, and
+                // `column_totals` has exactly `num_vars` entries.
                 column_totals[*j] += *d * *coeff;
             }
         }
-        for (j, total) in column_totals.iter().enumerate() {
-            if *total < lp.objective()[j] {
-                violations.push(format!(
-                    "dual feasibility violated on variable {j}: {total} < {}",
-                    lp.objective()[j]
-                ));
+        for (j, (total, obj)) in column_totals.iter().zip(lp.objective()).enumerate() {
+            if *total < *obj {
+                violations
+                    .push(format!("dual feasibility violated on variable {j}: {total} < {obj}"));
             }
         }
         violations

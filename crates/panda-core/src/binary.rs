@@ -70,9 +70,13 @@ impl BinaryJoinPlan {
         let mut acc = remaining.remove(0);
         while !remaining.is_empty() {
             // Prefer a connected relation; among those, the smallest.
+            // panda-lint: allow(P1) -- `i` ranges over `0..remaining.len()`
+            // with no mutation until the loop below picks one element.
             let connected: Vec<usize> = (0..remaining.len())
                 .filter(|&i| !remaining[i].var_set().intersect(acc.var_set()).is_empty())
                 .collect();
+            // panda-lint: allow(P1) -- `connected` holds indices into the
+            // still-untouched `remaining` vector.
             let pick = connected.into_iter().min_by_key(|&i| remaining[i].len()).unwrap_or(0);
             let next = remaining.remove(pick);
             acc = acc.natural_join_with_engine(&next, engine);

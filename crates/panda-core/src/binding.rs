@@ -82,6 +82,9 @@ impl VarRelation {
             rel
         } else {
             operators::select_where(&rel, |row| {
+                // panda-lint: allow(P1) -- `a`, `b` are first-occurrence
+                // columns of the atom, and the arity assert above pins
+                // every row to exactly `atom.arity()` values.
                 equality_pairs.iter().all(|&(a, b)| row[a] == row[b])
             })
         };
@@ -125,13 +128,25 @@ impl VarRelation {
 
     /// Projects onto the given variables (which must all be bound),
     /// deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is not in the schema — use
+    /// [`VarRelation::try_project_onto`] for the non-panicking form.
     #[must_use]
     pub fn project_onto(&self, vars: &[Var]) -> VarRelation {
-        let cols: Vec<usize> = vars
-            .iter()
-            .map(|v| self.column_of(*v).expect("projection variable not in schema"))
-            .collect();
-        VarRelation::new(vars.to_vec(), operators::project(&self.rel, &cols))
+        // panda-lint: allow(P1) -- the panic is this method's documented
+        // contract; the graceful path is `try_project_onto`.
+        self.try_project_onto(vars).expect("projection variable not in schema")
+    }
+
+    /// Projects onto the given variables, deduplicating; `None` when a
+    /// variable is not bound by the schema.
+    #[must_use]
+    pub fn try_project_onto(&self, vars: &[Var]) -> Option<VarRelation> {
+        let cols: Vec<usize> =
+            vars.iter().map(|v| self.column_of(*v)).collect::<Option<Vec<usize>>>()?;
+        Some(VarRelation::new(vars.to_vec(), operators::project(&self.rel, &cols)))
     }
 
     /// Projects onto the intersection of the schema with `keep` (in schema
@@ -248,6 +263,16 @@ mod tests {
         let joined = bound[0].natural_join(&bound[1]);
         assert_eq!(joined.vars, vec![Var(0), Var(1), Var(2)]);
         assert_eq!(joined.rel.canonical_rows(), vec![vec![1, 2, 10], vec![2, 3, 10]]);
+    }
+
+    #[test]
+    fn try_project_onto_rejects_unknown_variables() {
+        let q = parse_query("Q(X,Y,Z) :- R(X,Y), S(Y,Z)").unwrap();
+        let db = db_edges();
+        let bound = VarRelation::bind_all(&q, &db);
+        assert!(bound[0].try_project_onto(&[Var(0)]).is_some());
+        // Var(2) = Z is not in R(X,Y)'s schema.
+        assert!(bound[0].try_project_onto(&[Var(0), Var(2)]).is_none());
     }
 
     #[test]

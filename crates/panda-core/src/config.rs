@@ -28,7 +28,7 @@ impl Parallelism {
     /// A fixed thread count; `n` is clamped up to at least 1.
     #[must_use]
     pub fn threads(n: usize) -> Self {
-        Parallelism(NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero"))
+        Parallelism(NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN))
     }
 
     /// The machine's available parallelism (at least 1).
@@ -113,6 +113,9 @@ impl Engine {
     {
         match self {
             Engine::Sequential => op(),
+            // panda-lint: allow(P1) -- the vendored pool builder has no
+            // fallible path (no spawn handler, threads >= 1): build cannot
+            // return Err.
             Engine::Parallel(p) => rayon::ThreadPoolBuilder::new()
                 .num_threads(p.get())
                 .build()

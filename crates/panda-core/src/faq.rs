@@ -13,6 +13,10 @@
 //! precisely that non-idempotent semirings cannot simply reuse PANDA's
 //! overlapping partitions.
 
+// panda-lint: allow-file(P1) -- message slots are indexed by the TD's
+// node ids and the take()/expect pairs pin the one-visit-per-node
+// bottom-up order.
+
 use std::collections::HashMap;
 
 use panda_query::hypergraph::join_tree_of;

@@ -34,6 +34,7 @@
 
 // Every public item in this crate must be documented; broken or missing
 // docs fail CI via the `cargo doc` job (RUSTDOCFLAGS="-D warnings").
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binary;
@@ -51,6 +52,6 @@ pub use binding::VarRelation;
 pub use config::{Engine, Parallelism};
 pub use ddr_eval::{DdrEvaluator, DdrModel};
 pub use generic_join::GenericJoin;
-pub use panda::{EvaluationStrategy, Panda, PlanReport};
+pub use panda::{EvaluationStrategy, Panda, PlanReport, StrategyError};
 pub use plans::{PandaEvaluator, StaticTdPlan};
 pub use yannakakis::yannakakis_free_connex;

@@ -56,6 +56,26 @@ pub struct PlanReport {
     pub partitions: Vec<PartitionSpec>,
 }
 
+/// Why [`Panda::try_evaluate_with`] could not run the requested strategy:
+/// the strategy does not apply to the query's structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyError {
+    /// [`EvaluationStrategy::Yannakakis`] was requested for a cyclic query.
+    CyclicYannakakis,
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::CyclicYannakakis => {
+                write!(f, "Yannakakis requires an acyclic query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
 /// The end-to-end query evaluator.
 #[derive(Debug, Clone)]
 pub struct Panda {
@@ -158,13 +178,27 @@ impl Panda {
     ///
     /// # Panics
     ///
-    /// Panics if `Yannakakis` is requested for a cyclic query.
+    /// Panics if `Yannakakis` is requested for a cyclic query — use
+    /// [`Panda::try_evaluate_with`] for the non-panicking form.
     #[must_use]
     pub fn evaluate_with(&self, db: &Database, strategy: EvaluationStrategy) -> VarRelation {
+        // panda-lint: allow(P1) -- the panic is this method's documented
+        // contract; the graceful path is `try_evaluate_with`.
+        self.try_evaluate_with(db, strategy).expect("Yannakakis requires an acyclic query")
+    }
+
+    /// Evaluates the query with an explicit strategy, reporting a
+    /// structural mismatch (a cyclic query under `Yannakakis`) as an error
+    /// instead of panicking.
+    pub fn try_evaluate_with(
+        &self,
+        db: &Database,
+        strategy: EvaluationStrategy,
+    ) -> Result<VarRelation, StrategyError> {
         match strategy {
             EvaluationStrategy::Auto => {
                 if self.is_free_connex_acyclic() {
-                    return self.evaluate_with(db, EvaluationStrategy::Yannakakis);
+                    return self.try_evaluate_with(db, EvaluationStrategy::Yannakakis);
                 }
                 let stats = self.stats_for(db);
                 match (
@@ -172,34 +206,34 @@ impl Panda {
                     panda_entropy::fhtw(&self.query, &stats),
                 ) {
                     (Ok(s), Ok(f)) if s.value < f.value => {
-                        self.evaluate_with(db, EvaluationStrategy::Adaptive)
+                        self.try_evaluate_with(db, EvaluationStrategy::Adaptive)
                     }
-                    (Ok(_), Ok(_)) => self.evaluate_with(db, EvaluationStrategy::StaticTd),
-                    _ => self.evaluate_with(db, EvaluationStrategy::GenericJoin),
+                    (Ok(_), Ok(_)) => self.try_evaluate_with(db, EvaluationStrategy::StaticTd),
+                    _ => self.try_evaluate_with(db, EvaluationStrategy::GenericJoin),
                 }
             }
             EvaluationStrategy::Yannakakis => {
-                yannakakis_query(&self.query, db).expect("Yannakakis requires an acyclic query")
+                yannakakis_query(&self.query, db).ok_or(StrategyError::CyclicYannakakis)
             }
             EvaluationStrategy::StaticTd => {
                 let stats = self.stats_for(db);
                 let plan = StaticTdPlan::best_for(&self.query, &stats).unwrap_or_else(|_| {
                     StaticTdPlan::new(TreeDecomposition::new(vec![self.query.all_vars()]))
                 });
-                plan.evaluate_with_engine(&self.query, db, self.engine)
+                Ok(plan.evaluate_with_engine(&self.query, db, self.engine))
             }
             EvaluationStrategy::Adaptive => {
                 let stats = self.stats_for(db);
-                match PandaEvaluator::plan(&self.query, &stats) {
+                Ok(match PandaEvaluator::plan(&self.query, &stats) {
                     Ok(evaluator) => evaluator.evaluate_with_engine(&self.query, db, self.engine),
                     Err(_) => GenericJoin::evaluate_with_engine(&self.query, db, self.engine),
-                }
+                })
             }
             EvaluationStrategy::GenericJoin => {
-                GenericJoin::evaluate_with_engine(&self.query, db, self.engine)
+                Ok(GenericJoin::evaluate_with_engine(&self.query, db, self.engine))
             }
             EvaluationStrategy::BinaryJoin => {
-                BinaryJoinPlan::new().evaluate_with_engine(&self.query, db, self.engine)
+                Ok(BinaryJoinPlan::new().evaluate_with_engine(&self.query, db, self.engine))
             }
         }
     }
@@ -320,5 +354,26 @@ mod tests {
         let q = parse_query("Tri() :- R(A,B), S(B,C), T(C,A)").unwrap();
         let db = random_db(5, 10, 6);
         let _ = Panda::new(q).evaluate_with(&db, EvaluationStrategy::Yannakakis);
+    }
+
+    #[test]
+    fn try_evaluate_reports_cyclic_yannakakis_gracefully() {
+        let q = parse_query("Tri() :- R(A,B), S(B,C), T(C,A)").unwrap();
+        let db = random_db(5, 10, 6);
+        let panda = Panda::new(q);
+        let err = panda
+            .try_evaluate_with(&db, EvaluationStrategy::Yannakakis)
+            .expect_err("cyclic query must not run Yannakakis");
+        assert!(matches!(err, StrategyError::CyclicYannakakis));
+        assert!(err.to_string().contains("acyclic"));
+        // Every other strategy still succeeds on the same input, and Auto
+        // routes around the cycle rather than surfacing the error.
+        for strategy in [
+            EvaluationStrategy::Auto,
+            EvaluationStrategy::GenericJoin,
+            EvaluationStrategy::BinaryJoin,
+        ] {
+            assert!(panda.try_evaluate_with(&db, strategy).is_ok(), "strategy {strategy:?}");
+        }
     }
 }

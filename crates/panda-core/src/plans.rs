@@ -13,6 +13,10 @@
 //!   the `O(N^{subw} log N + OUT)` behaviour arises (one `log N` factor per
 //!   partitioned degree).
 
+// panda-lint: allow-file(P1) -- bag and atom positions come from the
+// same tree decomposition the plan was built from; a miss would mean
+// the TD enumeration itself produced an invalid cover.
+
 use std::collections::BTreeSet;
 
 use panda_entropy::StatisticsSet;
@@ -392,7 +396,7 @@ pub fn chain_join_estimate(atoms: &[&Atom], db: &Database) -> f64 {
         db.relation(&atom.relation).map_or(0, Relation::distinct_count).max(1) as f64
     };
     let mut remaining: Vec<&Atom> = atoms.to_vec();
-    remaining.sort_by(|a, b| size_of(a).partial_cmp(&size_of(b)).expect("finite sizes"));
+    remaining.sort_by(|a, b| size_of(a).total_cmp(&size_of(b)));
     let first = remaining.remove(0);
     let mut bound = size_of(first);
     let mut covered = first.var_set();
@@ -444,7 +448,7 @@ pub fn chain_join_estimate(atoms: &[&Atom], db: &Database) -> f64 {
             None => {
                 // Disconnected component: multiply by the smallest remaining
                 // relation and continue from there.
-                remaining.sort_by(|a, b| size_of(a).partial_cmp(&size_of(b)).expect("finite"));
+                remaining.sort_by(|a, b| size_of(a).total_cmp(&size_of(b)));
                 let atom = remaining.remove(0);
                 bound *= size_of(atom);
                 covered = covered.union(atom.var_set());

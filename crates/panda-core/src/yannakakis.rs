@@ -15,6 +15,10 @@
 //! branches or bench iterations) rebuild no leaf indexes, and semijoins
 //! that filter nothing return O(1) clones.
 
+// panda-lint: allow-file(P1) -- semijoin passes index per-node slots by
+// the tree decomposition's own node ids, and the take()/expect pairs
+// encode the bottom-up visit order (children strictly before parents).
+
 use panda_query::hypergraph::join_tree_of;
 use panda_query::{Var, VarSet};
 use panda_relation::Relation;

@@ -20,6 +20,7 @@
 //! * [`reset`] — the Reset Lemma of Section 7.2: dropping an unconditional
 //!   source term from a valid inequality loses at most one target term.
 
+#![forbid(unsafe_code)]
 pub mod identity;
 pub mod reset;
 pub mod sequence;

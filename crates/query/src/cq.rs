@@ -150,6 +150,9 @@ impl ConjunctiveQuery {
     /// The name of one variable.
     #[must_use]
     pub fn var_name(&self, v: Var) -> &str {
+        // panda-lint: allow(P1) -- `Var`s are minted by this query's
+        // interner, so the index is in range for any var the caller can
+        // legitimately hold.
         &self.var_names[v.index()]
     }
 
@@ -197,6 +200,8 @@ impl ConjunctiveQuery {
     #[must_use]
     pub fn has_self_join(&self) -> bool {
         for (i, a) in self.atoms.iter().enumerate() {
+            // panda-lint: allow(P1) -- `i` comes from enumerate over the
+            // same vector, so `i + 1` is at most its length.
             for b in &self.atoms[i + 1..] {
                 if a.relation == b.relation {
                     return true;

@@ -1,5 +1,9 @@
 //! Query hypergraphs, GYO reduction, acyclicity and join trees.
 
+// panda-lint: allow-file(P1) -- vertex and edge ids are minted by this
+// module's own builders, so adjacency lookups are in range by
+// construction.
+
 use crate::var::{Var, VarSet};
 
 /// The hypergraph of a query: one hyperedge per atom (Section 3.4).

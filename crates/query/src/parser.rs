@@ -47,11 +47,15 @@ fn parse_application(text: &str, allow_empty: bool) -> Result<(String, Vec<Strin
     if !text.ends_with(')') {
         return err(format!("expected `)` at the end of `{text}`"));
     }
-    let name = text[..open].trim();
+    let Some(name) = text.get(..open).map(str::trim) else {
+        return err(format!("malformed atom `{text}`"));
+    };
     if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
         return err(format!("invalid predicate name in `{text}`"));
     }
-    let inner = text[open + 1..text.len() - 1].trim();
+    let Some(inner) = text.get(open + 1..text.len() - 1).map(str::trim) else {
+        return err(format!("malformed atom `{text}`"));
+    };
     if inner.is_empty() {
         if allow_empty {
             return Ok((name.to_string(), Vec::new()));

@@ -13,6 +13,10 @@
 //! contained bags, and pruning dominated decompositions.  For the paper's
 //! 4-cycle query this yields exactly the two decompositions of Figure 1.
 
+// panda-lint: allow-file(P1) -- bag and node indices are produced by
+// this module's own enumeration; a miss would be an enumeration bug,
+// not an input condition.
+
 use crate::cq::ConjunctiveQuery;
 use crate::hypergraph::{is_acyclic, join_tree_of, Hypergraph, JoinTree};
 use crate::var::{Var, VarSet};

@@ -16,6 +16,7 @@
 
 // Every public item in this crate must be documented; broken or missing
 // docs fail CI via the `cargo doc` job (RUSTDOCFLAGS="-D warnings").
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod rat;
@@ -49,6 +50,8 @@ pub fn lcm(a: i128, b: i128) -> i128 {
         return 0;
     }
     let g = gcd(a, b);
+    // panda-lint: allow(P1) -- deliberate loud overflow guard: exact
+    // rational arithmetic must abort on overflow, never wrap silently.
     (a / g).checked_mul(b).expect("lcm overflow").abs()
 }
 

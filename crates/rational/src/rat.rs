@@ -1,5 +1,9 @@
 //! The [`Rat`] type: a reduced `i128 / i128` fraction.
 
+// panda-lint: allow-file(P1) -- the checked_*/expect pairs are the
+// crate's deliberate loud-overflow policy: exact rational arithmetic
+// must abort rather than wrap into a wrong optimum.
+
 use std::cmp::Ordering;
 use std::fmt;
 use std::iter::Sum;

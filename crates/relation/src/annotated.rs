@@ -7,6 +7,9 @@
 //! aggregation (projection with `⊕`), and semijoin filtering — are exactly
 //! what a tree-decomposition-based FAQ plan needs.
 
+// panda-lint: allow-file(P1) -- the annotation column is pinned by the
+// schema wrapper; value rows carry exactly `arity` entries.
+
 use std::collections::HashMap;
 
 use crate::relation::{Relation, Tuple, Value};

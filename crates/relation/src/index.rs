@@ -10,8 +10,16 @@
 //! the engine is a lookup, not a build.  Mutating a relation detaches it
 //! from the shared cache (see `Relation::invalidate_derived`).
 
+// panda-lint: allow-file(P1) -- key columns are canonicalised and
+// bounds-checked against the arity before an index is ever built.
+
 use std::collections::HashMap;
+// panda-lint: allow(D2) -- the index cache is the one sanctioned use of
+// interior mutability outside the pool: it memoises *deterministic* derived
+// structures, so which thread populates an entry can never change a result.
 use std::sync::atomic::{AtomicBool, Ordering};
+// panda-lint: allow(D2) -- same cache: Mutex guards lookup tables whose
+// contents are a pure function of the relation, never of timing.
 use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::relation::{Relation, Tuple, Value};
@@ -197,6 +205,9 @@ type DegreeKey = (Vec<usize>, Vec<usize>);
 /// path skip allocating a replacement cache when nothing was ever cached.
 #[derive(Debug, Default)]
 pub(crate) struct IndexCache {
+    // panda-lint: allow(D2) -- memoisation only: every cached value is a
+    // pure function of the relation's rows, so population order (and the
+    // winner of a racing duplicate build) cannot influence any result.
     populated: AtomicBool,
     indexes: Mutex<HashMap<Vec<usize>, Arc<HashIndex>>>,
     values: Mutex<HashMap<ValueKey, Arc<ValueIndex>>>,

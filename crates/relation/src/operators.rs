@@ -14,6 +14,10 @@
 //! sort order ([`Relation::sort_order`]), [`join`] switches to a
 //! sort-merge path that needs no hash table at all.
 
+// panda-lint: allow-file(P1) -- column indices are validated against
+// both arities in join/semijoin setup before any row is touched, and
+// the pool-build expect has no fallible path in the vendored subset.
+
 use std::cmp::Ordering;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -399,6 +403,11 @@ pub fn par_join(
         use rayon::prelude::*;
         shards.par_iter().map(run_shard).collect()
     });
+    // The deterministic pool's indexed collect must hand back exactly one
+    // piece per probe shard, in shard order, all with the output arity —
+    // the precondition for the order-preserving merge below.
+    debug_assert_eq!(pieces.len(), shards.len());
+    debug_assert!(pieces.iter().all(|p| p.arity() == setup.out_arity));
     let merged = Relation::concatenated(setup.out_arity, &pieces);
     // Cross-shard duplicates can only come from *duplicate probe rows*
     // landing in different shards: an output row determines the probe row

@@ -1,5 +1,8 @@
 //! The [`Relation`] tuple store.
 
+// panda-lint: allow-file(P1) -- row accesses are bounded by the arity
+// invariant every constructor enforces (len % arity == 0).
+
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
@@ -609,7 +612,7 @@ impl Relation {
         }
         let base = self.view.map_or(0, |(start, _)| start);
         let k = parts.min(len);
-        (0..k)
+        let shards: Vec<Relation> = (0..k)
             .map(|i| {
                 let lo = len * i / k;
                 let hi = len * (i + 1) / k;
@@ -622,7 +625,13 @@ impl Relation {
                     cache: Arc::new(IndexCache::default()),
                 }
             })
-            .collect()
+            .collect();
+        // The shards must tile the parent exactly: re-concatenating them in
+        // order is the identity (the determinism contract of the parallel
+        // operators that fan out over these shards).
+        debug_assert_eq!(shards.iter().map(Relation::len).sum::<usize>(), len);
+        debug_assert!(shards.iter().all(|s| s.arity() == self.arity));
+        shards
     }
 
     /// Concatenates shards (in order) into one relation of the given
@@ -655,7 +664,11 @@ impl Relation {
         for shard in shards {
             data.extend_from_slice(shard.flat());
         }
-        Relation::from_flat(arity, data)
+        let out = Relation::from_flat(arity, data);
+        // Shard-order merge preserves every row: the concatenation is the
+        // identity on the shard sequence, nothing dropped or reordered.
+        debug_assert_eq!(out.len(), shards.iter().map(Relation::len).sum::<usize>());
+        out
     }
 }
 

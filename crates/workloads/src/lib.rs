@@ -8,6 +8,7 @@
 //!   FD-respecting instances for `S_full`, and path/star instances with a
 //!   controllable output size for the Yannakakis experiment.
 
+#![forbid(unsafe_code)]
 pub mod generators;
 pub mod paper;
 

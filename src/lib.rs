@@ -58,6 +58,7 @@
 //! assert_eq!(answer.len(), 2); // (1,p) and (1,q) extend to 4-cycles
 //! ```
 
+#![forbid(unsafe_code)]
 pub use panda_core as core;
 pub use panda_core::config;
 pub use panda_entropy as entropy;

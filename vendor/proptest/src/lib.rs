@@ -270,8 +270,10 @@ macro_rules! prop_assume {
 macro_rules! proptest {
     ($(
         #[test]
+        $(#[$meta:meta])*
         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
     )*) => {$(
+        $(#[$meta])*
         #[test]
         fn $name() {
             let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
@@ -369,20 +371,16 @@ mod tests {
         }
     }
 
-    #[test]
-    #[should_panic(expected = "property macro_failure failed at case")]
-    // The self-test intentionally declares a `#[test]` fn inside another
-    // test to exercise the macro's failure reporting; rustc flags the inner
-    // item as unnameable.  This is one of the workspace's two documented
-    // allowances (see the "Clippy debt" entry in ROADMAP.md).
-    #[allow(unnameable_test_items)]
-    fn macro_reports_failing_inputs() {
-        proptest! {
-            #[test]
-            fn macro_failure(a in 5u32..6) {
-                prop_assert!(a < 5, "a was {}", a);
-            }
+    // Exercises the macro's failure reporting: the generated test must
+    // panic with the failing case's inputs in the message.  The
+    // `#[should_panic]` expectation rides through the macro's attribute
+    // passthrough onto the generated `#[test]` fn, so the test can live
+    // at module level like any other — no nested-test-item allowance.
+    proptest! {
+        #[test]
+        #[should_panic(expected = "property macro_failure failed at case")]
+        fn macro_failure(a in 5u32..6) {
+            prop_assert!(a < 5, "a was {}", a);
         }
-        macro_failure();
     }
 }
