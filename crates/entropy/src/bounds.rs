@@ -20,7 +20,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use panda_lp::{Basis, ConstraintOp, LinearProgram, LpOutcome};
+use panda_lp::{Basis, ConstraintOp, LinearProgram, LpError, LpOutcome, PivotBudget};
 use panda_query::{BagSelector, ConjunctiveQuery, TreeDecomposition, VarSet};
 use panda_rational::Rat;
 
@@ -38,6 +38,11 @@ pub enum BoundError {
     Unbounded,
     /// The underlying LP solver failed (iteration limit); indicates a bug.
     Solver(String),
+    /// The caller-supplied [`PivotBudget`] ran out before the bound (or the
+    /// chain of bounds) was computed.  Unlike [`BoundError::Solver`] this is
+    /// an expected, recoverable outcome: the caller asked for bounded
+    /// planning work and should fall back to a cheaper plan.
+    PivotBudgetExhausted,
 }
 
 impl std::fmt::Display for BoundError {
@@ -48,6 +53,9 @@ impl std::fmt::Display for BoundError {
                 "the statistics do not bound the target (the polymatroid LP is unbounded)"
             ),
             BoundError::Solver(msg) => write!(f, "LP solver failure: {msg}"),
+            BoundError::PivotBudgetExhausted => {
+                write!(f, "the LP pivot budget was exhausted before the bound was computed")
+            }
         }
     }
 }
@@ -303,7 +311,7 @@ impl GammaLp {
 
     /// Solves the LP and converts the dual into a verified [`ShannonFlow`].
     fn solve(&self, stats: &StatisticsSet, targets: &[VarSet]) -> Result<BoundReport, BoundError> {
-        self.solve_warm(stats, targets, None).map(|(report, _)| report)
+        self.solve_warm(stats, targets, None, None).map(|(report, _)| report)
     }
 
     /// Like [`GammaLp::solve`], but optionally warm-starting from the final
@@ -313,14 +321,25 @@ impl GammaLp {
     /// this way and `fhtw` chains per-bag LPs (whose constraints are
     /// *identical* — only the objective moves), skipping phase 1 whenever
     /// the carried basis is still exactly feasible.
+    ///
+    /// When a [`PivotBudget`] is supplied, every simplex pivot is charged
+    /// to it and the solve aborts with
+    /// [`BoundError::PivotBudgetExhausted`] once it runs out.
     fn solve_warm(
         &self,
         stats: &StatisticsSet,
         targets: &[VarSet],
         hint: Option<&Basis>,
+        budget: Option<&mut PivotBudget>,
     ) -> Result<(BoundReport, Option<Basis>), BoundError> {
-        let (outcome, basis) =
-            self.lp.solve_warm(hint).map_err(|e| BoundError::Solver(e.to_string()))?;
+        let solved = match budget {
+            Some(b) => self.lp.solve_warm_budgeted(hint, b),
+            None => self.lp.solve_warm(hint),
+        };
+        let (outcome, basis) = solved.map_err(|e| match e {
+            LpError::PivotBudgetExhausted { .. } => BoundError::PivotBudgetExhausted,
+            other => BoundError::Solver(other.to_string()),
+        })?;
         let solution =
             match outcome {
                 LpOutcome::Optimal(s) => s,
@@ -456,6 +475,20 @@ pub fn polymatroid_bound(
     lp.solve(stats, &[target])
 }
 
+/// [`polymatroid_bound`] with every simplex pivot charged to a shared
+/// [`PivotBudget`]; aborts with [`BoundError::PivotBudgetExhausted`] once
+/// the budget runs out.  A solve that completes within budget returns
+/// bit-for-bit the same report as the unbudgeted one.
+pub fn polymatroid_bound_budgeted(
+    target: VarSet,
+    universe: VarSet,
+    stats: &StatisticsSet,
+    budget: &mut PivotBudget,
+) -> Result<BoundReport, BoundError> {
+    let lp = GammaLp::build(universe, stats, &[target]);
+    lp.solve_warm(stats, &[target], None, Some(budget)).map(|(report, _)| report)
+}
+
 /// The polymatroid bound of a disjunctive datalog rule (Theorem 5.1):
 /// `max { min_B h(B) : h ⊨ S, Γ_n }`.
 ///
@@ -483,6 +516,19 @@ pub fn ddr_polymatroid_bound(
 ) -> Result<BoundReport, BoundError> {
     let lp = GammaLp::build(universe, stats, targets);
     lp.solve(stats, targets)
+}
+
+/// [`ddr_polymatroid_bound`] with every simplex pivot charged to a shared
+/// [`PivotBudget`]; aborts with [`BoundError::PivotBudgetExhausted`] once
+/// the budget runs out.
+pub fn ddr_polymatroid_bound_budgeted(
+    targets: &[VarSet],
+    universe: VarSet,
+    stats: &StatisticsSet,
+    budget: &mut PivotBudget,
+) -> Result<BoundReport, BoundError> {
+    let lp = GammaLp::build(universe, stats, targets);
+    lp.solve_warm(stats, targets, None, Some(budget)).map(|(report, _)| report)
 }
 
 /// The AGM bound of a query under per-relation cardinalities: the
@@ -569,6 +615,32 @@ pub fn fhtw_with_tds(
     tds: &[TreeDecomposition],
     stats: &StatisticsSet,
 ) -> Result<FhtwReport, BoundError> {
+    fhtw_chain(query, tds, stats, None)
+}
+
+/// [`fhtw_with_tds`] with every simplex pivot of the per-bag LP chain
+/// charged to a shared [`PivotBudget`]; aborts with
+/// [`BoundError::PivotBudgetExhausted`] once the budget runs out.  A chain
+/// that completes within budget returns bit-for-bit the same report as the
+/// unbudgeted sequential chain (the budget counts pivots, it never alters
+/// one).
+pub fn fhtw_with_tds_budgeted(
+    query: &ConjunctiveQuery,
+    tds: &[TreeDecomposition],
+    stats: &StatisticsSet,
+    budget: &mut PivotBudget,
+) -> Result<FhtwReport, BoundError> {
+    fhtw_chain(query, tds, stats, Some(budget))
+}
+
+/// The shared sequential per-bag LP chain behind [`fhtw_with_tds`] and
+/// [`fhtw_with_tds_budgeted`].
+fn fhtw_chain(
+    query: &ConjunctiveQuery,
+    tds: &[TreeDecomposition],
+    stats: &StatisticsSet,
+    mut budget: Option<&mut PivotBudget>,
+) -> Result<FhtwReport, BoundError> {
     assert!(!tds.is_empty(), "fhtw requires at least one tree decomposition");
     let universe = query.all_vars();
     let mut per_td = Vec::with_capacity(tds.len());
@@ -580,7 +652,8 @@ pub fn fhtw_with_tds(
         let mut per_bag = Vec::with_capacity(td.num_bags());
         for &bag in td.bags() {
             let lp = GammaLp::build(universe, stats, &[bag]);
-            let (report, basis) = lp.solve_warm(stats, &[bag], carried.as_ref())?;
+            let (report, basis) =
+                lp.solve_warm(stats, &[bag], carried.as_ref(), budget.as_deref_mut())?;
             // An Ok solve is always Optimal here, and Optimal always
             // carries a basis.
             carried = basis;
@@ -636,7 +709,8 @@ pub fn fhtw_with_tds_parallel(
                     let mut per_bag = Vec::with_capacity(td.num_bags());
                     for &bag in td.bags() {
                         let lp = GammaLp::build(universe, stats, &[bag]);
-                        let (report, basis) = lp.solve_warm(stats, &[bag], carried.as_ref())?;
+                        let (report, basis) =
+                            lp.solve_warm(stats, &[bag], carried.as_ref(), None)?;
                         carried = basis;
                         worst = worst.max(report.log_bound);
                         per_bag.push((bag, report.log_bound));
@@ -673,6 +747,31 @@ pub fn subw_with_tds(
     tds: &[TreeDecomposition],
     stats: &StatisticsSet,
 ) -> Result<SubwReport, BoundError> {
+    subw_chain(query, tds, stats, None)
+}
+
+/// [`subw_with_tds`] with every simplex pivot of the selector LP chain
+/// charged to a shared [`PivotBudget`]; aborts with
+/// [`BoundError::PivotBudgetExhausted`] once the budget runs out.  A chain
+/// that completes within budget returns bit-for-bit the same report as the
+/// unbudgeted sequential chain.
+pub fn subw_with_tds_budgeted(
+    query: &ConjunctiveQuery,
+    tds: &[TreeDecomposition],
+    stats: &StatisticsSet,
+    budget: &mut PivotBudget,
+) -> Result<SubwReport, BoundError> {
+    subw_chain(query, tds, stats, Some(budget))
+}
+
+/// The shared sequential selector LP chain behind [`subw_with_tds`] and
+/// [`subw_with_tds_budgeted`].
+fn subw_chain(
+    query: &ConjunctiveQuery,
+    tds: &[TreeDecomposition],
+    stats: &StatisticsSet,
+    mut budget: Option<&mut PivotBudget>,
+) -> Result<SubwReport, BoundError> {
     assert!(!tds.is_empty(), "subw requires at least one tree decomposition");
     let universe = query.all_vars();
     let selectors = BagSelector::enumerate(tds);
@@ -685,7 +784,8 @@ pub fn subw_with_tds(
     let mut carried: Option<Basis> = None;
     for selector in selectors {
         let lp = GammaLp::build(universe, stats, selector.bags());
-        let (report, basis) = lp.solve_warm(stats, selector.bags(), carried.as_ref())?;
+        let (report, basis) =
+            lp.solve_warm(stats, selector.bags(), carried.as_ref(), budget.as_deref_mut())?;
         // An Ok solve is always Optimal here, and Optimal always carries a
         // basis.
         carried = basis;
@@ -741,7 +841,7 @@ pub fn subw_with_tds_parallel(
                 for selector in *chunk {
                     let lp = GammaLp::build(universe, stats, selector.bags());
                     let (report, basis) =
-                        lp.solve_warm(stats, selector.bags(), carried.as_ref())?;
+                        lp.solve_warm(stats, selector.bags(), carried.as_ref(), None)?;
                     carried = basis;
                     bounds.push(SelectorBound { selector: selector.clone(), report });
                 }

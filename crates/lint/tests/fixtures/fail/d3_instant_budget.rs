@@ -1,0 +1,13 @@
+// A wall-clock "budget" in library code: exactly the nondeterminism the
+// pivot-count budget exists to avoid.  D3 must fire on every clock read
+// even when it is dressed up as a resource budget.
+use std::time::Instant; // line 4: D3 (Instant)
+
+pub fn optimize_with_deadline(millis: u64) -> u64 {
+    let start = Instant::now(); // line 7: D3 (Instant)
+    let mut pivots = 0u64;
+    while start.elapsed().as_millis() < millis as u128 {
+        pivots += 1;
+    }
+    pivots
+}

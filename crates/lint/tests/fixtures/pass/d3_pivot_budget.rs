@@ -1,0 +1,29 @@
+// A deterministic pivot-count budget loop, the shape the LP solver's
+// budgeted entry points use: counting units of work is NOT a clock, and
+// D3 must stay silent on it.
+
+pub struct PivotBudget {
+    limit: u64,
+    used: u64,
+}
+
+impl PivotBudget {
+    pub fn consume(&mut self) -> bool {
+        if self.used >= self.limit {
+            return false;
+        }
+        self.used += 1;
+        true
+    }
+}
+
+pub fn optimize(budget: &mut PivotBudget) -> u64 {
+    let mut pivots = 0u64;
+    while pivots < budget.limit {
+        if !budget.consume() {
+            break;
+        }
+        pivots += 1;
+    }
+    pivots
+}

@@ -83,6 +83,28 @@ fn d3_fires_on_clock_and_rand() {
 }
 
 #[test]
+fn d3_silent_on_pivot_count_budgets() {
+    // The LP solver's budget loops (`while pivots < budget`) count units
+    // of work deterministically — nothing for D3 to flag.  This pins the
+    // shape used by `panda-lp`'s `PivotBudget` so a future D3 extension
+    // cannot accidentally outlaw the budget subsystem.
+    let diags = analyze_str("crates/demo/src/util.rs", &fixture("pass/d3_pivot_budget.rs"));
+    assert!(
+        diags.iter().all(|d| d.rule != Rule::D3),
+        "pivot-count budgets must not trip D3: {diags:?}"
+    );
+}
+
+#[test]
+fn d3_fires_on_wall_clock_budgets_in_library_code() {
+    // The flip side: a budget implemented as an `Instant` deadline is
+    // still a clock read, and library code must not carry it no matter
+    // what it is called.
+    let lines = lines_for(Rule::D3, "crates/demo/src/util.rs", "fail/d3_instant_budget.rs");
+    assert_eq!(lines, vec![4, 7], "use Instant, Instant::now");
+}
+
+#[test]
 fn d3_exempts_bench_tests_and_examples() {
     let src = fixture("fail/d3_clock_and_rand.rs");
     for path in [

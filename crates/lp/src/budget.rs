@@ -1,0 +1,110 @@
+//! Deterministic pivot-count budgets.
+//!
+//! PANDA's planner solves *chains* of polymatroid LPs (one per tree
+//! decomposition, bag or bag selector), and on adversarial queries the
+//! number of selectors — and hence the total simplex work — can blow up.
+//! A budget bounds that work so callers can downgrade to a cheaper plan
+//! instead of stalling.
+//!
+//! The unit is **pivots, never wall-clock time**: the pivot sequence of the
+//! exact-rational simplex is a pure function of the program, so a budget of
+//! `k` pivots aborts at exactly the same point on every machine, at every
+//! thread count, on every run.  (A wall-clock budget would reintroduce the
+//! nondeterminism the workspace's D3 lint exists to keep out of library
+//! code.)
+//!
+//! A single [`PivotBudget`] is threaded by `&mut` through a whole chain of
+//! [`solve_warm_budgeted`](crate::LinearProgram::solve_warm_budgeted)
+//! calls, so the budget bounds the *total* work of the chain, not each
+//! solve separately.
+
+/// A deterministic budget on simplex pivots, shared across a chain of
+/// solves.
+///
+/// Each pivot of a budgeted solve consumes one unit; when the budget runs
+/// out the solve aborts with
+/// [`LpError::PivotBudgetExhausted`](crate::LpError::PivotBudgetExhausted)
+/// instead of continuing to optimality.  [`PivotBudget::used`] reports how
+/// many pivots the chain has consumed so far, which callers surface for
+/// observability.
+///
+/// ```
+/// use panda_lp::PivotBudget;
+///
+/// let budget = PivotBudget::new(1_000);
+/// assert_eq!(budget.limit(), 1_000);
+/// assert_eq!(budget.used(), 0);
+/// assert_eq!(budget.remaining(), 1_000);
+/// assert!(!budget.is_exhausted());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PivotBudget {
+    limit: u64,
+    used: u64,
+}
+
+impl PivotBudget {
+    /// Creates a budget allowing `limit` pivots in total.
+    #[must_use]
+    pub fn new(limit: u64) -> Self {
+        PivotBudget { limit, used: 0 }
+    }
+
+    /// The total number of pivots this budget allows.
+    #[must_use]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Pivots consumed so far across every solve this budget was passed to.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Pivots still available.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.used)
+    }
+
+    /// `true` once every pivot has been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.used >= self.limit
+    }
+
+    /// Consumes one pivot; returns `false` (consuming nothing) when the
+    /// budget is already exhausted.
+    pub(crate) fn consume(&mut self) -> bool {
+        if self.used >= self.limit {
+            return false;
+        }
+        self.used += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_down_and_refuses_past_the_limit() {
+        let mut b = PivotBudget::new(2);
+        assert!(b.consume());
+        assert!(b.consume());
+        assert!(!b.consume());
+        assert!(b.is_exhausted());
+        assert_eq!(b.used(), 2);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_budget_is_exhausted_immediately() {
+        let mut b = PivotBudget::new(0);
+        assert!(b.is_exhausted());
+        assert!(!b.consume());
+        assert_eq!(b.used(), 0);
+    }
+}

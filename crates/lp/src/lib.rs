@@ -64,11 +64,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod problem;
 mod revised;
 mod simplex;
 mod solution;
 
+pub use budget::PivotBudget;
 pub use problem::{Basis, Constraint, ConstraintOp, LinearProgram, SimplexEngine};
 pub use solution::{LpOutcome, Solution};
 
@@ -86,6 +88,7 @@ const _: () = {
     assert_send_sync::<Solution>();
     assert_send_sync::<LpOutcome>();
     assert_send_sync::<LpError>();
+    assert_send_sync::<PivotBudget>();
 };
 
 /// Errors reported by the solver.
@@ -108,6 +111,14 @@ pub enum LpError {
     /// The simplex iteration limit was exceeded (should not happen with
     /// Bland's rule; indicates a bug or a pathological input).
     IterationLimit(usize),
+    /// A caller-supplied [`PivotBudget`] ran out before the solve reached
+    /// optimality.  Unlike [`LpError::IterationLimit`] this is an expected,
+    /// recoverable outcome: the caller asked for bounded work and should
+    /// fall back to a cheaper plan.
+    PivotBudgetExhausted {
+        /// The budget's total pivot allowance.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for LpError {
@@ -122,6 +133,9 @@ impl std::fmt::Display for LpError {
             }
             LpError::IterationLimit(limit) => {
                 write!(f, "simplex exceeded the iteration limit of {limit}")
+            }
+            LpError::PivotBudgetExhausted { limit } => {
+                write!(f, "pivot budget of {limit} exhausted before reaching optimality")
             }
         }
     }

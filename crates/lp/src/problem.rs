@@ -260,6 +260,24 @@ impl LinearProgram {
         RevisedSimplex::new(self).run_warm(hint)
     }
 
+    /// Like [`LinearProgram::solve_warm`], but charging every pivot to a
+    /// caller-supplied [`crate::PivotBudget`] shared across a chain of
+    /// solves.  Aborts with
+    /// [`LpError::PivotBudgetExhausted`](crate::LpError::PivotBudgetExhausted)
+    /// once the budget runs out; a solve that completes within budget is
+    /// bit-for-bit identical to its unbudgeted counterpart (the budget only
+    /// counts, it never alters a pivot decision).  Only the revised engine
+    /// is budgeted — the dense tableau is the auditable reference and stays
+    /// parameter-free.
+    pub fn solve_warm_budgeted(
+        &self,
+        hint: Option<&Basis>,
+        budget: &mut crate::PivotBudget,
+    ) -> Result<(LpOutcome, Option<Basis>), LpError> {
+        self.validate()?;
+        RevisedSimplex::new(self).run_warm_budgeted(hint, Some(budget))
+    }
+
     /// Checks whether a point is feasible (satisfies every constraint and
     /// non-negativity).  Useful in tests and for auditing LP certificates.
     #[must_use]

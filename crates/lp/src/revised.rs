@@ -37,6 +37,7 @@
 
 use panda_rational::Rat;
 
+use crate::budget::PivotBudget;
 use crate::problem::{Basis, LinearProgram};
 use crate::simplex::{Phase, RowInfo, StandardForm, ITERATION_LIMIT};
 use crate::solution::{LpOutcome, Solution};
@@ -261,17 +262,33 @@ impl<'a> RevisedSimplex<'a> {
         self.run_warm(None).map(|(outcome, _)| outcome)
     }
 
+    pub(crate) fn run_warm(
+        self,
+        hint: Option<&Basis>,
+    ) -> Result<(LpOutcome, Option<Basis>), LpError> {
+        self.run_warm_budgeted(hint, None)
+    }
+
     /// Like [`RevisedSimplex::run`], but optionally starting phase 2
     /// directly from a carried-over basis (see
     /// [`LinearProgram::solve_warm`]), and returning the final basis for
     /// the next solve in the family.
-    pub(crate) fn run_warm(
+    ///
+    /// When a [`PivotBudget`] is supplied, every pivot of both phases
+    /// consumes one unit and the solve aborts with
+    /// [`LpError::PivotBudgetExhausted`] once the budget runs out.  The
+    /// post-phase-1 artificial-elimination pass is bookkeeping (at most one
+    /// degenerate pivot per redundant row, `O(m)` in total) and is not
+    /// charged, so budgeted and unbudgeted solves that finish visit the
+    /// identical basis sequence.
+    pub(crate) fn run_warm_budgeted(
         mut self,
         hint: Option<&Basis>,
+        mut budget: Option<&mut PivotBudget>,
     ) -> Result<(LpOutcome, Option<Basis>), LpError> {
         let warm = hint.is_some_and(|h| self.try_install_basis(h));
         if !warm {
-            if let Some(outcome) = self.phase_one()? {
+            if let Some(outcome) = self.phase_one(budget.as_deref_mut())? {
                 return Ok((outcome, None));
             }
         }
@@ -279,7 +296,7 @@ impl<'a> RevisedSimplex<'a> {
         // Phase 2: optimise the real objective.
         let mut cost = vec![Rat::ZERO; self.num_cols];
         cost[..self.num_structural].copy_from_slice(self.lp.objective());
-        match self.optimize(&cost, /*bar_artificials=*/ true)? {
+        match self.optimize(&cost, /*bar_artificials=*/ true, budget)? {
             Phase::Unbounded => Ok((LpOutcome::Unbounded, None)),
             Phase::Optimal => {
                 let objective = self.current_objective(&cost);
@@ -340,7 +357,10 @@ impl<'a> RevisedSimplex<'a> {
 
     /// Runs phase 1 (when artificials exist), returning `Some(Infeasible)`
     /// to short-circuit or `None` to proceed to phase 2.
-    fn phase_one(&mut self) -> Result<Option<LpOutcome>, LpError> {
+    fn phase_one(
+        &mut self,
+        budget: Option<&mut PivotBudget>,
+    ) -> Result<Option<LpOutcome>, LpError> {
         if self.has_artificials {
             let mut phase1_cost = vec![Rat::ZERO; self.num_cols];
             for (j, cost) in phase1_cost.iter_mut().enumerate() {
@@ -348,7 +368,7 @@ impl<'a> RevisedSimplex<'a> {
                     *cost = -Rat::ONE;
                 }
             }
-            let outcome = self.optimize(&phase1_cost, /*bar_artificials=*/ false)?;
+            let outcome = self.optimize(&phase1_cost, /*bar_artificials=*/ false, budget)?;
             debug_assert!(
                 !matches!(outcome, Phase::Unbounded),
                 "phase 1 objective is bounded above by zero"
@@ -362,8 +382,14 @@ impl<'a> RevisedSimplex<'a> {
         Ok(None)
     }
 
-    /// Runs the simplex iterations for the given cost vector.
-    fn optimize(&mut self, cost: &[Rat], bar_artificials: bool) -> Result<Phase, LpError> {
+    /// Runs the simplex iterations for the given cost vector, charging one
+    /// unit of `budget` (when one is supplied) per pivot applied.
+    fn optimize(
+        &mut self,
+        cost: &[Rat],
+        bar_artificials: bool,
+        mut budget: Option<&mut PivotBudget>,
+    ) -> Result<Phase, LpError> {
         let m = self.basis.len();
         let bland_threshold = 4 * (m + self.num_cols) + 64;
         for iteration in 0..ITERATION_LIMIT {
@@ -377,6 +403,11 @@ impl<'a> RevisedSimplex<'a> {
             let Some(leaving_row) = self.choose_leaving(&w) else {
                 return Ok(Phase::Unbounded);
             };
+            if let Some(b) = budget.as_deref_mut() {
+                if !b.consume() {
+                    return Err(LpError::PivotBudgetExhausted { limit: b.limit() });
+                }
+            }
             self.pivot(leaving_row, entering, &w);
         }
         Err(LpError::IterationLimit(ITERATION_LIMIT))

@@ -125,9 +125,105 @@ impl Engine {
     }
 }
 
+/// Deterministic resource budgets for planning and strategy selection.
+///
+/// All budgets are **unlimited by default** and every one is counted in a
+/// machine-independent unit — simplex *pivots*, branch *counts*, estimated
+/// *rows* — never wall-clock time, so a budgeted run makes the identical
+/// decisions on every machine, at every thread count, on every run (the
+/// workspace's D3 lint keeps clocks out of library code for exactly this
+/// reason).
+///
+/// Under [`EvaluationStrategy::Auto`](crate::EvaluationStrategy::Auto) an
+/// exceeded budget triggers a **one-way fail-soft downgrade** to a cheaper
+/// strategy, recorded in the
+/// [`PlanReport`](crate::PlanReport)'s
+/// [`Downgrade`](crate::Downgrade) list; under an explicit strategy (which
+/// has no fallback to downgrade to) it surfaces as
+/// [`StrategyError::BudgetExceeded`](crate::StrategyError::BudgetExceeded).
+///
+/// ```
+/// use panda_core::Budgets;
+///
+/// let budgets = Budgets::default()          // everything unlimited
+///     .with_lp_pivot_budget(10_000)         // total simplex pivots spent planning
+///     .with_branch_budget(64)               // adaptive-plan branch fan-out
+///     .with_memory_rows_budget(1_000_000);  // estimated peak bag-materialisation rows
+/// assert_eq!(budgets.lp_pivot_budget, Some(10_000));
+/// assert_eq!(budgets.branch_budget, Some(64));
+/// assert_eq!(budgets.memory_rows_budget, Some(1_000_000));
+/// assert!(!budgets.is_unlimited());
+/// assert!(Budgets::default().is_unlimited());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budgets {
+    /// Cap on the total number of simplex pivots spent on planning LPs
+    /// (the fhtw/subw chains), shared across the whole selection.  `None`
+    /// means unlimited.
+    pub lp_pivot_budget: Option<u64>,
+    /// Cap on the number of degree branches the adaptive plan may fan out
+    /// into.  `None` means unlimited (the evaluator's own structural cap
+    /// still applies).
+    pub branch_budget: Option<usize>,
+    /// Cap on the *estimated* peak number of rows a bag-materialising plan
+    /// (static or adaptive) may build, from the planner's deterministic
+    /// cardinality estimates.  `None` means unlimited.
+    pub memory_rows_budget: Option<u64>,
+}
+
+impl Budgets {
+    /// All budgets unlimited (the default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budgets::default()
+    }
+
+    /// Sets the LP pivot budget.
+    #[must_use]
+    pub fn with_lp_pivot_budget(mut self, pivots: u64) -> Self {
+        self.lp_pivot_budget = Some(pivots);
+        self
+    }
+
+    /// Sets the branch budget.
+    #[must_use]
+    pub fn with_branch_budget(mut self, branches: usize) -> Self {
+        self.branch_budget = Some(branches);
+        self
+    }
+
+    /// Sets the memory (estimated rows) budget.
+    #[must_use]
+    pub fn with_memory_rows_budget(mut self, rows: u64) -> Self {
+        self.memory_rows_budget = Some(rows);
+        self
+    }
+
+    /// `true` iff no budget is set.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.lp_pivot_budget.is_none()
+            && self.branch_budget.is_none()
+            && self.memory_rows_budget.is_none()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn budgets_default_to_unlimited_and_compose() {
+        let b = Budgets::unlimited();
+        assert!(b.is_unlimited());
+        let b = b.with_lp_pivot_budget(5).with_branch_budget(2);
+        assert_eq!(
+            b,
+            Budgets { lp_pivot_budget: Some(5), branch_budget: Some(2), memory_rows_budget: None }
+        );
+        assert!(!b.is_unlimited());
+        assert!(!Budgets::default().with_memory_rows_budget(10).is_unlimited());
+    }
 
     #[test]
     fn sequential_is_the_default_with_one_thread() {

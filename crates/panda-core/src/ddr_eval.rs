@@ -124,6 +124,29 @@ impl DdrEvaluator {
     pub fn plan(rule: &DisjunctiveRule, stats: &StatisticsSet) -> Result<Self, BoundError> {
         let universe = rule.body_vars();
         let report = ddr_polymatroid_bound(rule.head(), universe, stats)?;
+        Ok(Self::from_bound(rule, &report))
+    }
+
+    /// [`DdrEvaluator::plan`] under an LP pivot budget: the bound's LP
+    /// charges every simplex pivot against `budget` and fails with
+    /// [`BoundError::PivotBudgetExhausted`] when it runs out.  A plan that
+    /// completes within budget is identical to the unbudgeted one.
+    pub fn plan_budgeted(
+        rule: &DisjunctiveRule,
+        stats: &StatisticsSet,
+        budget: &mut panda_entropy::PivotBudget,
+    ) -> Result<Self, BoundError> {
+        let universe = rule.body_vars();
+        let report =
+            panda_entropy::ddr_polymatroid_bound_budgeted(rule.head(), universe, stats, budget)?;
+        Ok(Self::from_bound(rule, &report))
+    }
+
+    /// The partition-derivation core shared by [`DdrEvaluator::plan`] and
+    /// [`DdrEvaluator::plan_budgeted`]: extracts the Shannon flow's proof
+    /// sequence and records one degree partition per decomposition step
+    /// that applies to an input guard.
+    fn from_bound(rule: &DisjunctiveRule, report: &panda_entropy::BoundReport) -> Self {
         let mut partitions: BTreeSet<PartitionSpec> = BTreeSet::new();
         if let Ok(integral) = report.flow.to_integral() {
             let identity = TermIdentity::from_flow(&integral);
@@ -147,12 +170,12 @@ impl DdrEvaluator {
                 }
             }
         }
-        Ok(DdrEvaluator {
+        DdrEvaluator {
             rule: rule.clone(),
             partitions: partitions.into_iter().collect(),
             log_bound: report.log_bound,
             max_branches: 4096,
-        })
+        }
     }
 
     /// Evaluates the rule on a database instance, producing a model.  Uses

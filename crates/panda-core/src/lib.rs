@@ -23,10 +23,15 @@
 //! * [`faq`] — FAQ / semiring aggregate evaluation over join trees
 //!   (Section 9.1),
 //! * [`Panda`] — the end-to-end facade: `Panda::new(query).evaluate(&db)`,
+//! * [`selector`] — the deterministic, rule-ordered strategy selector
+//!   behind [`EvaluationStrategy::Auto`], with machine-readable
+//!   [`ReasonCode`]s, observable [`PlanReport`]s/[`Explain`] output, and
+//!   fail-soft [`Downgrade`]s under the configured [`Budgets`],
 //! * [`config`] — the [`Engine`]/[`Parallelism`] knob: evaluation is
 //!   sequential by default and opt-in parallel (deterministic —
 //!   bit-identical outputs at any thread count), toggled per evaluator or
-//!   through the `PANDA_THREADS` environment variable.
+//!   through the `PANDA_THREADS` environment variable — and the
+//!   [`Budgets`] for deterministic planning/execution resource caps.
 //!
 //! See `docs/ARCHITECTURE.md` at the workspace root for the execution
 //! flow and the paper-section → module map, and `docs/NOTATION.md` for
@@ -45,13 +50,15 @@ pub mod faq;
 pub mod generic_join;
 pub mod panda;
 pub mod plans;
+pub mod selector;
 pub mod yannakakis;
 
 pub use binary::BinaryJoinPlan;
 pub use binding::VarRelation;
-pub use config::{Engine, Parallelism};
+pub use config::{Budgets, Engine, Parallelism};
 pub use ddr_eval::{DdrEvaluator, DdrModel};
 pub use generic_join::GenericJoin;
-pub use panda::{EvaluationStrategy, Panda, PlanReport, StrategyError};
+pub use panda::{EvaluationStrategy, Explain, Panda, PlanReport, StrategyError};
 pub use plans::{PandaEvaluator, StaticTdPlan};
+pub use selector::{BranchBound, Downgrade, ReasonCode, SelectorRule};
 pub use yannakakis::yannakakis_free_connex;

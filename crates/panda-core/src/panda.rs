@@ -2,26 +2,35 @@
 //!
 //! [`Panda`] bundles the whole pipeline of the paper: given a conjunctive
 //! query and (measured or supplied) statistics it computes the width
-//! measures, picks a strategy, and evaluates the query:
+//! measures, picks a strategy through the deterministic rule-ordered
+//! selector ([`crate::selector`]), and evaluates the query:
 //!
 //! * free-connex acyclic queries run Yannakakis directly (`O(N + OUT)`),
 //! * cyclic queries whose submodular width is strictly below their
 //!   fractional hypertree width run the adaptive multi-TD plan
 //!   ([`crate::PandaEvaluator`]),
 //! * other cyclic queries run the best single-TD plan
-//!   ([`crate::StaticTdPlan`]).
+//!   ([`crate::StaticTdPlan`]),
+//! * queries with no finite width run a generic worst-case optimal join.
+//!
+//! Every selection is observable: [`Panda::plan_report`] returns the
+//! [`PlanReport`] — selected and executed strategy, the selector rule and
+//! [`ReasonCode`] that fired, per-branch width bounds with their
+//! Shannon-flow certificates, branch counts, and any fail-soft
+//! [`Downgrade`]s forced by the configured [`Budgets`] — and
+//! [`Panda::explain`] renders it as a stable, human-readable EXPLAIN.
 
 use panda_entropy::{BoundError, StatisticsSet};
-use panda_query::hypergraph::is_acyclic;
 use panda_query::{ConjunctiveQuery, TreeDecomposition};
 use panda_rational::Rat;
 use panda_relation::Database;
 
 use crate::binary::BinaryJoinPlan;
 use crate::binding::VarRelation;
-use crate::config::Engine;
+use crate::config::{Budgets, Engine};
 use crate::generic_join::GenericJoin;
 use crate::plans::{PandaEvaluator, PartitionSpec, StaticTdPlan};
+use crate::selector::{self, BranchBound, Downgrade, ReasonCode, Selection, SelectorRule};
 use crate::yannakakis::yannakakis_query;
 
 /// The evaluation strategies exposed by [`Panda`].
@@ -41,27 +50,165 @@ pub enum EvaluationStrategy {
     BinaryJoin,
 }
 
-/// A report of the planning decisions for a query.
-#[derive(Debug, Clone)]
-pub struct PlanReport {
-    /// The strategy `Auto` resolved to.
-    pub strategy: EvaluationStrategy,
-    /// The fractional hypertree width under the planning statistics.
-    pub fhtw: Rat,
-    /// The submodular width under the planning statistics.
-    pub subw: Rat,
-    /// The free-connex tree decompositions considered.
-    pub tds: Vec<TreeDecomposition>,
-    /// The degree partitions the adaptive plan would use.
-    pub partitions: Vec<PartitionSpec>,
+impl EvaluationStrategy {
+    /// A stable machine-readable name (the EXPLAIN spelling).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EvaluationStrategy::Auto => "auto",
+            EvaluationStrategy::Yannakakis => "yannakakis",
+            EvaluationStrategy::StaticTd => "static-td",
+            EvaluationStrategy::Adaptive => "adaptive",
+            EvaluationStrategy::GenericJoin => "generic-join",
+            EvaluationStrategy::BinaryJoin => "binary-join",
+        }
+    }
 }
 
-/// Why [`Panda::try_evaluate_with`] could not run the requested strategy:
-/// the strategy does not apply to the query's structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+impl std::fmt::Display for EvaluationStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A report of the planning decisions for a query: what the selector
+/// chose, why, what will actually run, and the width bounds (with their
+/// certificates) backing the choice.
+///
+/// Every field is deterministic and engine-independent: the same query,
+/// statistics, data and budgets produce the identical report at any
+/// `PANDA_THREADS` setting (pinned by `tests/parallel_determinism.rs`).
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The strategy that will actually execute (after any downgrades).
+    pub strategy: EvaluationStrategy,
+    /// The strategy the selector rules chose (before downgrades); equal to
+    /// [`PlanReport::strategy`] unless [`PlanReport::downgrades`] is
+    /// non-empty.
+    pub selected: EvaluationStrategy,
+    /// Which selector rule fired.
+    pub rule: SelectorRule,
+    /// Why the rule fired (machine-readable).
+    pub reason: ReasonCode,
+    /// The fail-soft downgrades applied, in the order they were applied;
+    /// empty when the selected strategy runs as-is.
+    pub downgrades: Vec<Downgrade>,
+    /// The fractional hypertree width, when it was computed.
+    pub fhtw: Option<Rat>,
+    /// The submodular width, when it was computed.
+    pub subw: Option<Rat>,
+    /// The free-connex tree decompositions considered.
+    pub tds: Vec<TreeDecomposition>,
+    /// The degree partitions the adaptive plan uses (empty for other
+    /// strategies).
+    pub partitions: Vec<PartitionSpec>,
+    /// Number of degree branches the plan fans out into (1 for single-plan
+    /// strategies; for a branch-budget downgrade, the count that triggered
+    /// it).
+    pub branch_count: usize,
+    /// Per-branch width bounds with their Shannon-flow certificates: one
+    /// per bag selector for the adaptive plan, one per bag of the best
+    /// decomposition for the static plan, empty otherwise.
+    pub branch_bounds: Vec<BranchBound>,
+    /// Simplex pivots consumed by planning, when an LP pivot budget was
+    /// configured.
+    pub lp_pivots_used: Option<u64>,
+}
+
+/// A [`PlanReport`] bundled with the query's variable names, rendered by
+/// its `Display` impl as a stable, line-oriented EXPLAIN (the byte-stable
+/// output pinned by CI's `explain` example job).
+///
+/// ```
+/// use panda_core::Panda;
+/// use panda_query::parse_query;
+/// use panda_relation::{Database, Relation};
+///
+/// let q = parse_query("Q(A,B) :- R(A,B), S(B,C)").unwrap();
+/// let mut db = Database::new();
+/// db.insert("R", Relation::from_rows(2, vec![[1, 2]]));
+/// db.insert("S", Relation::from_rows(2, vec![[2, 3]]));
+/// let explain = Panda::new(q).explain(&db).unwrap();
+/// let text = explain.to_string();
+/// assert!(text.contains("strategy: yannakakis"));
+/// assert!(text.contains("rule: acyclic-fast-path"));
+/// assert!(text.contains("reason: acyclic_free_connex"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The underlying report.
+    pub report: PlanReport,
+    /// The query's variable names, for rendering bags.
+    pub names: Vec<String>,
+    /// The query text, as parsed.
+    pub query: String,
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let r = &self.report;
+        writeln!(f, "query: {}", self.query)?;
+        writeln!(f, "strategy: {}", r.strategy)?;
+        writeln!(f, "selected: {}", r.selected)?;
+        writeln!(f, "rule: {}", r.rule)?;
+        writeln!(f, "reason: {}", r.reason)?;
+        match (r.fhtw, r.subw) {
+            (Some(fhtw), Some(subw)) => writeln!(f, "widths: fhtw = {fhtw}, subw = {subw}")?,
+            (Some(fhtw), None) => writeln!(f, "widths: fhtw = {fhtw}, subw = (not computed)")?,
+            (None, _) => writeln!(f, "widths: (not computed)")?,
+        }
+        writeln!(f, "branches: {}", r.branch_count)?;
+        if let Some(pivots) = r.lp_pivots_used {
+            writeln!(f, "lp pivots used: {pivots}")?;
+        }
+        if r.downgrades.is_empty() {
+            writeln!(f, "downgrades: (none)")?;
+        } else {
+            writeln!(f, "downgrades:")?;
+            for d in &r.downgrades {
+                writeln!(f, "  {} -> {} [{}]", d.from, d.to, d.reason)?;
+            }
+        }
+        if !r.branch_bounds.is_empty() {
+            writeln!(f, "branch bounds:")?;
+            for bound in &r.branch_bounds {
+                let bags: Vec<String> =
+                    bound.bags.iter().map(|b| b.display_with(&self.names)).collect();
+                let certified =
+                    if bound.certificate.is_some() { "certified" } else { "uncertified" };
+                writeln!(f, "  {}: {} ({certified})", bags.join(" | "), bound.log_bound)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why [`Panda::try_evaluate_with`] could not run the requested strategy.
+///
+/// `Auto` never surfaces the budget and availability variants — it
+/// downgrades fail-soft instead (see [`crate::selector`]); these errors
+/// belong to *explicit* strategy requests, which leave no fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StrategyError {
     /// [`EvaluationStrategy::Yannakakis`] was requested for a cyclic query.
     CyclicYannakakis,
+    /// The requested strategy needs a costed tree decomposition and none
+    /// could be produced (unbounded statistics, or an LP solver failure).
+    TdUnavailable {
+        /// The strategy that was requested.
+        strategy: EvaluationStrategy,
+        /// The width-computation error.
+        source: BoundError,
+    },
+    /// A configured budget was exceeded while planning an explicit
+    /// strategy, which has no fallback to downgrade to (use `Auto` for
+    /// fail-soft downgrades).
+    BudgetExceeded {
+        /// The strategy that was requested.
+        strategy: EvaluationStrategy,
+        /// Which budget was exceeded.
+        reason: ReasonCode,
+    },
 }
 
 impl std::fmt::Display for StrategyError {
@@ -70,11 +217,28 @@ impl std::fmt::Display for StrategyError {
             StrategyError::CyclicYannakakis => {
                 write!(f, "Yannakakis requires an acyclic query")
             }
+            StrategyError::TdUnavailable { strategy, source } => {
+                write!(f, "no tree decomposition could be costed for {strategy}: {source}")
+            }
+            StrategyError::BudgetExceeded { strategy, reason } => {
+                write!(
+                    f,
+                    "budget exceeded ({reason}) while planning {strategy}, which has no \
+                     fallback (Auto downgrades fail-soft instead)"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for StrategyError {}
+impl std::error::Error for StrategyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StrategyError::TdUnavailable { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// The end-to-end query evaluator.
 #[derive(Debug, Clone)]
@@ -82,6 +246,7 @@ pub struct Panda {
     query: ConjunctiveQuery,
     statistics: Option<StatisticsSet>,
     engine: Engine,
+    budgets: Budgets,
 }
 
 impl Panda {
@@ -89,10 +254,11 @@ impl Panda {
     /// data at evaluation time unless supplied with
     /// [`Panda::with_statistics`]; the execution engine is the one
     /// selected by `PANDA_THREADS` ([`Engine::from_env`], sequential by
-    /// default) unless overridden with [`Panda::with_engine`].
+    /// default) unless overridden with [`Panda::with_engine`]; all
+    /// [`Budgets`] are unlimited unless set with [`Panda::with_budgets`].
     #[must_use]
     pub fn new(query: ConjunctiveQuery) -> Self {
-        Panda { query, statistics: None, engine: Engine::from_env() }
+        Panda { query, statistics: None, engine: Engine::from_env(), budgets: Budgets::default() }
     }
 
     /// Uses the given statistics for planning instead of measuring them.
@@ -105,10 +271,20 @@ impl Panda {
     /// Uses the given execution engine.  Parallel engines change
     /// wall-clock time only: outputs are bit-identical to sequential
     /// evaluation at any thread count, and planning (strategy choice,
-    /// partitions, branch structure) is engine-independent.
+    /// reason codes, partitions, branch structure) is engine-independent.
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Uses the given [`Budgets`].  Under `Auto` an exceeded budget
+    /// triggers a fail-soft downgrade recorded in the [`PlanReport`];
+    /// under an explicit strategy it surfaces as
+    /// [`StrategyError::BudgetExceeded`].
+    #[must_use]
+    pub fn with_budgets(mut self, budgets: Budgets) -> Self {
+        self.budgets = budgets;
         self
     }
 
@@ -116,6 +292,12 @@ impl Panda {
     #[must_use]
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// The configured budgets.
+    #[must_use]
+    pub fn budgets(&self) -> Budgets {
+        self.budgets
     }
 
     /// The query being evaluated.
@@ -132,40 +314,90 @@ impl Panda {
     /// the direct Yannakakis fast path (Section 3.4).
     #[must_use]
     pub fn is_free_connex_acyclic(&self) -> bool {
-        let mut edges = self.query.edges();
-        let acyclic = is_acyclic(&edges);
-        edges.push(self.query.free_vars());
-        acyclic && is_acyclic(&edges)
+        selector::free_connex_acyclic(&self.query)
     }
 
-    /// Produces the planning report (widths, decompositions, partitions)
-    /// for the given database.
+    /// Builds the full [`PlanReport`] from a completed selection.
+    fn report_from(&self, selection: Selection, stats: &StatisticsSet) -> PlanReport {
+        let branch_bounds = selector::branch_bounds_for(&selection, &self.query, stats);
+        let partitions =
+            selection.evaluator.as_ref().map(|e| e.partitions.clone()).unwrap_or_default();
+        PlanReport {
+            strategy: selection.executed,
+            selected: selection.selected,
+            rule: selection.rule,
+            reason: selection.reason,
+            downgrades: selection.downgrades,
+            fhtw: selection.fhtw.as_ref().map(|r| r.value),
+            subw: selection.subw.as_ref().map(|r| r.value),
+            tds: selection.tds,
+            partitions,
+            branch_count: selection.branch_count,
+            branch_bounds,
+            lp_pivots_used: selection.lp_pivots_used,
+        }
+    }
+
+    /// Produces the planning report for the automatic strategy choice on
+    /// the given database: the selector rule and reason that fired, the
+    /// widths, per-branch bounds with certificates, branch counts, and any
+    /// budget downgrades.
     ///
-    /// Under a parallel engine the selector/bag LP chains behind the width
-    /// computations run on the thread pool
-    /// ([`panda_entropy::subw_with_tds_parallel`]); the reported widths
-    /// are identical either way (optimal LP values are unique), and the
-    /// partition derivation itself stays sequential so the plan structure
-    /// is engine-independent.
+    /// Deterministic and engine-independent: under a parallel engine the
+    /// per-bag `fhtw` LP chains run on the thread pool (optimal LP values
+    /// are unique, so the widths are identical either way), while the
+    /// `subw` certificate chain stays sequential because its Shannon flows
+    /// seed the adaptive partitions and the reported certificates.  Only
+    /// an LP solver *bug* surfaces as an error; unbounded widths and
+    /// exhausted budgets are absorbed into the selection fail-soft.
     pub fn plan_report(&self, db: &Database) -> Result<PlanReport, BoundError> {
+        self.plan_report_for(db, EvaluationStrategy::Auto)
+    }
+
+    /// [`Panda::plan_report`] for an explicit strategy request: the
+    /// explicit-override rule fires and widths are attached
+    /// informationally.
+    pub fn plan_report_for(
+        &self,
+        db: &Database,
+        strategy: EvaluationStrategy,
+    ) -> Result<PlanReport, BoundError> {
         let stats = self.stats_for(db);
-        let tds = TreeDecomposition::enumerate(&self.query);
-        let threads = self.engine.threads();
-        let fhtw = panda_entropy::fhtw_with_tds_parallel(&self.query, &tds, &stats, threads)?.value;
-        let subw = panda_entropy::subw_with_tds_parallel(&self.query, &tds, &stats, threads)?.value;
-        let strategy = if self.is_free_connex_acyclic() {
-            EvaluationStrategy::Yannakakis
-        } else if subw < fhtw {
-            EvaluationStrategy::Adaptive
-        } else {
-            EvaluationStrategy::StaticTd
-        };
-        let partitions = if strategy == EvaluationStrategy::Adaptive {
-            PandaEvaluator::plan(&self.query, &stats)?.partitions
-        } else {
-            Vec::new()
-        };
-        Ok(PlanReport { strategy, fhtw, subw, tds, partitions })
+        let selection = selector::select(
+            &self.query,
+            &stats,
+            db,
+            self.budgets,
+            self.engine.threads(),
+            strategy,
+            /*want_widths=*/ true,
+        )?;
+        Ok(self.report_from(selection, &stats))
+    }
+
+    /// [`Panda::plan_report`] rendered for humans: returns the [`Explain`]
+    /// wrapper whose `Display` output is stable line-oriented text.
+    pub fn explain(&self, db: &Database) -> Result<Explain, BoundError> {
+        let report = self.plan_report(db)?;
+        Ok(Explain {
+            report,
+            names: self.query.var_names().to_vec(),
+            query: self.query.to_string(),
+        })
+    }
+
+    /// [`Panda::explain`] for an explicit strategy request.
+    pub fn explain_with(
+        &self,
+        db: &Database,
+        strategy: EvaluationStrategy,
+    ) -> Result<Explain, BoundError> {
+        let report = self.plan_report_for(db, strategy)?;
+        Ok(Explain {
+            report,
+            names: self.query.var_names().to_vec(),
+            query: self.query.to_string(),
+        })
     }
 
     /// Evaluates the query with the automatically chosen strategy.
@@ -178,18 +410,24 @@ impl Panda {
     ///
     /// # Panics
     ///
-    /// Panics if `Yannakakis` is requested for a cyclic query — use
+    /// Panics if the strategy cannot run — `Yannakakis` on a cyclic query,
+    /// a width-based plan whose statistics leave the output unbounded, or
+    /// a configured budget exceeded under an explicit strategy — use
     /// [`Panda::try_evaluate_with`] for the non-panicking form.
     #[must_use]
     pub fn evaluate_with(&self, db: &Database, strategy: EvaluationStrategy) -> VarRelation {
-        // panda-lint: allow(P1) -- the panic is this method's documented
-        // contract; the graceful path is `try_evaluate_with`.
-        self.try_evaluate_with(db, strategy).expect("Yannakakis requires an acyclic query")
+        match self.try_evaluate_with(db, strategy) {
+            Ok(result) => result,
+            // panda-lint: allow(P1) -- the panic is this method's
+            // documented contract; the graceful path is `try_evaluate_with`.
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Evaluates the query with an explicit strategy, reporting a
-    /// structural mismatch (a cyclic query under `Yannakakis`) as an error
-    /// instead of panicking.
+    /// Evaluates the query with an explicit strategy, reporting structural
+    /// mismatches (a cyclic query under `Yannakakis`), unavailable tree
+    /// decompositions, and exceeded budgets as structured errors instead of
+    /// panicking or silently substituting a different plan.
     pub fn try_evaluate_with(
         &self,
         db: &Database,
@@ -197,39 +435,102 @@ impl Panda {
     ) -> Result<VarRelation, StrategyError> {
         match strategy {
             EvaluationStrategy::Auto => {
-                if self.is_free_connex_acyclic() {
-                    return self.try_evaluate_with(db, EvaluationStrategy::Yannakakis);
-                }
                 let stats = self.stats_for(db);
-                match (
-                    panda_entropy::subw(&self.query, &stats),
-                    panda_entropy::fhtw(&self.query, &stats),
-                ) {
-                    (Ok(s), Ok(f)) if s.value < f.value => {
-                        self.try_evaluate_with(db, EvaluationStrategy::Adaptive)
-                    }
-                    (Ok(_), Ok(_)) => self.try_evaluate_with(db, EvaluationStrategy::StaticTd),
-                    _ => self.try_evaluate_with(db, EvaluationStrategy::GenericJoin),
-                }
+                let selection = selector::select(
+                    &self.query,
+                    &stats,
+                    db,
+                    self.budgets,
+                    self.engine.threads(),
+                    EvaluationStrategy::Auto,
+                    /*want_widths=*/ false,
+                )
+                .map_err(|source| StrategyError::TdUnavailable {
+                    strategy: EvaluationStrategy::Auto,
+                    source,
+                })?;
+                self.execute_selection(db, &selection)
             }
             EvaluationStrategy::Yannakakis => {
                 yannakakis_query(&self.query, db).ok_or(StrategyError::CyclicYannakakis)
             }
             EvaluationStrategy::StaticTd => {
                 let stats = self.stats_for(db);
-                let plan = StaticTdPlan::best_for(&self.query, &stats).unwrap_or_else(|_| {
-                    StaticTdPlan::new(TreeDecomposition::new(vec![self.query.all_vars()]))
-                });
+                let result = match self.budgets.lp_pivot_budget {
+                    Some(limit) => {
+                        let mut budget = panda_entropy::PivotBudget::new(limit);
+                        StaticTdPlan::best_for_budgeted(&self.query, &stats, &mut budget)
+                    }
+                    None => StaticTdPlan::best_for(&self.query, &stats),
+                };
+                let plan = result.map_err(|e| self.planning_error(strategy, e))?;
                 Ok(plan.evaluate_with_engine(&self.query, db, self.engine))
             }
             EvaluationStrategy::Adaptive => {
                 let stats = self.stats_for(db);
-                Ok(match PandaEvaluator::plan(&self.query, &stats) {
-                    Ok(evaluator) => evaluator.evaluate_with_engine(&self.query, db, self.engine),
-                    Err(_) => GenericJoin::evaluate_with_engine(&self.query, db, self.engine),
-                })
+                let result = match self.budgets.lp_pivot_budget {
+                    Some(limit) => {
+                        let mut budget = panda_entropy::PivotBudget::new(limit);
+                        PandaEvaluator::plan_budgeted(&self.query, &stats, &mut budget)
+                    }
+                    None => PandaEvaluator::plan(&self.query, &stats),
+                };
+                let mut evaluator = result.map_err(|e| self.planning_error(strategy, e))?;
+                // An explicit adaptive request honours the branch budget as
+                // a cap (branch splitting degrades gracefully), not an
+                // error: the plan stays correct with fewer splits.
+                if let Some(cap) = self.budgets.branch_budget {
+                    evaluator.max_branches = evaluator.max_branches.min(cap);
+                }
+                Ok(evaluator.evaluate_with_engine(&self.query, db, self.engine))
             }
             EvaluationStrategy::GenericJoin => {
+                Ok(GenericJoin::evaluate_with_engine(&self.query, db, self.engine))
+            }
+            EvaluationStrategy::BinaryJoin => {
+                Ok(BinaryJoinPlan::new().evaluate_with_engine(&self.query, db, self.engine))
+            }
+        }
+    }
+
+    /// Maps a planning [`BoundError`] for an explicit strategy request to
+    /// the matching [`StrategyError`].
+    fn planning_error(&self, strategy: EvaluationStrategy, source: BoundError) -> StrategyError {
+        match source {
+            BoundError::PivotBudgetExhausted => {
+                StrategyError::BudgetExceeded { strategy, reason: ReasonCode::LpBudgetExhausted }
+            }
+            source => StrategyError::TdUnavailable { strategy, source },
+        }
+    }
+
+    /// Runs the strategy a completed [`Selection`] settled on, reusing the
+    /// planning artifacts it carries (the best decomposition, the adaptive
+    /// evaluator) so no LP is ever solved twice.
+    fn execute_selection(
+        &self,
+        db: &Database,
+        selection: &Selection,
+    ) -> Result<VarRelation, StrategyError> {
+        match selection.executed {
+            EvaluationStrategy::Yannakakis => {
+                // The acyclic fast-path rule verified free-connexity.
+                yannakakis_query(&self.query, db).ok_or(StrategyError::CyclicYannakakis)
+            }
+            EvaluationStrategy::StaticTd => {
+                let td = selection
+                    .best_td
+                    .clone()
+                    .unwrap_or_else(|| TreeDecomposition::new(vec![self.query.all_vars()]));
+                Ok(StaticTdPlan::new(td).evaluate_with_engine(&self.query, db, self.engine))
+            }
+            EvaluationStrategy::Adaptive => match selection.evaluator.as_ref() {
+                Some(evaluator) => Ok(evaluator.evaluate_with_engine(&self.query, db, self.engine)),
+                // The selector always plans the evaluator it selects; keep
+                // the fail-soft contract even if that invariant breaks.
+                None => Ok(GenericJoin::evaluate_with_engine(&self.query, db, self.engine)),
+            },
+            EvaluationStrategy::GenericJoin | EvaluationStrategy::Auto => {
                 Ok(GenericJoin::evaluate_with_engine(&self.query, db, self.engine))
             }
             EvaluationStrategy::BinaryJoin => {
@@ -275,7 +576,10 @@ mod tests {
         let db = random_db(10, 40, 1);
         let report = panda.plan_report(&db).unwrap();
         assert_eq!(report.strategy, EvaluationStrategy::Yannakakis);
-        assert_eq!(report.fhtw, Rat::ONE);
+        assert_eq!(report.rule, SelectorRule::AcyclicFastPath);
+        assert_eq!(report.reason, ReasonCode::AcyclicFreeConnex);
+        assert_eq!(report.fhtw, Some(Rat::ONE));
+        assert!(report.downgrades.is_empty());
 
         let not_fc = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
         assert!(!Panda::new(not_fc).is_free_connex_acyclic());
@@ -289,10 +593,25 @@ mod tests {
         let db = random_db(10, 50, 2);
         let report = panda.plan_report(&db).unwrap();
         assert_eq!(report.strategy, EvaluationStrategy::Adaptive);
-        assert_eq!(report.fhtw, Rat::from_int(2));
-        assert_eq!(report.subw, Rat::new(3, 2));
+        assert_eq!(report.selected, EvaluationStrategy::Adaptive);
+        assert_eq!(report.rule, SelectorRule::SubwGap);
+        assert_eq!(report.reason, ReasonCode::SubwBelowFhtw);
+        assert_eq!(report.fhtw, Some(Rat::from_int(2)));
+        assert_eq!(report.subw, Some(Rat::new(3, 2)));
         assert_eq!(report.tds.len(), 2);
         assert!(!report.partitions.is_empty());
+        assert!(report.branch_count >= 1);
+        // One bound per bag selector, each carrying its verified flow.
+        assert!(!report.branch_bounds.is_empty());
+        for bound in &report.branch_bounds {
+            assert!(bound.log_bound <= Rat::new(3, 2));
+            bound
+                .certificate
+                .as_ref()
+                .expect("adaptive bounds are certified")
+                .verify_identity()
+                .unwrap();
+        }
     }
 
     #[test]
@@ -306,6 +625,19 @@ mod tests {
         let db = random_db(10, 40, 3);
         let report = panda.plan_report(&db).unwrap();
         assert_eq!(report.strategy, EvaluationStrategy::StaticTd);
+        assert_eq!(report.rule, SelectorRule::TdFallback);
+        assert_eq!(report.reason, ReasonCode::NoWidthGap);
+        // Static branch bounds cover the best TD's bags, certified.
+        assert!(!report.branch_bounds.is_empty());
+        for bound in &report.branch_bounds {
+            assert_eq!(bound.bags.len(), 1);
+            bound
+                .certificate
+                .as_ref()
+                .expect("within budget => certified")
+                .verify_identity()
+                .unwrap();
+        }
     }
 
     #[test]
@@ -375,5 +707,12 @@ mod tests {
         ] {
             assert!(panda.try_evaluate_with(&db, strategy).is_ok(), "strategy {strategy:?}");
         }
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(EvaluationStrategy::Auto.name(), "auto");
+        assert_eq!(EvaluationStrategy::Adaptive.to_string(), "adaptive");
+        assert_eq!(EvaluationStrategy::StaticTd.to_string(), "static-td");
     }
 }

@@ -19,7 +19,7 @@
 
 use std::collections::BTreeSet;
 
-use panda_entropy::StatisticsSet;
+use panda_entropy::{FhtwReport, PivotBudget, StatisticsSet, SubwReport};
 use panda_proof::{ProofSequence, ProofStep, TermIdentity};
 use panda_query::{Atom, ConjunctiveQuery, TreeDecomposition, Var, VarSet};
 use panda_relation::{stats as rstats, Database, Relation};
@@ -50,6 +50,22 @@ impl StaticTdPlan {
         stats: &StatisticsSet,
     ) -> Result<Self, panda_entropy::BoundError> {
         let report = panda_entropy::fhtw(query, stats)?;
+        Ok(StaticTdPlan::new(report.best_td().clone()))
+    }
+
+    /// [`StaticTdPlan::best_for`] under an LP pivot budget: the `fhtw`
+    /// chain charges every simplex pivot against `budget` and fails with
+    /// [`BoundError::PivotBudgetExhausted`](panda_entropy::BoundError::PivotBudgetExhausted)
+    /// when it runs out.  A solve that completes within budget picks the
+    /// identical decomposition as [`StaticTdPlan::best_for`] (the budget
+    /// only counts pivots; it never alters them).
+    pub fn best_for_budgeted(
+        query: &ConjunctiveQuery,
+        stats: &StatisticsSet,
+        budget: &mut PivotBudget,
+    ) -> Result<Self, panda_entropy::BoundError> {
+        let tds = TreeDecomposition::enumerate(query);
+        let report = panda_entropy::fhtw_with_tds_budgeted(query, &tds, stats, budget)?;
         Ok(StaticTdPlan::new(report.best_td().clone()))
     }
 
@@ -184,6 +200,37 @@ impl PandaEvaluator {
     ) -> Result<Self, panda_entropy::BoundError> {
         let tds = TreeDecomposition::enumerate(query);
         let report = panda_entropy::subw_with_tds(query, &tds, stats)?;
+        let fhtw_report = panda_entropy::fhtw_with_tds(query, &tds, stats)?;
+        Ok(Self::from_reports(query, &report, &fhtw_report))
+    }
+
+    /// [`PandaEvaluator::plan`] under an LP pivot budget shared across the
+    /// `fhtw` and `subw` chains; fails with
+    /// [`BoundError::PivotBudgetExhausted`](panda_entropy::BoundError::PivotBudgetExhausted)
+    /// when the budget runs out mid-planning.  A plan that completes within
+    /// budget is identical to the unbudgeted one.
+    pub fn plan_budgeted(
+        query: &ConjunctiveQuery,
+        stats: &StatisticsSet,
+        budget: &mut PivotBudget,
+    ) -> Result<Self, panda_entropy::BoundError> {
+        let tds = TreeDecomposition::enumerate(query);
+        let fhtw_report = panda_entropy::fhtw_with_tds_budgeted(query, &tds, stats, budget)?;
+        let report = panda_entropy::subw_with_tds_budgeted(query, &tds, stats, budget)?;
+        Ok(Self::from_reports(query, &report, &fhtw_report))
+    }
+
+    /// Builds the adaptive evaluator from already-computed width reports —
+    /// the partition-derivation core shared by [`PandaEvaluator::plan`] and
+    /// the strategy selector (which has the reports in hand and must not
+    /// pay for the LPs twice).  Deterministic: the output depends only on
+    /// the reports and the query.
+    #[must_use]
+    pub fn from_reports(
+        query: &ConjunctiveQuery,
+        report: &SubwReport,
+        fhtw_report: &FhtwReport,
+    ) -> Self {
         let mut partitions: BTreeSet<PartitionSpec> = BTreeSet::new();
         for sel in &report.per_selector {
             let Ok(integral) = sel.report.flow.to_integral() else { continue };
@@ -212,7 +259,6 @@ impl PandaEvaluator {
         // Uniformisation: partition every binary atom on both directions.
         // Only meaningful when the query is genuinely adaptive (subw < fhtw);
         // otherwise a single decomposition already matches the width.
-        let fhtw_report = panda_entropy::fhtw_with_tds(query, &tds, stats)?;
         if report.value < fhtw_report.value {
             for atom in query.atoms() {
                 if atom.arity() != 2 || atom.vars[0] == atom.vars[1] {
@@ -227,7 +273,11 @@ impl PandaEvaluator {
                 }
             }
         }
-        Ok(PandaEvaluator { tds, partitions: partitions.into_iter().collect(), max_branches: 4096 })
+        PandaEvaluator {
+            tds: report.tds.clone(),
+            partitions: partitions.into_iter().collect(),
+            max_branches: 4096,
+        }
     }
 
     /// Evaluates the query adaptively: the partitioned relations are split

@@ -1,0 +1,512 @@
+//! The deterministic, rule-ordered strategy selector behind
+//! [`EvaluationStrategy::Auto`].
+//!
+//! Selection walks a fixed rule list — first match wins — and records
+//! *which* rule fired and *why* as machine-readable [`ReasonCode`]s:
+//!
+//! 1. **Explicit override** ([`SelectorRule::ExplicitOverride`]) — the
+//!    caller named a strategy; the selector steps aside.
+//! 2. **Acyclic fast path** ([`SelectorRule::AcyclicFastPath`]) — the
+//!    query is free-connex acyclic, so Yannakakis runs in `O(N + OUT)`
+//!    without solving a single LP.
+//! 3. **Width gap** ([`SelectorRule::SubwGap`]) — `subw < fhtw`
+//!    strictly, so the adaptive multi-TD plan beats every single
+//!    decomposition (the PANDA case, Section 5 of the paper).
+//! 4. **TD fallback** ([`SelectorRule::TdFallback`]) — widths exist but
+//!    show no gap; the best single-TD (fhtw) plan is optimal among the
+//!    decomposition plans.
+//! 5. **Generic default** ([`SelectorRule::GenericDefault`]) — no width
+//!    is available (unbounded statistics, or the LP budget died before
+//!    `fhtw` finished); a worst-case optimal generic join needs no
+//!    planning at all.
+//!
+//! Budgets ([`Budgets`]) turn unbounded planning or
+//! execution blow-ups into **one-way fail-soft downgrades**, each recorded
+//! as a [`Downgrade`] with its own reason code:
+//!
+//! * LP pivot budget exhausted *during `subw`* (`fhtw` already known) —
+//!   selected `Adaptive`, executed `StaticTd` on fhtw's best
+//!   decomposition ([`ReasonCode::LpBudgetExhausted`]);
+//! * LP pivot budget exhausted *during `fhtw`* — no width rule can fire,
+//!   so selection lands on the generic default (a selection reason, not a
+//!   downgrade: nothing richer was ever selected);
+//! * adaptive branch fan-out above the branch budget — selected
+//!   `Adaptive`, executed `BinaryJoin`
+//!   ([`ReasonCode::BranchBudgetExceeded`]);
+//! * estimated peak bag-materialisation rows above the memory budget —
+//!   executed `BinaryJoin` ([`ReasonCode::MemoryBudgetExceeded`]).
+//!
+//! Downgrades only ever move *down* the ladder `Adaptive → StaticTd →
+//! BinaryJoin`; a downgraded plan still returns bit-identical results
+//! (every strategy computes the same relation), it just renounces the
+//! width guarantee.  Explicit strategies never downgrade — a budget
+//! violation there is a structured
+//! [`StrategyError::BudgetExceeded`](crate::StrategyError::BudgetExceeded)
+//! error, because the caller left the selector no fallback to offer.
+//!
+//! Everything here is deterministic and engine-independent: widths are
+//! exact rationals with unique optima, the `subw` certificate chain runs
+//! sequentially (its Shannon flows seed the adaptive partitions, so the
+//! chain shape must not depend on the thread count), and budgets count
+//! pivots/branches/rows — never wall-clock time.
+
+use panda_entropy::{
+    BoundError, BoundReport, FhtwReport, PivotBudget, ShannonFlow, StatisticsSet, SubwReport,
+};
+use panda_query::hypergraph::is_acyclic;
+use panda_query::{ConjunctiveQuery, TreeDecomposition, VarSet};
+use panda_rational::Rat;
+use panda_relation::Database;
+
+use crate::config::Budgets;
+use crate::panda::EvaluationStrategy;
+use crate::plans::{estimate_bag_size, PandaEvaluator};
+
+/// Which selector rule chose the strategy (rules are tried in this order;
+/// first match wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorRule {
+    /// Rule 1: the caller requested a specific strategy.
+    ExplicitOverride,
+    /// Rule 2: the query is free-connex acyclic — Yannakakis, no LPs.
+    AcyclicFastPath,
+    /// Rule 3: `subw < fhtw` strictly — the adaptive multi-TD plan.
+    SubwGap,
+    /// Rule 4: widths computed but no gap — the best single-TD plan.
+    TdFallback,
+    /// Rule 5: no width available — the generic worst-case optimal join.
+    GenericDefault,
+}
+
+impl SelectorRule {
+    /// A stable machine-readable name (also the EXPLAIN spelling).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            SelectorRule::ExplicitOverride => "explicit-override",
+            SelectorRule::AcyclicFastPath => "acyclic-fast-path",
+            SelectorRule::SubwGap => "subw-gap",
+            SelectorRule::TdFallback => "td-fallback",
+            SelectorRule::GenericDefault => "generic-default",
+        }
+    }
+}
+
+impl std::fmt::Display for SelectorRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A machine-readable reason attached to every selection and every
+/// downgrade.  The `code()` strings are stable output (pinned by the
+/// EXPLAIN byte-stability job in CI); add codes, never repurpose them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReasonCode {
+    /// The caller requested this strategy explicitly.
+    ExplicitStrategy,
+    /// The query is acyclic and free-connex.
+    AcyclicFreeConnex,
+    /// `subw < fhtw` strictly under the planning statistics.
+    SubwBelowFhtw,
+    /// Widths computed but `subw == fhtw`: no adaptive advantage.
+    NoWidthGap,
+    /// No finite width exists (the statistics leave the output unbounded).
+    WidthsUnavailable,
+    /// The LP pivot budget ran out mid-planning.
+    LpBudgetExhausted,
+    /// The adaptive plan's branch fan-out exceeded the branch budget.
+    BranchBudgetExceeded,
+    /// The estimated peak bag-materialisation rows exceeded the memory
+    /// budget.
+    MemoryBudgetExceeded,
+}
+
+impl ReasonCode {
+    /// A stable machine-readable code string.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            ReasonCode::ExplicitStrategy => "explicit_strategy",
+            ReasonCode::AcyclicFreeConnex => "acyclic_free_connex",
+            ReasonCode::SubwBelowFhtw => "subw_below_fhtw",
+            ReasonCode::NoWidthGap => "no_width_gap",
+            ReasonCode::WidthsUnavailable => "widths_unavailable",
+            ReasonCode::LpBudgetExhausted => "lp_budget_exhausted",
+            ReasonCode::BranchBudgetExceeded => "branch_budget_exceeded",
+            ReasonCode::MemoryBudgetExceeded => "memory_budget_exceeded",
+        }
+    }
+}
+
+impl std::fmt::Display for ReasonCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One fail-soft downgrade applied after selection: the strategy the rules
+/// chose could not run within the configured [`Budgets`],
+/// so a cheaper one ran instead.  Downgrades are one-way (`Adaptive →
+/// StaticTd → BinaryJoin`) and each carries the [`ReasonCode`] of the
+/// budget that forced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Downgrade {
+    /// The strategy given up.
+    pub from: EvaluationStrategy,
+    /// The strategy executed instead.
+    pub to: EvaluationStrategy,
+    /// Which budget forced the downgrade.
+    pub reason: ReasonCode,
+}
+
+/// One branch's width bound in a [`PlanReport`](crate::PlanReport):
+/// the bags the branch covers, its log-scale bound, and (when planning
+/// extracted one) the Shannon-flow certificate proving the bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchBound {
+    /// The bags this branch covers: one bag per entry for a static plan,
+    /// a whole bag selector for an adaptive DDR branch.
+    pub bags: Vec<VarSet>,
+    /// The branch's bound in `log_N` scale.
+    pub log_bound: Rat,
+    /// The machine-verified dual certificate, when one was extracted.
+    /// Absent on budget-downgraded static plans (re-deriving certificates
+    /// would spend LP work the budget already refused).
+    pub certificate: Option<ShannonFlow>,
+}
+
+/// The full outcome of one selection: what fired, what was selected, what
+/// will execute, and every planning artifact worth reusing at execution
+/// time (so planning work is never done twice).
+#[derive(Debug, Clone)]
+pub(crate) struct Selection {
+    pub rule: SelectorRule,
+    pub reason: ReasonCode,
+    pub selected: EvaluationStrategy,
+    pub executed: EvaluationStrategy,
+    pub downgrades: Vec<Downgrade>,
+    pub fhtw: Option<FhtwReport>,
+    pub subw: Option<SubwReport>,
+    pub tds: Vec<TreeDecomposition>,
+    /// fhtw's best decomposition, when fhtw completed.
+    pub best_td: Option<TreeDecomposition>,
+    /// The fully planned adaptive evaluator, when the gap rule fired.
+    pub evaluator: Option<PandaEvaluator>,
+    /// Number of degree branches the executed plan fans out into (1 for
+    /// every single-plan strategy; for a downgraded adaptive plan, the
+    /// count that triggered the downgrade).
+    pub branch_count: usize,
+    /// Simplex pivots consumed by planning, when a pivot budget was set.
+    pub lp_pivots_used: Option<u64>,
+}
+
+impl Selection {
+    fn new(rule: SelectorRule, reason: ReasonCode, strategy: EvaluationStrategy) -> Self {
+        Selection {
+            rule,
+            reason,
+            selected: strategy,
+            executed: strategy,
+            downgrades: Vec::new(),
+            fhtw: None,
+            subw: None,
+            tds: Vec::new(),
+            best_td: None,
+            evaluator: None,
+            branch_count: 1,
+            lp_pivots_used: None,
+        }
+    }
+
+    fn downgrade_to(&mut self, to: EvaluationStrategy, reason: ReasonCode) {
+        self.downgrades.push(Downgrade { from: self.executed, to, reason });
+        self.executed = to;
+    }
+}
+
+/// `true` iff the query is acyclic *and* free-connex (Section 3.4): both
+/// the body hypergraph and the body-plus-head hypergraph are acyclic.
+#[must_use]
+pub(crate) fn free_connex_acyclic(query: &ConjunctiveQuery) -> bool {
+    let mut edges = query.edges();
+    let acyclic = is_acyclic(&edges);
+    edges.push(query.free_vars());
+    acyclic && is_acyclic(&edges)
+}
+
+/// The planner's deterministic estimate of the peak bag-materialisation
+/// size of a single-TD plan: the largest per-bag estimate over the
+/// decomposition (the same estimator the adaptive branch cost model uses).
+fn peak_bag_rows(query: &ConjunctiveQuery, db: &Database, td: &TreeDecomposition) -> f64 {
+    td.bags().iter().map(|&bag| estimate_bag_size(query.atoms(), db, bag)).fold(0.0_f64, f64::max)
+}
+
+/// Applies the memory budget to a bag-materialising selection: if the
+/// estimated peak rows of the plan's decomposition exceed the budget, the
+/// selection downgrades to a binary join (which materialises only pairwise
+/// join results and the output).  `BinaryJoin` and `GenericJoin` are the
+/// ladder's floor and are never memory-checked; Yannakakis is linear in
+/// input plus output and is exempt by construction.
+fn apply_memory_budget(
+    selection: &mut Selection,
+    query: &ConjunctiveQuery,
+    db: &Database,
+    budgets: Budgets,
+) {
+    let Some(limit) = budgets.memory_rows_budget else { return };
+    if !matches!(selection.executed, EvaluationStrategy::StaticTd | EvaluationStrategy::Adaptive) {
+        return;
+    }
+    let Some(td) = selection.best_td.as_ref() else { return };
+    // For the adaptive plan the whole-database estimate over the best
+    // decomposition upper-bounds every branch (branch databases are subsets
+    // of the input), so one deterministic check covers both strategies.
+    let estimated = peak_bag_rows(query, db, td);
+    if estimated > limit as f64 {
+        selection.downgrade_to(EvaluationStrategy::BinaryJoin, ReasonCode::MemoryBudgetExceeded);
+        selection.branch_count = 1;
+    }
+}
+
+/// Attaches informational widths to a selection that did not need them to
+/// decide (the explicit override and the acyclic fast path): EXPLAIN
+/// callers still want to see `fhtw`/`subw`.  Runs unbudgeted — the
+/// selection itself spent no LP work, so the budget has nothing to govern —
+/// and absorbs width errors into absence (`None`).
+fn attach_informational_widths(
+    selection: &mut Selection,
+    query: &ConjunctiveQuery,
+    stats: &StatisticsSet,
+    threads: usize,
+) {
+    let tds = TreeDecomposition::enumerate(query);
+    if let Ok(report) = panda_entropy::fhtw_with_tds_parallel(query, &tds, stats, threads) {
+        selection.best_td = Some(report.best_td().clone());
+        selection.fhtw = Some(report);
+    }
+    if let Ok(report) = panda_entropy::subw_with_tds(query, &tds, stats) {
+        selection.subw = Some(report);
+    }
+    selection.tds = tds;
+}
+
+/// Runs the selector: walks the rule list in order, applies the budgets,
+/// and returns the full [`Selection`].
+///
+/// `want_widths` is set by the EXPLAIN path
+/// ([`Panda::plan_report`](crate::Panda::plan_report)) to attach
+/// informational widths on paths that do not compute them for the decision
+/// itself; the evaluation path leaves it off so e.g. acyclic queries never
+/// solve an LP.
+///
+/// Only [`BoundError::Solver`] — an LP solver *bug* — propagates as an
+/// error; `Unbounded` and `PivotBudgetExhausted` are absorbed into the
+/// selection as fallbacks or downgrades (that is the fail-soft contract).
+pub(crate) fn select(
+    query: &ConjunctiveQuery,
+    stats: &StatisticsSet,
+    db: &Database,
+    budgets: Budgets,
+    threads: usize,
+    requested: EvaluationStrategy,
+    want_widths: bool,
+) -> Result<Selection, BoundError> {
+    // Rule 1: explicit override.
+    if requested != EvaluationStrategy::Auto {
+        let mut selection =
+            Selection::new(SelectorRule::ExplicitOverride, ReasonCode::ExplicitStrategy, requested);
+        if want_widths {
+            attach_informational_widths(&mut selection, query, stats, threads);
+        }
+        return Ok(selection);
+    }
+
+    // Rule 2: acyclic fast path — no LP is solved.
+    if free_connex_acyclic(query) {
+        let mut selection = Selection::new(
+            SelectorRule::AcyclicFastPath,
+            ReasonCode::AcyclicFreeConnex,
+            EvaluationStrategy::Yannakakis,
+        );
+        if want_widths {
+            attach_informational_widths(&mut selection, query, stats, threads);
+        }
+        return Ok(selection);
+    }
+
+    let tds = TreeDecomposition::enumerate(query);
+    let mut budget = budgets.lp_pivot_budget.map(PivotBudget::new);
+
+    // fhtw: parallel chains when unbudgeted (optimal values are unique, so
+    // the result is engine-independent either way); the budgeted chain is
+    // sequential so the pivot count at which the budget dies is identical
+    // at every thread count.
+    let fhtw_result = match budget.as_mut() {
+        Some(b) => panda_entropy::fhtw_with_tds_budgeted(query, &tds, stats, b),
+        None => panda_entropy::fhtw_with_tds_parallel(query, &tds, stats, threads),
+    };
+    let fhtw_report = match fhtw_result {
+        Ok(report) => report,
+        Err(BoundError::Unbounded) => {
+            // Rule 5: no finite width exists.
+            let mut selection = Selection::new(
+                SelectorRule::GenericDefault,
+                ReasonCode::WidthsUnavailable,
+                EvaluationStrategy::GenericJoin,
+            );
+            selection.tds = tds;
+            selection.lp_pivots_used = budget.as_ref().map(PivotBudget::used);
+            return Ok(selection);
+        }
+        Err(BoundError::PivotBudgetExhausted) => {
+            // Rule 5: the budget died before any width was known, so no
+            // width rule can fire and nothing richer was ever selected —
+            // this is a selection reason, not a downgrade.
+            let mut selection = Selection::new(
+                SelectorRule::GenericDefault,
+                ReasonCode::LpBudgetExhausted,
+                EvaluationStrategy::GenericJoin,
+            );
+            selection.tds = tds;
+            selection.lp_pivots_used = budget.as_ref().map(PivotBudget::used);
+            return Ok(selection);
+        }
+        Err(e) => return Err(e),
+    };
+
+    // subw: always the sequential chain — its per-selector Shannon flows
+    // seed the adaptive partitions and the report's certificates, so the
+    // chain shape (and with it the extracted duals) must not depend on the
+    // thread count.
+    let subw_result = match budget.as_mut() {
+        Some(b) => panda_entropy::subw_with_tds_budgeted(query, &tds, stats, b),
+        None => panda_entropy::subw_with_tds(query, &tds, stats),
+    };
+    let lp_pivots_used = budget.as_ref().map(PivotBudget::used);
+
+    let mut selection = match subw_result {
+        Ok(subw_report) if subw_report.value < fhtw_report.value => {
+            // Rule 3: strict width gap — the adaptive plan.
+            let mut selection = Selection::new(
+                SelectorRule::SubwGap,
+                ReasonCode::SubwBelowFhtw,
+                EvaluationStrategy::Adaptive,
+            );
+            let evaluator = PandaEvaluator::from_reports(query, &subw_report, &fhtw_report);
+            selection.branch_count = evaluator.build_branches(query, db).len();
+            if let Some(cap) = budgets.branch_budget {
+                if selection.branch_count > cap {
+                    selection.downgrade_to(
+                        EvaluationStrategy::BinaryJoin,
+                        ReasonCode::BranchBudgetExceeded,
+                    );
+                }
+            }
+            selection.evaluator = Some(evaluator);
+            selection.best_td = Some(fhtw_report.best_td().clone());
+            selection.subw = Some(subw_report);
+            selection.fhtw = Some(fhtw_report);
+            selection
+        }
+        Ok(subw_report) => {
+            // Rule 4: widths agree — the best single-TD plan.
+            let mut selection = Selection::new(
+                SelectorRule::TdFallback,
+                ReasonCode::NoWidthGap,
+                EvaluationStrategy::StaticTd,
+            );
+            selection.best_td = Some(fhtw_report.best_td().clone());
+            selection.subw = Some(subw_report);
+            selection.fhtw = Some(fhtw_report);
+            selection
+        }
+        Err(BoundError::PivotBudgetExhausted) => {
+            // Downgrade: fhtw is known but the budget died inside subw.
+            // The gap rule was being evaluated (its candidate is the
+            // adaptive plan), so record Adaptive as selected and fall back
+            // to the best single-TD plan fhtw already paid for.
+            let mut selection = Selection::new(
+                SelectorRule::SubwGap,
+                ReasonCode::LpBudgetExhausted,
+                EvaluationStrategy::Adaptive,
+            );
+            selection.downgrade_to(EvaluationStrategy::StaticTd, ReasonCode::LpBudgetExhausted);
+            selection.best_td = Some(fhtw_report.best_td().clone());
+            selection.fhtw = Some(fhtw_report);
+            selection
+        }
+        Err(BoundError::Unbounded) => {
+            // Cannot happen when fhtw is finite (subw ≤ fhtw pointwise),
+            // but stay fail-soft: the single-TD plan is still sound.
+            let mut selection = Selection::new(
+                SelectorRule::TdFallback,
+                ReasonCode::WidthsUnavailable,
+                EvaluationStrategy::StaticTd,
+            );
+            selection.best_td = Some(fhtw_report.best_td().clone());
+            selection.fhtw = Some(fhtw_report);
+            selection
+        }
+        Err(e) => return Err(e),
+    };
+
+    selection.tds = tds;
+    selection.lp_pivots_used = lp_pivots_used;
+    apply_memory_budget(&mut selection, query, db, budgets);
+    Ok(selection)
+}
+
+/// Builds the per-branch width bounds for a report.
+///
+/// * Adaptive: one [`BranchBound`] per bag selector, certificate included
+///   (the `subw` chain already extracted and verified it).
+/// * Static: one per bag of the best decomposition.  When the selection
+///   completed within budget, each bag's certificate is re-derived with a
+///   *cold* (warm-start-free, hence engine- and chain-independent)
+///   polymatroid solve; after an LP-budget downgrade the recorded bag
+///   bounds are reported without certificates instead of spending pivots
+///   the budget already refused.
+/// * Yannakakis / generic / binary plans carry no width bounds.
+pub(crate) fn branch_bounds_for(
+    selection: &Selection,
+    query: &ConjunctiveQuery,
+    stats: &StatisticsSet,
+) -> Vec<BranchBound> {
+    match selection.selected {
+        EvaluationStrategy::Adaptive | EvaluationStrategy::StaticTd => {
+            if selection.selected == EvaluationStrategy::Adaptive {
+                if let Some(subw) = selection.subw.as_ref() {
+                    return subw
+                        .per_selector
+                        .iter()
+                        .map(|sel| BranchBound {
+                            bags: sel.selector.bags().to_vec(),
+                            log_bound: sel.report.log_bound,
+                            certificate: Some(sel.report.flow.clone()),
+                        })
+                        .collect();
+                }
+            }
+            let Some(fhtw) = selection.fhtw.as_ref() else { return Vec::new() };
+            let Some((_, _, per_bag)) = fhtw.per_td.get(fhtw.best) else { return Vec::new() };
+            let budget_died =
+                selection.reason == ReasonCode::LpBudgetExhausted && selection.subw.is_none();
+            let universe = query.all_vars();
+            per_bag
+                .iter()
+                .map(|&(bag, log_bound)| {
+                    let certificate = if budget_died {
+                        None
+                    } else {
+                        panda_entropy::polymatroid_bound(bag, universe, stats)
+                            .ok()
+                            .map(|report: BoundReport| report.flow)
+                    };
+                    BranchBound { bags: vec![bag], log_bound, certificate }
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}

@@ -73,8 +73,9 @@ pub use panda_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use panda_core::{
-        BinaryJoinPlan, DdrEvaluator, Engine, EvaluationStrategy, GenericJoin, Panda,
-        PandaEvaluator, Parallelism, StaticTdPlan, VarRelation,
+        BinaryJoinPlan, BranchBound, Budgets, DdrEvaluator, Downgrade, Engine, EvaluationStrategy,
+        Explain, GenericJoin, Panda, PandaEvaluator, Parallelism, PlanReport, ReasonCode,
+        SelectorRule, StaticTdPlan, StrategyError, VarRelation,
     };
     pub use panda_entropy::{
         agm_bound, ddr_polymatroid_bound, fhtw, polymatroid_bound, subw, ShannonFlow, Statistic,

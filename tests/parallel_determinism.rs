@@ -154,27 +154,80 @@ fn width_computations_are_identical_across_thread_counts() {
     }
 }
 
-/// Planning is engine-independent: the same strategy, widths and
-/// partitions come out of a parallel planner.
+/// Asserts every field of a [`PlanReport`] — selection metadata, widths,
+/// downgrades, per-branch bounds with their certificates — is identical
+/// between two reports.
+fn assert_reports_identical(par: &PlanReport, seq: &PlanReport, label: &str) {
+    assert_eq!(par.strategy, seq.strategy, "{label}: executed strategy");
+    assert_eq!(par.selected, seq.selected, "{label}: selected strategy");
+    assert_eq!(par.rule, seq.rule, "{label}: selector rule");
+    assert_eq!(par.reason, seq.reason, "{label}: reason code");
+    assert_eq!(par.downgrades, seq.downgrades, "{label}: downgrades");
+    assert_eq!(par.fhtw, seq.fhtw, "{label}: fhtw");
+    assert_eq!(par.subw, seq.subw, "{label}: subw");
+    assert_eq!(par.tds, seq.tds, "{label}: tds");
+    assert_eq!(par.partitions, seq.partitions, "{label}: partitions");
+    assert_eq!(par.branch_count, seq.branch_count, "{label}: branch count");
+    assert_eq!(par.branch_bounds, seq.branch_bounds, "{label}: branch bounds incl. certificates");
+    assert_eq!(par.lp_pivots_used, seq.lp_pivots_used, "{label}: lp pivots used");
+}
+
+/// Planning is engine-independent: the same strategy, selector rule,
+/// reason codes, widths, partitions, branch bounds (down to the
+/// Shannon-flow certificates) and pivot counts come out of a parallel
+/// planner at every thread count, with and without budgets.
 #[test]
 fn plan_reports_are_engine_independent() {
+    let query = workloads::four_cycle_projected();
+    let db = workloads::double_star_db(24);
+    // Unbudgeted, and budgeted tightly enough that the pivot counter is
+    // exercised (but not exhausted) — both must be thread-count-invariant.
+    let budget_configs = [
+        ("unbudgeted", Budgets::unlimited()),
+        ("budgeted", Budgets::unlimited().with_lp_pivot_budget(100_000)),
+    ];
+    for (label, budgets) in budget_configs {
+        let seq = Panda::new(query.clone())
+            .with_statistics(StatisticsSet::identical_cardinalities(&query, 1 << 12))
+            .with_engine(Engine::Sequential)
+            .with_budgets(budgets)
+            .plan_report(&db)
+            .unwrap();
+        if label == "budgeted" {
+            assert!(seq.lp_pivots_used.is_some(), "budgeted planning must report pivot usage");
+        }
+        for (threads, engine) in engines() {
+            let par = Panda::new(query.clone())
+                .with_statistics(StatisticsSet::identical_cardinalities(&query, 1 << 12))
+                .with_engine(engine)
+                .with_budgets(budgets)
+                .plan_report(&db)
+                .unwrap();
+            assert_reports_identical(&par, &seq, &format!("{label}/t{threads}"));
+        }
+    }
+}
+
+/// The EXPLAIN rendering — the full byte string — is engine-independent
+/// too (this is what the CI byte-stability job relies on).
+#[test]
+fn explain_output_is_engine_independent() {
     let query = workloads::four_cycle_projected();
     let db = workloads::double_star_db(24);
     let seq = Panda::new(query.clone())
         .with_statistics(StatisticsSet::identical_cardinalities(&query, 1 << 12))
         .with_engine(Engine::Sequential)
-        .plan_report(&db)
-        .unwrap();
+        .explain(&db)
+        .unwrap()
+        .to_string();
     for (threads, engine) in engines() {
         let par = Panda::new(query.clone())
             .with_statistics(StatisticsSet::identical_cardinalities(&query, 1 << 12))
             .with_engine(engine)
-            .plan_report(&db)
-            .unwrap();
-        assert_eq!(par.strategy, seq.strategy, "t{threads}");
-        assert_eq!(par.fhtw, seq.fhtw);
-        assert_eq!(par.subw, seq.subw);
-        assert_eq!(par.partitions, seq.partitions);
+            .explain(&db)
+            .unwrap()
+            .to_string();
+        assert_eq!(par, seq, "EXPLAIN text diverges at {threads} threads");
     }
 }
 

@@ -1,0 +1,616 @@
+//! Strategy-selection conformance suite: one scenario test per selector
+//! rule, one per fail-soft downgrade edge, plus property-based coverage of
+//! the report invariants and of result bit-identity under downgrades.
+//!
+//! The selector (see `docs/ARCHITECTURE.md`, "Strategy selection") walks a
+//! fixed rule list — explicit override, acyclic fast path, subw/fhtw gap,
+//! TD fallback, generic default — and every budget violation downgrades
+//! one-way down the ladder `Adaptive → StaticTd → BinaryJoin`.  These
+//! tests pin each rule and each edge by constructing the exact input that
+//! triggers it, then assert the machine-readable metadata (`rule`,
+//! `reason`, `downgrades`) *and* that the executed plan still computes the
+//! correct relation.
+
+use panda::config::{Engine, Parallelism};
+use panda::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph_db(names: &[&str], n: u64, edges: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for name in names {
+        let rel = panda::relation::Relation::from_rows(
+            2,
+            (0..edges).map(|_| [rng.gen_range(0..n), rng.gen_range(0..n)]),
+        )
+        .deduped();
+        db.insert(*name, rel);
+    }
+    db
+}
+
+/// The 4-cycle statistics under which `subw = 3/2 < 2 = fhtw` (Eq. 23).
+fn gap_stats(query: &ConjunctiveQuery) -> StatisticsSet {
+    StatisticsSet::identical_cardinalities(query, 1 << 12)
+}
+
+fn canonical(rel: &VarRelation, query: &ConjunctiveQuery) -> Vec<Vec<u64>> {
+    rel.canonical_rows_ordered(&query.free_vars().to_vec())
+}
+
+// ---------------------------------------------------------------------------
+// One scenario per selector rule.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rule_1_explicit_override_steps_aside() {
+    // The gap rule would pick Adaptive here; an explicit request wins and
+    // the selector records that it stepped aside.
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(16);
+    let stats = gap_stats(&query);
+    let panda = Panda::new(query).with_statistics(stats);
+    let report = panda.plan_report_for(&db, EvaluationStrategy::BinaryJoin).unwrap();
+    assert_eq!(report.rule, SelectorRule::ExplicitOverride);
+    assert_eq!(report.reason, ReasonCode::ExplicitStrategy);
+    assert_eq!(report.strategy, EvaluationStrategy::BinaryJoin);
+    assert_eq!(report.selected, EvaluationStrategy::BinaryJoin);
+    assert!(report.downgrades.is_empty());
+    // EXPLAIN still shows the widths the override renounced.
+    assert_eq!(report.fhtw, Some(Rat::from_int(2)));
+    assert_eq!(report.subw, Some(Rat::new(3, 2)));
+}
+
+#[test]
+fn rule_2_acyclic_fast_path_picks_yannakakis_without_lps() {
+    let query = parse_query("Q(A,B) :- R(A,B), S(B,C)").unwrap();
+    let db = random_graph_db(&["R", "S"], 20, 80, 2);
+    let report = Panda::new(query).plan_report(&db).unwrap();
+    assert_eq!(report.rule, SelectorRule::AcyclicFastPath);
+    assert_eq!(report.reason, ReasonCode::AcyclicFreeConnex);
+    assert_eq!(report.strategy, EvaluationStrategy::Yannakakis);
+    assert_eq!(report.selected, EvaluationStrategy::Yannakakis);
+    assert!(report.downgrades.is_empty());
+    assert_eq!(report.branch_count, 1);
+}
+
+#[test]
+fn rule_3_subw_gap_picks_the_adaptive_plan() {
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(16);
+    let report =
+        Panda::new(query.clone()).with_statistics(gap_stats(&query)).plan_report(&db).unwrap();
+    assert_eq!(report.rule, SelectorRule::SubwGap);
+    assert_eq!(report.reason, ReasonCode::SubwBelowFhtw);
+    assert_eq!(report.strategy, EvaluationStrategy::Adaptive);
+    assert!(report.downgrades.is_empty());
+    assert_eq!(report.fhtw, Some(Rat::from_int(2)));
+    assert_eq!(report.subw, Some(Rat::new(3, 2)));
+    // The gap rule's evidence: one certified bound per bag selector, each
+    // at or below the submodular width, each verifying as a Shannon flow.
+    assert!(!report.branch_bounds.is_empty());
+    for bound in &report.branch_bounds {
+        assert!(bound.log_bound <= Rat::new(3, 2));
+        let flow = bound.certificate.as_ref().expect("gap-rule bounds are certified");
+        flow.verify_identity().expect("certificate must verify");
+    }
+}
+
+#[test]
+fn rule_4_td_fallback_when_widths_show_no_gap() {
+    // Acyclic but not free-connex: rule 2 passes, and the only free-connex
+    // decomposition is trivial, so subw == fhtw and rule 4 fires.
+    let query = parse_query("Q(X,Y) :- R(X,Z), S(Z,Y)").unwrap();
+    let db = random_graph_db(&["R", "S"], 20, 80, 3);
+    let report = Panda::new(query).plan_report(&db).unwrap();
+    assert_eq!(report.rule, SelectorRule::TdFallback);
+    assert_eq!(report.reason, ReasonCode::NoWidthGap);
+    assert_eq!(report.strategy, EvaluationStrategy::StaticTd);
+    assert!(report.downgrades.is_empty());
+    assert_eq!(report.fhtw, report.subw);
+}
+
+#[test]
+fn rule_5_generic_default_when_no_width_exists() {
+    // An empty statistics set leaves every width unbounded: no width rule
+    // can fire and the selector lands on the generic worst-case join.
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(8);
+    let report =
+        Panda::new(query.clone()).with_statistics(StatisticsSet::new(2)).plan_report(&db).unwrap();
+    assert_eq!(report.rule, SelectorRule::GenericDefault);
+    assert_eq!(report.reason, ReasonCode::WidthsUnavailable);
+    assert_eq!(report.strategy, EvaluationStrategy::GenericJoin);
+    assert!(report.downgrades.is_empty());
+    assert_eq!(report.fhtw, None);
+    assert_eq!(report.subw, None);
+    // The plan still runs and is still correct.
+    let got = Panda::new(query.clone()).with_statistics(StatisticsSet::new(2)).evaluate(&db);
+    let want = Panda::new(query.clone()).evaluate_with(&db, EvaluationStrategy::GenericJoin);
+    assert_eq!(canonical(&got, &query), canonical(&want, &query));
+}
+
+// ---------------------------------------------------------------------------
+// One scenario per fail-soft downgrade edge.
+// ---------------------------------------------------------------------------
+
+/// Measures the sequential pivot cost of the budgeted planning chains on
+/// the 4-cycle: `(pivots for fhtw alone, pivots for fhtw + subw)`.  The
+/// budgets in the downgrade tests are calibrated from these measured
+/// numbers instead of hard-coding pivot counts that would rot whenever the
+/// solver changes.
+fn measured_pivot_costs(query: &ConjunctiveQuery, stats: &StatisticsSet) -> (u64, u64) {
+    let tds = TreeDecomposition::enumerate(query);
+    let mut fhtw_budget = panda::entropy::PivotBudget::new(u64::MAX);
+    panda::entropy::fhtw_with_tds_budgeted(query, &tds, stats, &mut fhtw_budget)
+        .expect("unbudgeted fhtw must succeed");
+    let mut total_budget = panda::entropy::PivotBudget::new(u64::MAX);
+    panda::entropy::fhtw_with_tds_budgeted(query, &tds, stats, &mut total_budget)
+        .expect("unbudgeted fhtw must succeed");
+    panda::entropy::subw_with_tds_budgeted(query, &tds, stats, &mut total_budget)
+        .expect("unbudgeted subw must succeed");
+    (fhtw_budget.used(), total_budget.used())
+}
+
+#[test]
+fn downgrade_lp_budget_exhausted_during_subw_falls_back_to_static_td() {
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(16);
+    let stats = gap_stats(&query);
+    let (fhtw_pivots, total_pivots) = measured_pivot_costs(&query, &stats);
+    assert!(
+        total_pivots > fhtw_pivots + 1,
+        "calibration: subw must cost more than one pivot (fhtw {fhtw_pivots}, total {total_pivots})"
+    );
+    // Enough budget to finish fhtw, one pivot short of starting subw in
+    // earnest: the budget dies mid-subw and the selection falls back to the
+    // best single-TD plan that fhtw already paid for.
+    let budgets = Budgets::unlimited().with_lp_pivot_budget(fhtw_pivots + 1);
+    let panda = Panda::new(query.clone()).with_statistics(stats.clone()).with_budgets(budgets);
+    let report = panda.plan_report(&db).unwrap();
+    assert_eq!(report.rule, SelectorRule::SubwGap);
+    assert_eq!(report.reason, ReasonCode::LpBudgetExhausted);
+    assert_eq!(report.selected, EvaluationStrategy::Adaptive);
+    assert_eq!(report.strategy, EvaluationStrategy::StaticTd);
+    assert_eq!(
+        report.downgrades,
+        vec![Downgrade {
+            from: EvaluationStrategy::Adaptive,
+            to: EvaluationStrategy::StaticTd,
+            reason: ReasonCode::LpBudgetExhausted,
+        }]
+    );
+    assert_eq!(report.fhtw, Some(Rat::from_int(2)));
+    assert_eq!(report.subw, None, "subw never finished");
+    assert_eq!(report.lp_pivots_used, Some(fhtw_pivots + 1), "the whole budget was consumed");
+    // Static bag bounds are reported, but without spending the pivots the
+    // budget already refused: no certificates.
+    assert!(!report.branch_bounds.is_empty());
+    for bound in &report.branch_bounds {
+        assert!(bound.certificate.is_none());
+    }
+    // The downgraded plan returns the identical relation.
+    let reference = Panda::new(query.clone()).with_statistics(stats.clone()).evaluate(&db);
+    let got = panda.evaluate(&db);
+    assert_eq!(canonical(&got, &query), canonical(&reference, &query));
+}
+
+#[test]
+fn lp_budget_exhausted_during_fhtw_is_a_selection_not_a_downgrade() {
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(16);
+    let stats = gap_stats(&query);
+    // One pivot is never enough for the first bag LP: the budget dies
+    // before any width is known, so nothing richer was ever selected —
+    // the generic default is a *selection* with a budget reason, and the
+    // downgrade list stays empty (downgrades ⟺ selected ≠ executed).
+    let budgets = Budgets::unlimited().with_lp_pivot_budget(1);
+    let panda = Panda::new(query.clone()).with_statistics(stats.clone()).with_budgets(budgets);
+    let report = panda.plan_report(&db).unwrap();
+    assert_eq!(report.rule, SelectorRule::GenericDefault);
+    assert_eq!(report.reason, ReasonCode::LpBudgetExhausted);
+    assert_eq!(report.selected, EvaluationStrategy::GenericJoin);
+    assert_eq!(report.strategy, EvaluationStrategy::GenericJoin);
+    assert!(report.downgrades.is_empty());
+    assert_eq!(report.fhtw, None);
+    assert_eq!(report.lp_pivots_used, Some(1));
+    let reference = Panda::new(query.clone()).with_statistics(stats).evaluate(&db);
+    assert_eq!(canonical(&panda.evaluate(&db), &query), canonical(&reference, &query));
+}
+
+#[test]
+fn within_budget_planning_is_identical_to_unbudgeted_planning() {
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(16);
+    let stats = gap_stats(&query);
+    let (_, total_pivots) = measured_pivot_costs(&query, &stats);
+    let unbudgeted =
+        Panda::new(query.clone()).with_statistics(stats.clone()).plan_report(&db).unwrap();
+    let budgeted = Panda::new(query.clone())
+        .with_statistics(stats)
+        .with_budgets(Budgets::unlimited().with_lp_pivot_budget(total_pivots))
+        .plan_report(&db)
+        .unwrap();
+    // A budget that is never exhausted changes nothing but the usage
+    // counter: same rule, same reason, same widths, same certificates.
+    assert_eq!(budgeted.rule, unbudgeted.rule);
+    assert_eq!(budgeted.reason, unbudgeted.reason);
+    assert_eq!(budgeted.strategy, unbudgeted.strategy);
+    assert_eq!(budgeted.downgrades, unbudgeted.downgrades);
+    assert_eq!(budgeted.fhtw, unbudgeted.fhtw);
+    assert_eq!(budgeted.subw, unbudgeted.subw);
+    assert_eq!(budgeted.partitions, unbudgeted.partitions);
+    assert_eq!(budgeted.branch_bounds, unbudgeted.branch_bounds);
+    assert_eq!(budgeted.lp_pivots_used, Some(total_pivots));
+    assert_eq!(unbudgeted.lp_pivots_used, None);
+}
+
+#[test]
+fn downgrade_branch_budget_exceeded_falls_back_to_binary_join() {
+    let query = panda::workloads::four_cycle_projected();
+    // The double star has mixed degrees, so the adaptive plan fans out
+    // into several branches; a branch budget of 1 cannot hold it.
+    let db = panda::workloads::double_star_db(24);
+    let stats = gap_stats(&query);
+    let unbudgeted =
+        Panda::new(query.clone()).with_statistics(stats.clone()).plan_report(&db).unwrap();
+    assert!(unbudgeted.branch_count > 1, "calibration: the instance must fan out");
+    let budgets = Budgets::unlimited().with_branch_budget(1);
+    let panda = Panda::new(query.clone()).with_statistics(stats.clone()).with_budgets(budgets);
+    let report = panda.plan_report(&db).unwrap();
+    assert_eq!(report.rule, SelectorRule::SubwGap);
+    assert_eq!(report.reason, ReasonCode::SubwBelowFhtw);
+    assert_eq!(report.selected, EvaluationStrategy::Adaptive);
+    assert_eq!(report.strategy, EvaluationStrategy::BinaryJoin);
+    assert_eq!(
+        report.downgrades,
+        vec![Downgrade {
+            from: EvaluationStrategy::Adaptive,
+            to: EvaluationStrategy::BinaryJoin,
+            reason: ReasonCode::BranchBudgetExceeded,
+        }]
+    );
+    assert_eq!(report.branch_count, unbudgeted.branch_count, "the triggering count is reported");
+    let reference = Panda::new(query.clone()).with_statistics(stats).evaluate(&db);
+    assert_eq!(canonical(&panda.evaluate(&db), &query), canonical(&reference, &query));
+}
+
+#[test]
+fn downgrade_memory_budget_exceeded_falls_back_to_binary_join() {
+    // Static case: the no-gap query downgrades StaticTd → BinaryJoin.
+    let query = parse_query("Q(X,Y) :- R(X,Z), S(Z,Y)").unwrap();
+    let db = random_graph_db(&["R", "S"], 20, 80, 7);
+    let budgets = Budgets::unlimited().with_memory_rows_budget(1);
+    let panda = Panda::new(query.clone()).with_budgets(budgets);
+    let report = panda.plan_report(&db).unwrap();
+    assert_eq!(report.rule, SelectorRule::TdFallback);
+    assert_eq!(report.selected, EvaluationStrategy::StaticTd);
+    assert_eq!(report.strategy, EvaluationStrategy::BinaryJoin);
+    assert_eq!(
+        report.downgrades,
+        vec![Downgrade {
+            from: EvaluationStrategy::StaticTd,
+            to: EvaluationStrategy::BinaryJoin,
+            reason: ReasonCode::MemoryBudgetExceeded,
+        }]
+    );
+    let reference = Panda::new(query.clone()).evaluate(&db);
+    assert_eq!(canonical(&panda.evaluate(&db), &query), canonical(&reference, &query));
+
+    // Adaptive case: the gap query downgrades Adaptive → BinaryJoin.
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(16);
+    let stats = gap_stats(&query);
+    let panda = Panda::new(query.clone()).with_statistics(stats.clone()).with_budgets(budgets);
+    let report = panda.plan_report(&db).unwrap();
+    assert_eq!(report.selected, EvaluationStrategy::Adaptive);
+    assert_eq!(report.strategy, EvaluationStrategy::BinaryJoin);
+    assert_eq!(report.downgrades.len(), 1);
+    assert_eq!(report.downgrades[0].reason, ReasonCode::MemoryBudgetExceeded);
+    let reference = Panda::new(query.clone()).with_statistics(stats).evaluate(&db);
+    assert_eq!(canonical(&panda.evaluate(&db), &query), canonical(&reference, &query));
+}
+
+#[test]
+fn downgrades_chain_lp_budget_then_memory_budget() {
+    // Both budgets bite: the LP budget dies mid-subw (Adaptive → StaticTd)
+    // and the static plan's bags then blow the memory budget (StaticTd →
+    // BinaryJoin).  The chain is recorded in application order and links up.
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(16);
+    let stats = gap_stats(&query);
+    let (fhtw_pivots, _) = measured_pivot_costs(&query, &stats);
+    let budgets =
+        Budgets::unlimited().with_lp_pivot_budget(fhtw_pivots + 1).with_memory_rows_budget(1);
+    let panda = Panda::new(query.clone()).with_statistics(stats.clone()).with_budgets(budgets);
+    let report = panda.plan_report(&db).unwrap();
+    assert_eq!(report.selected, EvaluationStrategy::Adaptive);
+    assert_eq!(report.strategy, EvaluationStrategy::BinaryJoin);
+    assert_eq!(
+        report.downgrades,
+        vec![
+            Downgrade {
+                from: EvaluationStrategy::Adaptive,
+                to: EvaluationStrategy::StaticTd,
+                reason: ReasonCode::LpBudgetExhausted,
+            },
+            Downgrade {
+                from: EvaluationStrategy::StaticTd,
+                to: EvaluationStrategy::BinaryJoin,
+                reason: ReasonCode::MemoryBudgetExceeded,
+            },
+        ]
+    );
+    let reference = Panda::new(query.clone()).with_statistics(stats).evaluate(&db);
+    assert_eq!(canonical(&panda.evaluate(&db), &query), canonical(&reference, &query));
+}
+
+// ---------------------------------------------------------------------------
+// Explicit strategies never downgrade: budgets surface as structured errors.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explicit_strategies_surface_budget_errors_instead_of_downgrading() {
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(8);
+    let budgets = Budgets::unlimited().with_lp_pivot_budget(1);
+    let panda = Panda::new(query).with_budgets(budgets);
+    for strategy in [EvaluationStrategy::StaticTd, EvaluationStrategy::Adaptive] {
+        let err = panda
+            .try_evaluate_with(&db, strategy)
+            .expect_err("one pivot cannot plan a width-based strategy");
+        assert_eq!(
+            err,
+            StrategyError::BudgetExceeded { strategy, reason: ReasonCode::LpBudgetExhausted }
+        );
+    }
+    // Strategies that plan without LPs are untouched by the pivot budget.
+    for strategy in [EvaluationStrategy::GenericJoin, EvaluationStrategy::BinaryJoin] {
+        assert!(panda.try_evaluate_with(&db, strategy).is_ok(), "{strategy:?}");
+    }
+}
+
+#[test]
+fn explicit_strategies_surface_unavailable_tds_instead_of_substituting() {
+    // Empty statistics leave every width unbounded: an explicit StaticTd
+    // or Adaptive request has no decomposition to run and must say so
+    // rather than silently running some other plan.
+    let query = panda::workloads::four_cycle_projected();
+    let db = panda::workloads::double_star_db(8);
+    let panda = Panda::new(query).with_statistics(StatisticsSet::new(2));
+    for strategy in [EvaluationStrategy::StaticTd, EvaluationStrategy::Adaptive] {
+        let err = panda.try_evaluate_with(&db, strategy).expect_err("no width exists");
+        assert!(
+            matches!(err, StrategyError::TdUnavailable { strategy: s, .. } if s == strategy),
+            "unexpected error for {strategy:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn strategy_error_display_is_stable_for_every_variant() {
+    let cyclic = StrategyError::CyclicYannakakis;
+    assert_eq!(cyclic.to_string(), "Yannakakis requires an acyclic query");
+
+    let unavailable = StrategyError::TdUnavailable {
+        strategy: EvaluationStrategy::StaticTd,
+        source: panda::entropy::BoundError::Unbounded,
+    };
+    let text = unavailable.to_string();
+    assert!(
+        text.contains("no tree decomposition could be costed for static-td"),
+        "unexpected Display: {text}"
+    );
+
+    let exceeded = StrategyError::BudgetExceeded {
+        strategy: EvaluationStrategy::Adaptive,
+        reason: ReasonCode::LpBudgetExhausted,
+    };
+    let text = exceeded.to_string();
+    assert!(
+        text.contains("budget exceeded (lp_budget_exhausted) while planning adaptive"),
+        "unexpected Display: {text}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property-based coverage.
+// ---------------------------------------------------------------------------
+
+/// The query pool the properties draw from: free-connex acyclic, acyclic
+/// non-free-connex, and two cyclic queries.
+fn query_pool(idx: usize) -> ConjunctiveQuery {
+    match idx % 4 {
+        0 => parse_query("Q(A,B) :- R(A,B), S(B,C)").unwrap(),
+        1 => parse_query("Q(X,Y) :- R(X,Z), S(Z,Y)").unwrap(),
+        2 => panda::workloads::triangle_query(),
+        _ => panda::workloads::four_cycle_projected(),
+    }
+}
+
+fn ladder_rank(strategy: EvaluationStrategy) -> Option<u8> {
+    match strategy {
+        EvaluationStrategy::Adaptive => Some(2),
+        EvaluationStrategy::StaticTd => Some(1),
+        EvaluationStrategy::BinaryJoin => Some(0),
+        _ => None,
+    }
+}
+
+/// The report invariants every selection must satisfy, whatever fired.
+fn check_report_invariants(report: &PlanReport, budgets: Budgets) {
+    // Auto never reports the explicit-override rule.
+    assert_ne!(report.rule, SelectorRule::ExplicitOverride);
+    // Downgrades are recorded iff selected and executed differ, and the
+    // chain links selected to executed without gaps.
+    assert_eq!(report.selected != report.strategy, !report.downgrades.is_empty());
+    if let (Some(first), Some(last)) = (report.downgrades.first(), report.downgrades.last()) {
+        assert_eq!(first.from, report.selected);
+        assert_eq!(last.to, report.strategy);
+    }
+    for pair in report.downgrades.windows(2) {
+        assert_eq!(pair[0].to, pair[1].from);
+    }
+    // Downgrades only move down the ladder, and each one names a budget
+    // that is actually configured.
+    for d in &report.downgrades {
+        let from = ladder_rank(d.from).expect("downgrade source is on the ladder");
+        let to = ladder_rank(d.to).expect("downgrade target is on the ladder");
+        assert!(from > to, "downgrades are one-way: {:?}", d);
+        let configured = match d.reason {
+            ReasonCode::LpBudgetExhausted => budgets.lp_pivot_budget.is_some(),
+            ReasonCode::BranchBudgetExceeded => budgets.branch_budget.is_some(),
+            ReasonCode::MemoryBudgetExceeded => budgets.memory_rows_budget.is_some(),
+            _ => false,
+        };
+        assert!(configured, "downgrade reason {:?} without a matching budget", d.reason);
+    }
+    // Rule/reason/strategy consistency.
+    match report.rule {
+        SelectorRule::ExplicitOverride => unreachable!("checked above"),
+        SelectorRule::AcyclicFastPath => {
+            assert_eq!(report.reason, ReasonCode::AcyclicFreeConnex);
+            assert_eq!(report.selected, EvaluationStrategy::Yannakakis);
+        }
+        SelectorRule::SubwGap => {
+            assert_eq!(report.selected, EvaluationStrategy::Adaptive);
+            match report.reason {
+                ReasonCode::SubwBelowFhtw => {
+                    let (Some(subw), Some(fhtw)) = (report.subw, report.fhtw) else {
+                        panic!("gap rule without widths")
+                    };
+                    assert!(subw < fhtw);
+                }
+                ReasonCode::LpBudgetExhausted => assert_eq!(report.subw, None),
+                other => panic!("impossible gap-rule reason {other:?}"),
+            }
+        }
+        SelectorRule::TdFallback => {
+            assert_eq!(report.selected, EvaluationStrategy::StaticTd);
+            if report.reason == ReasonCode::NoWidthGap {
+                assert_eq!(report.subw, report.fhtw);
+            }
+        }
+        SelectorRule::GenericDefault => {
+            assert_eq!(report.selected, EvaluationStrategy::GenericJoin);
+            assert!(matches!(
+                report.reason,
+                ReasonCode::WidthsUnavailable | ReasonCode::LpBudgetExhausted
+            ));
+            assert_eq!(report.fhtw, None);
+        }
+    }
+    // Budget accounting: pivots are only reported when a pivot budget was
+    // set, and never exceed it.
+    match (budgets.lp_pivot_budget, report.lp_pivots_used) {
+        (None, used) => assert_eq!(used, None),
+        (Some(limit), Some(used)) => assert!(used <= limit),
+        // The acyclic fast path never opens the budget.
+        (Some(_), None) => assert_eq!(report.rule, SelectorRule::AcyclicFastPath),
+    }
+    // An adaptive plan that survived the branch budget fits inside it.
+    if report.strategy == EvaluationStrategy::Adaptive {
+        if let Some(cap) = budgets.branch_budget {
+            assert!(report.branch_count <= cap);
+        }
+    }
+    assert!(report.branch_count >= 1);
+}
+
+proptest! {
+    // Every selection's reason codes are consistent with its inputs, for
+    // random data and every budget combination.
+    #[test]
+    fn prop_reason_codes_are_consistent_with_inputs(
+        qidx in 0usize..4,
+        edges in proptest::collection::vec((0u64..10, 0u64..10), 1..80),
+        seed in 0u64..1000,
+        lp_budget in proptest::option::of(1u64..2000),
+        branch_budget in proptest::option::of(1usize..8),
+        memory_budget in proptest::option::of(1u64..500),
+    ) {
+        let query = query_pool(qidx);
+        let db = random_graph_db(&["R", "S", "T", "U"], 10, edges.len(), seed);
+        let budgets = Budgets {
+            lp_pivot_budget: lp_budget,
+            branch_budget,
+            memory_rows_budget: memory_budget,
+        };
+        let report = Panda::new(query).with_budgets(budgets).plan_report(&db).unwrap();
+        check_report_invariants(&report, budgets);
+    }
+
+    // Bit-identity under downgrades: whatever the budgets force, the
+    // answer relation is identical to the unbudgeted reference, under both
+    // engines.
+    #[test]
+    fn prop_downgraded_plans_return_identical_results(
+        qidx in 0usize..4,
+        n in 4u64..12,
+        edges in 10usize..80,
+        seed in 0u64..1000,
+        lp_budget in proptest::option::of(1u64..2000),
+        branch_budget in proptest::option::of(1usize..8),
+        memory_budget in proptest::option::of(1u64..500),
+    ) {
+        let query = query_pool(qidx);
+        let db = random_graph_db(&["R", "S", "T", "U"], n, edges, seed);
+        let budgets = Budgets {
+            lp_pivot_budget: lp_budget,
+            branch_budget,
+            memory_rows_budget: memory_budget,
+        };
+        let reference = Panda::new(query.clone())
+            .with_engine(Engine::Sequential)
+            .evaluate(&db);
+        let reference = canonical(&reference, &query);
+        for engine in [Engine::Sequential, Engine::Parallel(Parallelism::threads(4))] {
+            let got = Panda::new(query.clone())
+                .with_engine(engine)
+                .with_budgets(budgets)
+                .evaluate(&db);
+            prop_assert_eq!(canonical(&got, &query), reference.clone());
+        }
+    }
+
+    // The facade differential property: every strategy that accepts the
+    // query returns the identical relation.
+    #[test]
+    fn prop_all_accepting_strategies_agree(
+        qidx in 0usize..4,
+        n in 4u64..12,
+        edges in 10usize..80,
+        seed in 0u64..1000,
+    ) {
+        let query = query_pool(qidx);
+        let db = random_graph_db(&["R", "S", "T", "U"], n, edges, seed);
+        let panda = Panda::new(query.clone()).with_engine(Engine::Sequential);
+        let reference =
+            canonical(&panda.evaluate_with(&db, EvaluationStrategy::GenericJoin), &query);
+        for strategy in [
+            EvaluationStrategy::Auto,
+            EvaluationStrategy::Yannakakis,
+            EvaluationStrategy::StaticTd,
+            EvaluationStrategy::Adaptive,
+            EvaluationStrategy::BinaryJoin,
+        ] {
+            match panda.try_evaluate_with(&db, strategy) {
+                Ok(result) => prop_assert_eq!(
+                    canonical(&result, &query),
+                    reference.clone(),
+                    "strategy {:?}",
+                    strategy
+                ),
+                Err(StrategyError::CyclicYannakakis) => {
+                    prop_assert_eq!(strategy, EvaluationStrategy::Yannakakis);
+                    prop_assert!(!panda.is_free_connex_acyclic());
+                }
+                Err(other) => {
+                    panic!("strategy {strategy:?} rejected an unbudgeted query: {other}")
+                }
+            }
+        }
+    }
+}

@@ -9,7 +9,8 @@
 //! * the [`proptest!`] macro (multiple `#[test] fn name(arg in strategy)`
 //!   items per invocation),
 //! * range strategies (`0u64..15`, `-1000i128..1000`, `1usize..6`, ...),
-//!   tuple strategies, [`collection::vec`], and [`Strategy::prop_map`],
+//!   tuple strategies, [`collection::vec`], [`option::of`], and
+//!   [`Strategy::prop_map`],
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
 //!
 //! Differences from upstream: no shrinking (a failing case panics with the
@@ -54,6 +55,37 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = rng.gen_usize(self.size.start, self.size.end);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over `Option`, mirroring `proptest::option`.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// The result of [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Creates a strategy producing `None` for about a quarter of the
+    /// cases and `Some(value)` from `inner` otherwise (upstream's default
+    /// `None` weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_usize(0, 4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
         }
     }
 }
@@ -348,6 +380,23 @@ mod tests {
             assert!((1..7).contains(&v.len()));
             assert!(v.iter().all(|(a, b)| *a < 4 && *b < 4));
         }
+    }
+
+    #[test]
+    fn option_strategy_generates_both_variants_in_range() {
+        let mut rng = TestRng::deterministic("option_strategy_generates_both_variants");
+        let s = crate::option::of(3u64..9);
+        let (mut none, mut some) = (false, false);
+        for _ in 0..200 {
+            match Strategy::generate(&s, &mut rng) {
+                None => none = true,
+                Some(v) => {
+                    assert!((3..9).contains(&v));
+                    some = true;
+                }
+            }
+        }
+        assert!(none && some, "both variants must be reachable");
     }
 
     #[test]
