@@ -1,0 +1,197 @@
+//! Row-major vs columnar A/B — the storage-layout experiment behind the
+//! `Layout` knob (`PANDA_LAYOUT=columnar`).
+//!
+//! Every pair benchmarks the *same operator on the same rows*: the `row`
+//! arm is a plain row-major relation, the `col` arm carries an attached
+//! column store (the state the columnar layout produces at insert time),
+//! which routes the operator through the vectorised batch kernels.  The
+//! value columns are low-cardinality so the store dictionary-encodes them
+//! — the layout the kernels' per-code fast paths are built for.  Outputs
+//! are bit-identical by the differential suites; this measures the
+//! constant factors only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::{DdrEvaluator, GenericJoin};
+use panda_entropy::StatisticsSet;
+use panda_query::{BagSelector, DisjunctiveRule, Var, VarSet};
+use panda_relation::{operators, Database, Relation};
+use panda_workloads::{double_star_db, erdos_renyi_db, four_cycle_projected, triangle_query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A deep copy of `rel` with its column store attached (what
+/// `PANDA_LAYOUT=columnar` produces at insert time).  A deep copy because
+/// clones share the index cache — attaching to a clone would turn the
+/// row-major arm columnar too.
+fn columnar(rel: &Relation) -> Relation {
+    let copy = Relation::from_rows(rel.arity(), rel.iter());
+    let _ = copy.column_store();
+    copy
+}
+
+fn columnar_db(db: &Database) -> Database {
+    let mut out = Database::new();
+    for (name, rel) in db.iter() {
+        out.insert(name, columnar(rel));
+    }
+    out
+}
+
+/// Pairs whose first column is near-unique (stays `Plain`) and whose
+/// second is low-cardinality (dictionary-encoded).
+fn mixed_pairs(rows: usize, dict_values: u64, seed: u64) -> Vec<[u64; 2]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows).map(|_| [rng.gen_range(0..1_000_000), rng.gen_range(0..dict_values)]).collect()
+}
+
+fn bench_selection_projection(c: &mut Criterion) {
+    let rows = mixed_pairs(60_000, 64, 1);
+    let row = Relation::from_rows(2, rows.iter());
+    let col = columnar(&row);
+
+    let mut group = c.benchmark_group("columnar_select_project");
+    // Selection on the dictionary column: row scan vs binary-searched
+    // code comparison over the contiguous code buffer.
+    group.bench_function(BenchmarkId::new("select_eq", "row"), |b| {
+        b.iter(|| operators::select_eq(&row, 1, 7).len());
+    });
+    group.bench_function(BenchmarkId::new("select_eq", "col"), |b| {
+        b.iter(|| operators::select_eq(&col, 1, 7).len());
+    });
+    // Distinct projection to the dictionary column: per-row tuple
+    // hashing vs a seen-bitmap over dictionary codes.
+    group.bench_function(BenchmarkId::new("project_dict", "row"), |b| {
+        b.iter(|| operators::project(&row, &[1]).len());
+    });
+    group.bench_function(BenchmarkId::new("project_dict", "col"), |b| {
+        b.iter(|| operators::project(&col, &[1]).len());
+    });
+    group.finish();
+}
+
+fn bench_join_and_semijoin(c: &mut Criterion) {
+    // Join on the low-cardinality column: the probe kernel resolves each
+    // dictionary code against the build index once instead of per row.
+    let lrows = mixed_pairs(30_000, 256, 2);
+    let rrows = mixed_pairs(30_000, 256, 3);
+    let lrow = Relation::from_rows(2, lrows.iter());
+    let rrow = Relation::from_rows(2, rrows.iter());
+    let lcol = columnar(&lrow);
+    let rcol = columnar(&rrow);
+    let on = [(1usize, 1usize)];
+
+    let mut group = c.benchmark_group("columnar_join_semijoin");
+    group.bench_function(BenchmarkId::new("semijoin", "row"), |b| {
+        b.iter(|| operators::semijoin(&lrow, &rrow, &on).len());
+    });
+    group.bench_function(BenchmarkId::new("semijoin", "col"), |b| {
+        b.iter(|| operators::semijoin(&lcol, &rcol, &on).len());
+    });
+    group.bench_function(BenchmarkId::new("antijoin", "row"), |b| {
+        b.iter(|| operators::antijoin(&lrow, &rrow, &on).len());
+    });
+    group.bench_function(BenchmarkId::new("antijoin", "col"), |b| {
+        b.iter(|| operators::antijoin(&lcol, &rcol, &on).len());
+    });
+    // A key-selective join (near-unique keys): measures the probe loop
+    // itself with warm indexes on both arms.
+    let jlrows = mixed_pairs(30_000, 30_000, 4);
+    let jrrows = mixed_pairs(30_000, 30_000, 5);
+    let jlrow = Relation::from_rows(2, jlrows.iter());
+    let jrrow = Relation::from_rows(2, jrrows.iter());
+    let jlcol = columnar(&jlrow);
+    let jrcol = columnar(&jrrow);
+    let jon = [(1usize, 1usize)];
+    group.bench_function(BenchmarkId::new("join_warm", "row"), |b| {
+        b.iter(|| operators::join(&jlrow, &jrrow, &jon).len());
+    });
+    group.bench_function(BenchmarkId::new("join_warm", "col"), |b| {
+        b.iter(|| operators::join(&jlcol, &jrcol, &jon).len());
+    });
+    group.finish();
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    // Degree/distinct measurement, cold each iteration (the stats cache
+    // would otherwise absorb the second read): the columnar arm pays the
+    // one-off store build and still reads column-contiguous data.
+    let rows = mixed_pairs(60_000, 64, 6);
+
+    let mut group = c.benchmark_group("columnar_statistics");
+    group.bench_function(BenchmarkId::new("distinct_dict", "row"), |b| {
+        b.iter(|| {
+            let r = Relation::from_rows(2, rows.iter());
+            panda_relation::stats::distinct_count(&r, &[1])
+        });
+    });
+    group.bench_function(BenchmarkId::new("distinct_dict", "col"), |b| {
+        b.iter(|| {
+            let r = Relation::from_rows(2, rows.iter());
+            let _ = r.column_store();
+            panda_relation::stats::distinct_count(&r, &[1])
+        });
+    });
+    group.bench_function(BenchmarkId::new("max_degree", "row"), |b| {
+        b.iter(|| {
+            let r = Relation::from_rows(2, rows.iter());
+            panda_relation::stats::max_degree(&r, &[1], &[0])
+        });
+    });
+    group.bench_function(BenchmarkId::new("max_degree", "col"), |b| {
+        b.iter(|| {
+            let r = Relation::from_rows(2, rows.iter());
+            let _ = r.column_store();
+            panda_relation::stats::max_degree(&r, &[1], &[0])
+        });
+    });
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // End-to-end: the wcoj (E9 triangle) and DDR (E7 double star)
+    // workloads on a row-major vs columnar-activated database.
+    let triangle = triangle_query();
+    let tri_row = erdos_renyi_db(&["R", "S", "T"], 400, 4000, 1);
+    let tri_col = columnar_db(&tri_row);
+
+    let mut group = c.benchmark_group("columnar_engines");
+    group.bench_function(BenchmarkId::new("wcoj_triangle", "row"), |b| {
+        b.iter(|| GenericJoin::evaluate(&triangle, &tri_row).len());
+    });
+    group.bench_function(BenchmarkId::new("wcoj_triangle", "col"), |b| {
+        b.iter(|| GenericJoin::evaluate(&triangle, &tri_col).len());
+    });
+
+    let query = four_cycle_projected();
+    let selector = BagSelector::new(vec![
+        VarSet::from_iter([Var(0), Var(1), Var(2)]),
+        VarSet::from_iter([Var(1), Var(2), Var(3)]),
+    ]);
+    let rule = DisjunctiveRule::for_bag_selector(&query, &selector);
+    let ddr_row = double_star_db(256);
+    let ddr_col = columnar_db(&ddr_row);
+    let stats = StatisticsSet::measure(&query, &ddr_row);
+    let evaluator = DdrEvaluator::plan(&rule, &stats).unwrap();
+    group.bench_function(BenchmarkId::new("ddr_double_star", "row"), |b| {
+        b.iter(|| evaluator.evaluate(&ddr_row).max_target_size());
+    });
+    group.bench_function(BenchmarkId::new("ddr_double_star", "col"), |b| {
+        b.iter(|| evaluator.evaluate(&ddr_col).max_target_size());
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_selection_projection, bench_join_and_semijoin, bench_statistics, bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+// D1 must fire in columnar dictionary code: hash-ordered code sets and
+// dictionaries leaking into order-observing kernel outputs.
+use std::collections::{HashMap, HashSet};
+
+pub fn dict_in_hash_order(dict: &HashMap<u64, u32>) -> Vec<u64> {
+    dict.keys().copied().collect() // line 6: D1 (dictionary in hash order)
+}
+
+pub fn seen_codes_unsorted(seen: &HashSet<u32>) -> Vec<u32> {
+    let mut codes = Vec::new();
+    codes.extend(seen.iter().copied()); // line 11: D1 (code set feeds extend)
+    codes
+}
+
+pub fn rows_per_code(groups: &HashMap<u32, Vec<usize>>) -> Vec<usize> {
+    let mut row_ids = Vec::new();
+    for (_code, ids) in groups {
+        // line 17: D1 anchors on the `for` — shard order would depend on
+        // the hash of the dictionary code.
+        row_ids.extend(ids.iter().copied());
+    }
+    row_ids
+}

@@ -1,0 +1,11 @@
+// P1 must fire on unjustified panics in columnar kernel code: direct
+// code/column indexing and unwraps on dictionary lookups.
+pub fn gather(codes: &[u32], dict: &[u64], row: usize) -> u64 {
+    let code = codes[row]; // line 4: P1 (code indexing)
+    dict[code as usize] // line 5: P1 (dictionary indexing)
+}
+
+pub fn dict_code_of(dict: &[u64], value: u64) -> u32 {
+    let slot = dict.binary_search(&value).unwrap(); // line 9: P1 (unwrap)
+    u32::try_from(slot).expect("dictionary fits in u32") // line 10: P1 (expect)
+}

@@ -1,0 +1,43 @@
+//! The columnar kernel idiom lints clean: dictionary code paths sort or
+//! collect into order-insensitive sinks before anything ordered observes
+//! them, and the hot gather loops justify their bounds-checked indexing.
+use std::collections::{HashMap, HashSet};
+
+/// The stats-kernel shape: hash-ordered per-code sets collect straight
+/// into an order-insensitive map (the turbofish names the sink).
+pub fn degrees_by_code(per_code: &[HashSet<u64>]) -> HashMap<u32, usize> {
+    per_code
+        .iter()
+        .enumerate()
+        .filter(|(_, set)| !set.is_empty())
+        .map(|(code, set)| (code as u32, set.len()))
+        .collect::<HashMap<u32, usize>>()
+}
+
+/// The dictionary-build shape: values leave hash order through an
+/// explicit canonical sort before any code is assigned.
+pub fn build_dict(values: &HashSet<u64>) -> Vec<u64> {
+    let mut dict: Vec<u64> = values.iter().copied().collect();
+    dict.sort_unstable(); // canonical dictionary order
+    dict
+}
+
+/// Order-insensitive consumers of code sets need no sort at all.
+pub fn distinct_codes(seen: &HashSet<u32>) -> usize {
+    seen.len()
+}
+
+pub fn gather(codes: &[u32], dict: &[u64], row: usize) -> u64 {
+    // panda-lint: allow(P1) -- `row` is bounded by the store's row count
+    // and every code indexes `dict` by construction of the column store
+    dict[codes[row] as usize]
+}
+
+pub fn gather_rows(codes: &[u32], dict: &[u64], rows: &[usize]) -> Vec<u64> {
+    // panda-lint: allow(P1) -- row ids come from the store's own index
+    rows.iter()
+        .map(|&row| {
+            dict[codes[row] as usize]
+        })
+        .collect()
+}

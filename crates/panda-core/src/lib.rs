@@ -30,8 +30,10 @@
 //! * [`config`] — the [`Engine`]/[`Parallelism`] knob: evaluation is
 //!   sequential by default and opt-in parallel (deterministic —
 //!   bit-identical outputs at any thread count), toggled per evaluator or
-//!   through the `PANDA_THREADS` environment variable — and the
-//!   [`Budgets`] for deterministic planning/execution resource caps.
+//!   through the `PANDA_THREADS` environment variable — the [`Layout`]
+//!   knob selecting row-major or columnar relation storage (also
+//!   bit-identical, toggled through `PANDA_LAYOUT`), and the [`Budgets`]
+//!   for deterministic planning/execution resource caps.
 //!
 //! See `docs/ARCHITECTURE.md` at the workspace root for the execution
 //! flow and the paper-section → module map, and `docs/NOTATION.md` for
@@ -55,7 +57,7 @@ pub mod yannakakis;
 
 pub use binary::BinaryJoinPlan;
 pub use binding::VarRelation;
-pub use config::{Budgets, Engine, Parallelism};
+pub use config::{Budgets, Engine, Layout, Parallelism};
 pub use ddr_eval::{DdrEvaluator, DdrModel};
 pub use generic_join::GenericJoin;
 pub use panda::{EvaluationStrategy, Explain, Panda, PlanReport, StrategyError};

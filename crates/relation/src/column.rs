@@ -1,0 +1,368 @@
+//! Columnar storage: per-column `Arc`-shared buffers with dictionary
+//! encoding, behind the same copy-on-write + index-cache architecture as
+//! the row-major store.
+//!
+//! The row-major flat buffer of a [`Relation`] stays the *source of
+//! truth* — `Relation::row` and `Relation::iter` hand out borrowed slices
+//! of it, and every mutation path goes through it.  A [`ColumnStore`] is a
+//! derived structure: a per-column mirror of the same rows, cached in the
+//! relation's shared `IndexCache` exactly like hash indexes and degree
+//! maps.  That placement buys the whole copy-on-write story for free:
+//!
+//! * O(1) relation clones share the column store (it rides in the shared
+//!   cache `Arc`),
+//! * mutation detaches the relation from the cache, so stale columns can
+//!   never be observed,
+//! * `Relation::partitioned` shard views carry zero-copy *slices* of the
+//!   parent's column store (same `Arc` buffers, narrowed row window).
+//!
+//! Low-cardinality columns are dictionary-encoded ([`ColumnData::Dict`]):
+//! values are replaced by `u32` codes into a sorted dictionary of the
+//! distinct values.  The sorted dictionary makes value→code lookup a
+//! binary search and gives the batch kernels in `crate::kernels` their
+//! fast paths (per-*code* membership probes instead of per-*row* hash
+//! probes).
+//!
+//! Whether the columnar layout is *active* is controlled by
+//! [`Layout`] — `PANDA_LAYOUT=columnar` (or programmatic
+//! [`Relation::column_store`] calls) attaches column stores to base
+//! relations, and the operator layer dispatches to the columnar kernels
+//! whenever its inputs carry one.  Outputs are **bit-identical across
+//! layouts**: every kernel visits rows in the same order and keeps first
+//! occurrences exactly like its row-major twin.
+
+// panda-lint: allow-file(P1) -- column and row indices are bounded by the
+// store's (columns, rows) shape, checked at construction from the
+// relation's arity invariant; dictionary codes are produced by the same
+// binary search that built the dictionary.
+
+use std::sync::Arc;
+
+use crate::relation::{Relation, Value};
+
+/// The physical storage layout the engine evaluates over.
+///
+/// Row-major is the default: relations are flat `Arc<Vec<Value>>` buffers
+/// and operators walk `arity`-strided tuples.  Under [`Layout::Columnar`]
+/// base relations additionally carry a [`ColumnStore`] and the operator
+/// layer routes through the batch kernels in `crate::kernels`.  The
+/// layout knob changes *wall-clock time only*: outputs are bit-identical
+/// across layouts and engines (pinned by the workspace's differential and
+/// parallel-determinism suites).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Flat row-major tuples only (the default).
+    #[default]
+    RowMajor,
+    /// Row-major plus per-column mirrors and batch kernels.
+    Columnar,
+}
+
+impl Layout {
+    /// The layout selected by the `PANDA_LAYOUT` environment variable
+    /// (read once per process): `columnar` (case-insensitive; `column` and
+    /// `col` are accepted) selects [`Layout::Columnar`]; everything else —
+    /// unset, empty, `row`, unrecognised — is [`Layout::RowMajor`].
+    ///
+    /// This is what `Database::insert` and the atom-binding layer in
+    /// `panda-core` consult, and what the CI matrix toggles to run the
+    /// whole test suite under both layouts.
+    #[must_use]
+    pub fn from_env() -> Self {
+        static FROM_ENV: std::sync::OnceLock<Layout> = std::sync::OnceLock::new();
+        *FROM_ENV.get_or_init(|| match std::env::var("PANDA_LAYOUT") {
+            Ok(v)
+                if v.eq_ignore_ascii_case("columnar")
+                    || v.eq_ignore_ascii_case("column")
+                    || v.eq_ignore_ascii_case("col") =>
+            {
+                Layout::Columnar
+            }
+            _ => Layout::RowMajor,
+        })
+    }
+
+    /// `true` iff this is the columnar layout.
+    #[must_use]
+    pub fn is_columnar(self) -> bool {
+        self == Layout::Columnar
+    }
+}
+
+/// Dictionary encoding is only attempted when a column has at most this
+/// many distinct values (codes are `u32`, but a huge dictionary defeats
+/// the purpose: per-code kernels degenerate to per-row work).
+const DICT_MAX_CARDINALITY: usize = 1 << 16;
+
+/// One column's physical buffer: either the plain values, or `u32` codes
+/// into a sorted dictionary of the distinct values (chosen per column at
+/// build time for low-cardinality columns).
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// The values themselves, one per row.
+    Plain(Arc<Vec<Value>>),
+    /// Dictionary encoding: `dict` holds the sorted distinct values and
+    /// `codes[i]` indexes into it.
+    Dict {
+        /// Per-row codes into `dict`.
+        codes: Arc<Vec<u32>>,
+        /// The sorted distinct values of the column.
+        dict: Arc<Vec<Value>>,
+    },
+}
+
+impl ColumnData {
+    /// The value at (absolute) row `i`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Plain(values) => values[i],
+            ColumnData::Dict { codes, dict } => dict[codes[i] as usize],
+        }
+    }
+
+    /// Builds the column from gathered values, dictionary-encoding when
+    /// the distinct-value count is low.  The encoding decision is a pure
+    /// function of the values, so clones and re-builds agree.
+    fn from_values(values: Vec<Value>) -> ColumnData {
+        let mut dict: Vec<Value> = values.clone();
+        dict.sort_unstable();
+        dict.dedup();
+        // Encode only when the dictionary earns its indirection: few
+        // distinct values, and strictly fewer than rows (a key-like column
+        // gains nothing).
+        if dict.is_empty() || dict.len() > DICT_MAX_CARDINALITY || dict.len() * 2 > values.len() {
+            return ColumnData::Plain(Arc::new(values));
+        }
+        let codes: Vec<u32> = values
+            .iter()
+            .map(|v| {
+                // The dictionary was built from these exact values, so the
+                // search always succeeds.
+                let code = dict.binary_search(v).unwrap_or(usize::MAX);
+                debug_assert!(code < dict.len());
+                code as u32
+            })
+            .collect();
+        ColumnData::Dict { codes: Arc::new(codes), dict: Arc::new(dict) }
+    }
+}
+
+/// A per-column mirror of a relation's rows: `columns[c]` holds the values
+/// of column `c` for rows `[start, start + rows)` of the underlying
+/// buffers.
+///
+/// Stores are built once per relation ([`Relation::column_store`]), cached
+/// in the relation's shared `IndexCache`, and *sliced* zero-copy for shard
+/// views (`Arc`-shared column buffers, narrowed `[start, rows)` window) —
+/// the columnar counterpart of [`Relation::partitioned`]'s row views.
+///
+/// # Examples
+///
+/// ```
+/// use panda_relation::Relation;
+///
+/// let r = Relation::from_rows(2, (0..64u64).map(|i| [i, i % 3]));
+/// let store = r.column_store().unwrap();
+/// assert_eq!(store.num_rows(), 64);
+/// assert_eq!(store.value(5, 0), 5);
+/// assert_eq!(store.value(5, 1), 2);
+/// // Column 1 has 3 distinct values over 64 rows: dictionary-encoded.
+/// assert!(store.dict_column(1).is_some());
+/// assert!(store.dict_column(0).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    start: usize,
+    rows: usize,
+    columns: Vec<ColumnData>,
+}
+
+impl ColumnStore {
+    /// Builds the columnar mirror of a relation's (viewed) rows.  One pass
+    /// per column; dictionary encoding is decided per column.
+    #[must_use]
+    pub fn from_relation(relation: &Relation) -> ColumnStore {
+        let arity = relation.arity();
+        let rows = relation.len();
+        let columns = (0..arity)
+            .map(|c| {
+                let values: Vec<Value> = relation.iter().map(|row| row[c]).collect();
+                ColumnData::from_values(values)
+            })
+            .collect();
+        ColumnStore { start: 0, rows, columns }
+    }
+
+    /// The number of rows in (this view of) the store.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The number of columns.
+    #[must_use]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The value at `(row, col)`, `row` relative to this view.
+    #[inline]
+    #[must_use]
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        debug_assert!(row < self.rows && col < self.columns.len());
+        self.columns[col].get(self.start + row)
+    }
+
+    /// Gathers the key columns of `row` into `buf` (cleared first) — the
+    /// columnar analogue of striding over a row-major tuple.
+    #[inline]
+    pub fn gather_key(&self, row: usize, cols: &[usize], buf: &mut Vec<Value>) {
+        buf.clear();
+        buf.extend(cols.iter().map(|&c| self.value(row, c)));
+    }
+
+    /// Gathers the full row into `buf` (cleared first).
+    #[inline]
+    pub fn gather_row(&self, row: usize, buf: &mut Vec<Value>) {
+        buf.clear();
+        buf.extend(self.columns.iter().map(|c| c.get(self.start + row)));
+    }
+
+    /// The codes (restricted to this view) and the full sorted dictionary
+    /// of column `col`, when it is dictionary-encoded.  A sliced view's
+    /// dictionary may contain values that do not occur in the view; the
+    /// codes slice is exact.
+    #[must_use]
+    pub fn dict_column(&self, col: usize) -> Option<(&[u32], &[Value])> {
+        match &self.columns[col] {
+            ColumnData::Dict { codes, dict } => {
+                Some((&codes[self.start..self.start + self.rows], dict.as_slice()))
+            }
+            ColumnData::Plain(_) => None,
+        }
+    }
+
+    /// The plain value buffer (restricted to this view) of column `col`,
+    /// when it is *not* dictionary-encoded.
+    #[must_use]
+    pub fn plain_column(&self, col: usize) -> Option<&[Value]> {
+        match &self.columns[col] {
+            ColumnData::Plain(values) => Some(&values[self.start..self.start + self.rows]),
+            ColumnData::Dict { .. } => None,
+        }
+    }
+
+    /// A zero-copy slice of rows `[lo, lo + rows)` of this view: the
+    /// column buffers are `Arc`-shared, only the window narrows.  This is
+    /// what `Relation::partitioned` attaches to its shard views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds this view's rows.
+    #[must_use]
+    pub fn slice(&self, lo: usize, rows: usize) -> ColumnStore {
+        assert!(
+            lo + rows <= self.rows,
+            "column-store slice [{lo}, {}) out of bounds for {} rows",
+            lo + rows,
+            self.rows
+        );
+        ColumnStore { start: self.start + lo, rows, columns: self.columns.clone() }
+    }
+
+    /// `true` iff the two stores share the same column buffers (slices of
+    /// one build, or clones of each other).
+    #[must_use]
+    pub fn shares_buffers_with(&self, other: &ColumnStore) -> bool {
+        self.columns.len() == other.columns.len()
+            && self.columns.iter().zip(&other.columns).all(|(a, b)| match (a, b) {
+                (ColumnData::Plain(x), ColumnData::Plain(y)) => Arc::ptr_eq(x, y),
+                (
+                    ColumnData::Dict { codes: xc, dict: xd },
+                    ColumnData::Dict { codes: yc, dict: yd },
+                ) => Arc::ptr_eq(xc, yc) && Arc::ptr_eq(xd, yd),
+                _ => false,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_default_is_row_major() {
+        assert_eq!(Layout::default(), Layout::RowMajor);
+        assert!(!Layout::RowMajor.is_columnar());
+        assert!(Layout::Columnar.is_columnar());
+    }
+
+    #[test]
+    fn store_mirrors_every_value() {
+        let r = Relation::from_rows(3, (0..50u64).map(|i| [i, i % 4, 1000 + i]));
+        let store = ColumnStore::from_relation(&r);
+        assert_eq!(store.num_rows(), 50);
+        assert_eq!(store.num_columns(), 3);
+        for (i, row) in r.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(store.value(i, c), v, "mismatch at ({i}, {c})");
+            }
+            let mut buf = Vec::new();
+            store.gather_row(i, &mut buf);
+            assert_eq!(buf.as_slice(), row);
+        }
+    }
+
+    #[test]
+    fn low_cardinality_columns_are_dictionary_encoded() {
+        let r = Relation::from_rows(2, (0..100u64).map(|i| [i, i % 5]));
+        let store = ColumnStore::from_relation(&r);
+        assert!(store.plain_column(0).is_some(), "a key-like column stays plain");
+        let (codes, dict) = store.dict_column(1).expect("5 distinct over 100 rows encodes");
+        assert_eq!(dict, &[0, 1, 2, 3, 4]);
+        assert_eq!(codes.len(), 100);
+        // The dictionary is sorted and codes decode to the original values.
+        for (i, row) in r.iter().enumerate() {
+            assert_eq!(dict[codes[i] as usize], row[1]);
+        }
+    }
+
+    #[test]
+    fn slices_share_buffers_and_narrow_the_window() {
+        let r = Relation::from_rows(2, (0..40u64).map(|i| [i, i % 3]));
+        let store = ColumnStore::from_relation(&r);
+        let s = store.slice(10, 5);
+        assert_eq!(s.num_rows(), 5);
+        assert!(s.shares_buffers_with(&store));
+        for i in 0..5 {
+            assert_eq!(s.value(i, 0), store.value(10 + i, 0));
+            assert_eq!(s.value(i, 1), store.value(10 + i, 1));
+        }
+        // Slicing a slice composes the offsets.
+        let s2 = s.slice(2, 2);
+        assert_eq!(s2.value(0, 0), store.value(12, 0));
+        let (codes, _) = s2.dict_column(1).expect("dict survives slicing");
+        assert_eq!(codes.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_slice_panics() {
+        let r = Relation::from_rows(1, vec![[1], [2]]);
+        let _ = ColumnStore::from_relation(&r).slice(1, 2);
+    }
+
+    #[test]
+    fn empty_and_zero_arity_stores() {
+        let store = ColumnStore::from_relation(&Relation::new(2));
+        assert_eq!(store.num_rows(), 0);
+        assert_eq!(store.num_columns(), 2);
+        let mut b = Relation::new(0);
+        b.push_row(&[]);
+        let store = ColumnStore::from_relation(&b);
+        assert_eq!(store.num_rows(), 1);
+        assert_eq!(store.num_columns(), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Batch-at-a-time columnar kernels.
+//!
+//! Each kernel is the columnar twin of one row-major operator inner loop
+//! in [`crate::operators`]: it reads a [`ColumnStore`] column-wise (and
+//! per *dictionary code* where a column is dictionary-encoded) instead of
+//! striding over row-major tuples.  The dispatch sites in `operators.rs`
+//! select a kernel whenever the relevant input carries a cached column
+//! store — which is what the `Layout::Columnar` knob arranges for base
+//! relations.
+//!
+//! **Determinism contract**: every kernel visits probe/input rows in
+//! exactly the same order as its row-major twin and deduplicates keep-first
+//! through the same sink, so operator outputs are bit-identical across
+//! layouts (the differential suite in
+//! `crates/relation/tests/operators_differential.rs` pins this per
+//! operator, and `tests/parallel_determinism.rs` end to end).
+//!
+//! The wins come from three places:
+//!
+//! * **code-domain membership** — semijoin/antijoin filters and `=` selections
+//!   on a dictionary-encoded column probe each distinct *code* once
+//!   (`O(dict + rows)` comparisons) instead of hashing every row,
+//! * **per-code probe memoisation** — a single-column hash-join probe over a
+//!   dictionary column resolves each code's match list once,
+//! * **column-contiguous scans** — selection, projection and distinct
+//!   counting touch only the columns they need.
+
+// panda-lint: allow-file(P1) -- row/column indices are bounded by the
+// store shape (mirroring the relation's arity invariant), and dictionary
+// codes index the dictionary they were built from.
+
+use std::collections::HashSet;
+
+use crate::column::ColumnStore;
+use crate::index::HashIndex;
+use crate::operators::DedupSink;
+use crate::relation::{Relation, Tuple, Value};
+
+/// Columnar projection onto `cols` (first occurrences kept, in row order —
+/// identical to the row-major `operators::project`).
+pub(crate) fn project(store: &ColumnStore, cols: &[usize]) -> Relation {
+    let rows = store.num_rows();
+    // Single-column fast paths: dedup in the value (or code) domain, no
+    // per-row tuple allocation.
+    if let [col] = cols {
+        if let Some((codes, dict)) = store.dict_column(*col) {
+            let mut seen = vec![false; dict.len()];
+            let mut out: Vec<Value> = Vec::with_capacity(dict.len());
+            for &code in codes {
+                if !seen[code as usize] {
+                    seen[code as usize] = true;
+                    out.push(dict[code as usize]);
+                }
+            }
+            return Relation::from_flat(1, out);
+        }
+        let mut seen: HashSet<Value> = HashSet::with_capacity(rows.min(1 << 16));
+        let mut out: Vec<Value> = Vec::new();
+        for i in 0..rows {
+            let v = store.value(i, *col);
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        return Relation::from_flat(1, out);
+    }
+    let mut sink = DedupSink::new(cols.len());
+    let mut buf: Tuple = Tuple::with_capacity(cols.len());
+    for i in 0..rows {
+        store.gather_key(i, cols, &mut buf);
+        sink.push(&buf);
+    }
+    sink.into_relation()
+}
+
+/// Columnar `σ[col = value]`: scans one column (comparing `u32` codes when
+/// it is dictionary-encoded), then materialises the matching rows
+/// column-by-column.  Row order is preserved, like the row-major path.
+pub(crate) fn select_eq(store: &ColumnStore, col: usize, value: Value) -> Relation {
+    let arity = store.num_columns();
+    let matches: Vec<usize> = if let Some((codes, dict)) = store.dict_column(col) {
+        match dict.binary_search(&value) {
+            Err(_) => Vec::new(), // the value never occurs
+            Ok(code) => {
+                let code = code as u32;
+                codes.iter().enumerate().filter_map(|(i, &c)| (c == code).then_some(i)).collect()
+            }
+        }
+    } else if let Some(values) = store.plain_column(col) {
+        values.iter().enumerate().filter_map(|(i, &v)| (v == value).then_some(i)).collect()
+    } else {
+        Vec::new()
+    };
+    materialise_rows(store, &matches, arity)
+}
+
+/// Gathers the given rows of the store into a fresh row-major relation,
+/// filling column by column (each source buffer is walked contiguously).
+fn materialise_rows(store: &ColumnStore, rows: &[usize], arity: usize) -> Relation {
+    let mut data: Vec<Value> = vec![0; rows.len() * arity];
+    for c in 0..arity {
+        for (j, &i) in rows.iter().enumerate() {
+            data[j * arity + c] = store.value(i, c);
+        }
+    }
+    Relation::from_flat(arity, data)
+}
+
+/// The semijoin/antijoin keep-bitmap: `keep[i]` is `true` iff probing the
+/// membership index with row `i`'s key columns matches `keep_matches`.
+///
+/// On a single dictionary-encoded key column the index is probed once per
+/// distinct *code*; every other shape probes per row exactly like the
+/// row-major `filter_by_membership` loop, so the resulting bitmap — and
+/// therefore the output rows and their order — is identical.
+pub(crate) fn membership_bitmap(
+    store: &ColumnStore,
+    idx: &HashIndex,
+    probe_cols: &[usize],
+    keep_matches: bool,
+) -> Vec<bool> {
+    let rows = store.num_rows();
+    if let [col] = probe_cols {
+        if let Some((codes, dict)) = store.dict_column(*col) {
+            let keep_code: Vec<bool> =
+                dict.iter().map(|&v| idx.contains_key(&[v]) == keep_matches).collect();
+            return codes.iter().map(|&c| keep_code[c as usize]).collect();
+        }
+    }
+    let mut key_buf: Tuple = Tuple::with_capacity(probe_cols.len());
+    (0..rows)
+        .map(|i| {
+            store.gather_key(i, probe_cols, &mut key_buf);
+            idx.contains_key(&key_buf) == keep_matches
+        })
+        .collect()
+}
+
+/// Columnar hash-join probe: the probe side is read column-wise and, for a
+/// single dictionary-encoded probe column, each code's match list is
+/// resolved once up front.  Probe rows are visited in order and joined
+/// rows stream through the same keep-first [`DedupSink`] as the row-major
+/// `probe_side_join`, so the output is bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_side_join(
+    build: &Relation,
+    store: &ColumnStore,
+    idx: &HashIndex,
+    probe_cols: &[usize],
+    right_keep_cols: &[usize],
+    build_left: bool,
+    out_arity: usize,
+) -> Relation {
+    let rows = store.num_rows();
+    let mut out = DedupSink::new(out_arity);
+    let mut row_buf: Tuple = Tuple::with_capacity(out_arity);
+    let mut prow_buf: Tuple = Tuple::with_capacity(store.num_columns());
+    let mut emit = |prow_ids: &[usize], i: usize, out: &mut DedupSink, prow_buf: &mut Tuple| {
+        if prow_ids.is_empty() {
+            return;
+        }
+        store.gather_row(i, prow_buf);
+        for &brow_id in prow_ids {
+            let brow = build.row(brow_id);
+            let (lrow, rrow): (&[Value], &[Value]) =
+                if build_left { (brow, prow_buf) } else { (prow_buf, brow) };
+            row_buf.clear();
+            row_buf.extend_from_slice(lrow);
+            row_buf.extend(right_keep_cols.iter().map(|&c| rrow[c]));
+            out.push(&row_buf);
+        }
+    };
+    if let [col] = probe_cols {
+        if let Some((codes, dict)) = store.dict_column(*col) {
+            // Resolve every code's match list once; per row it's an O(1)
+            // table lookup instead of a hash probe.
+            let per_code: Vec<&[usize]> = dict.iter().map(|&v| idx.probe(&[v])).collect();
+            for (i, &code) in codes.iter().enumerate() {
+                emit(per_code[code as usize], i, &mut out, &mut prow_buf);
+            }
+            return out.into_relation();
+        }
+    }
+    let mut key_buf: Tuple = Tuple::with_capacity(probe_cols.len());
+    for i in 0..rows {
+        store.gather_key(i, probe_cols, &mut key_buf);
+        emit(idx.probe(&key_buf), i, &mut out, &mut prow_buf);
+    }
+    out.into_relation()
+}
+
+/// Column-direct distinct count over canonical `cols` — a code bitmap for
+/// one dictionary column, a value set for one plain column, gathered
+/// tuples otherwise.  Counting is order-insensitive, so the result equals
+/// the row-major count by construction.
+pub(crate) fn distinct_count(store: &ColumnStore, cols: &[usize]) -> usize {
+    let rows = store.num_rows();
+    if let [col] = cols {
+        if let Some((codes, dict)) = store.dict_column(*col) {
+            let mut seen = vec![false; dict.len()];
+            let mut n = 0;
+            for &code in codes {
+                if !seen[code as usize] {
+                    seen[code as usize] = true;
+                    n += 1;
+                }
+            }
+            return n;
+        }
+        if let Some(values) = store.plain_column(*col) {
+            let seen: HashSet<Value> = values.iter().copied().collect();
+            return seen.len();
+        }
+    }
+    let mut seen: HashSet<Tuple> = HashSet::with_capacity(rows);
+    let mut buf: Tuple = Tuple::with_capacity(cols.len());
+    for i in 0..rows {
+        store.gather_key(i, cols, &mut buf);
+        if !seen.contains(&buf) {
+            seen.insert(buf.clone());
+        }
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::operators;
+    use crate::relation::Relation;
+
+    /// Rows in storage order — the bit-level comparison.
+    fn raw(rel: &Relation) -> Vec<Vec<u64>> {
+        rel.iter().map(<[u64]>::to_vec).collect()
+    }
+
+    /// An independent copy of `r` with a column store attached.  A plain
+    /// `clone()` would share the index cache — attaching a store to it
+    /// would turn the row-major twin columnar too and defeat the
+    /// differential comparison.
+    fn columnar(r: &Relation) -> Relation {
+        let c = Relation::from_rows(r.arity(), r.iter());
+        let _ = c.column_store();
+        c
+    }
+
+    fn mixed() -> Relation {
+        // Column 0: low cardinality (dict); column 1: high cardinality.
+        Relation::from_rows(2, (0..200u64).map(|i| [i % 4, i * 7 % 101]))
+    }
+
+    #[test]
+    fn columnar_project_is_bit_identical() {
+        let r = mixed();
+        let c = columnar(&r);
+        for cols in [&[0][..], &[1][..], &[0, 1][..], &[1, 0][..], &[1, 1][..]] {
+            assert_eq!(
+                raw(&operators::project(&c, cols)),
+                raw(&operators::project(&r, cols)),
+                "cols {cols:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_select_eq_is_bit_identical() {
+        let r = mixed();
+        let c = columnar(&r);
+        for (col, value) in [(0, 2), (0, 99), (1, 7), (1, 1000)] {
+            assert_eq!(
+                raw(&operators::select_eq(&c, col, value)),
+                raw(&operators::select_eq(&r, col, value)),
+                "σ[{col} = {value}]"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_semijoin_antijoin_are_bit_identical() {
+        let l = mixed();
+        let lc = columnar(&l);
+        let right = Relation::from_rows(1, vec![[0], [2], [55]]);
+        for on in [&[(0usize, 0usize)][..], &[(1, 0)][..]] {
+            assert_eq!(
+                raw(&operators::semijoin(&lc, &right, on)),
+                raw(&operators::semijoin(&l, &right, on))
+            );
+            assert_eq!(
+                raw(&operators::antijoin(&lc, &right, on)),
+                raw(&operators::antijoin(&l, &right, on))
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_join_is_bit_identical_including_warm_cache() {
+        let r = Relation::from_rows(2, (0..80u64).map(|i| [i % 5, i % 7]));
+        let s = Relation::from_rows(2, (0..90u64).map(|i| [i % 7, i % 3]));
+        let expected = raw(&operators::join(&r, &s, &[(1, 0)]));
+        let (rc, sc) = (columnar(&r), columnar(&s));
+        // Cold caches on the columnar twins, then warm.
+        assert_eq!(raw(&operators::join(&rc, &sc, &[(1, 0)])), expected);
+        assert_eq!(raw(&operators::join(&rc, &sc, &[(1, 0)])), expected);
+        // Mixed: columnar probe against row-major build and vice versa.
+        assert_eq!(raw(&operators::join(&r, &sc, &[(1, 0)])), expected);
+        assert_eq!(raw(&operators::join(&rc, &s, &[(1, 0)])), expected);
+    }
+
+    #[test]
+    fn columnar_par_join_shards_slice_the_store() {
+        let r = Relation::from_rows(2, (0..120u64).map(|i| [i % 6, i % 11]));
+        let s = Relation::from_rows(2, (0..100u64).map(|i| [i % 11, i % 4]));
+        let expected = raw(&operators::join(&r, &s, &[(1, 0)]));
+        let (rc, sc) = (columnar(&r), columnar(&s));
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                raw(&operators::par_join(&rc, &sc, &[(1, 0)], threads)),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_distinct_count_matches() {
+        let r = mixed();
+        let c = columnar(&r);
+        assert_eq!(c.distinct_count(), r.distinct_count());
+        for cols in [&[0][..], &[1][..], &[0, 1][..]] {
+            assert_eq!(c.distinct_count_of(cols), r.distinct_count_of(cols), "cols {cols:?}");
+        }
+    }
+
+    #[test]
+    fn zero_arity_inputs_fall_back_gracefully() {
+        let mut b = Relation::new(0);
+        b.push_row(&[]);
+        assert!(b.column_store().is_none(), "no columns to mirror");
+        let one = columnar(&Relation::from_rows(1, vec![[1], [2]]));
+        let prod = operators::cartesian_product(&one, &b);
+        assert_eq!(prod.len(), 2);
+    }
+}

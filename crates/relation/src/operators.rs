@@ -23,10 +23,32 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use crate::index::HashIndex;
+use crate::kernels;
 use crate::relation::{Relation, Tuple, Value};
 
+/// The sort order a projection's output inherits: the longest prefix of
+/// the input's recorded order whose columns all survive into `cols`,
+/// rewritten to output positions (first occurrence in `cols`).  Valid
+/// because keep-first deduplication preserves the input row order, and a
+/// lexicographic order restricted to a leading prefix is still
+/// non-decreasing.
+fn projected_sort_order(input_order: &[usize], cols: &[usize]) -> Option<Vec<usize>> {
+    let mapped: Vec<usize> =
+        input_order.iter().map_while(|c| cols.iter().position(|x| x == c)).collect();
+    if mapped.is_empty() {
+        None
+    } else {
+        Some(mapped)
+    }
+}
+
 /// Projects `relation` onto the given columns (in the given order),
-/// removing duplicates.
+/// removing duplicates (first occurrences kept, in input row order).
+///
+/// When the input carries a recorded sort order whose leading columns all
+/// survive the projection, the corresponding output order is recorded on
+/// the result — so a downstream [`join`] on those columns can take the
+/// sort-merge path.
 ///
 /// # Panics
 ///
@@ -36,37 +58,65 @@ pub fn project(relation: &Relation, cols: &[usize]) -> Relation {
     for &c in cols {
         assert!(c < relation.arity(), "projection column {c} out of range");
     }
-    let mut out = Relation::with_capacity(cols.len(), relation.len());
-    let mut seen: HashSet<Tuple> = HashSet::with_capacity(relation.len());
-    for row in relation.iter() {
-        let projected: Tuple = cols.iter().map(|&c| row[c]).collect();
-        if seen.insert(projected.clone()) {
-            out.push_row(&projected);
+    let mut out = if let Some(store) = relation.try_column_store() {
+        kernels::project(&store, cols)
+    } else {
+        let mut out = Relation::with_capacity(cols.len(), relation.len());
+        let mut seen: HashSet<Tuple> = HashSet::with_capacity(relation.len());
+        for row in relation.iter() {
+            let projected: Tuple = cols.iter().map(|&c| row[c]).collect();
+            if seen.insert(projected.clone()) {
+                out.push_row(&projected);
+            }
+        }
+        out
+    };
+    if !out.is_empty() {
+        if let Some(order) = relation.sort_order().and_then(|o| projected_sort_order(o, cols)) {
+            out.assume_sort_order(order);
         }
     }
     out
 }
 
-/// Selects the rows where column `col` equals `value`.
+/// Selects the rows where column `col` equals `value`.  Preserves row
+/// order and the input's recorded sort order.
 #[must_use]
 pub fn select_eq(relation: &Relation, col: usize, value: Value) -> Relation {
     assert!(col < relation.arity(), "selection column {col} out of range");
-    let mut out = Relation::new(relation.arity());
-    for row in relation.iter() {
-        if row[col] == value {
-            out.push_row(row);
+    let mut out = if let Some(store) = relation.try_column_store() {
+        kernels::select_eq(&store, col, value)
+    } else {
+        let mut out = Relation::new(relation.arity());
+        for row in relation.iter() {
+            if row[col] == value {
+                out.push_row(row);
+            }
+        }
+        out
+    };
+    // A filter keeps a subsequence of the rows, so sortedness survives.
+    if !out.is_empty() {
+        if let Some(order) = relation.sort_order() {
+            out.assume_sort_order(order.to_vec());
         }
     }
     out
 }
 
-/// Selects the rows satisfying an arbitrary predicate.
+/// Selects the rows satisfying an arbitrary predicate.  Preserves row
+/// order and the input's recorded sort order.
 #[must_use]
 pub fn select_where<F: FnMut(&[Value]) -> bool>(relation: &Relation, mut pred: F) -> Relation {
     let mut out = Relation::new(relation.arity());
     for row in relation.iter() {
         if pred(row) {
             out.push_row(row);
+        }
+    }
+    if !out.is_empty() {
+        if let Some(order) = relation.sort_order() {
+            out.assume_sort_order(order.to_vec());
         }
     }
     out
@@ -144,7 +194,7 @@ impl std::hash::Hasher for PrehashedHasher {
 /// hash mapped to a row id — no owned copy of any row is kept outside the
 /// buffer itself.  Distinct rows with colliding hashes (vanishingly rare)
 /// go to a linearly scanned overflow list.
-struct DedupSink {
+pub(crate) struct DedupSink {
     arity: usize,
     data: Vec<Value>,
     rows: usize,
@@ -155,7 +205,7 @@ struct DedupSink {
 }
 
 impl DedupSink {
-    fn new(arity: usize) -> Self {
+    pub(crate) fn new(arity: usize) -> Self {
         DedupSink {
             arity,
             data: Vec::new(),
@@ -167,7 +217,7 @@ impl DedupSink {
         }
     }
 
-    fn push(&mut self, row: &[Value]) {
+    pub(crate) fn push(&mut self, row: &[Value]) {
         use std::collections::hash_map::Entry;
         use std::hash::BuildHasher;
         debug_assert_eq!(row.len(), self.arity);
@@ -197,7 +247,7 @@ impl DedupSink {
         self.rows += 1;
     }
 
-    fn into_relation(self) -> Relation {
+    pub(crate) fn into_relation(self) -> Relation {
         if self.arity == 0 {
             let mut out = Relation::new(0);
             if self.zero_arity_present {
@@ -274,6 +324,19 @@ fn probe_side_join(
     build_left: bool,
     out_arity: usize,
 ) -> Relation {
+    // A columnar probe side (including the sliced stores par_join's shard
+    // views inherit) takes the batch kernel; same visit order, same sink.
+    if let Some(store) = probe.try_column_store() {
+        return kernels::probe_side_join(
+            build,
+            &store,
+            idx,
+            probe_cols,
+            right_keep_cols,
+            build_left,
+            out_arity,
+        );
+    }
     let mut out = DedupSink::new(out_arity);
     let mut row_buf: Tuple = Tuple::with_capacity(out_arity);
     let mut key_buf: Tuple = Tuple::with_capacity(probe_cols.len());
@@ -564,17 +627,27 @@ fn filter_by_membership(
         assert!(r < right.arity(), "right join column {r} out of range");
     }
     let (idx, probe_cols) = build_side_index(right, on, false);
-    let mut out = Relation::new(left.arity());
-    let mut key_buf: Tuple = Tuple::with_capacity(probe_cols.len());
-    for row in left.iter() {
-        key_buf.clear();
-        key_buf.extend(probe_cols.iter().map(|&c| row[c]));
-        if idx.contains_key(&key_buf) == keep_matches {
-            out.push_row(row);
-        }
-    }
-    if out.len() == left.len() {
+    // Both layouts reduce to the same keep-bitmap: the columnar kernel
+    // probes per dictionary code where it can, the row loop per row.
+    let keep: Vec<bool> = if let Some(store) = left.try_column_store() {
+        kernels::membership_bitmap(&store, &idx, &probe_cols, keep_matches)
+    } else {
+        let mut key_buf: Tuple = Tuple::with_capacity(probe_cols.len());
+        left.iter()
+            .map(|row| {
+                key_buf.clear();
+                key_buf.extend(probe_cols.iter().map(|&c| row[c]));
+                idx.contains_key(&key_buf) == keep_matches
+            })
+            .collect()
+    };
+    if keep.iter().all(|&k| k) {
         return left.clone();
+    }
+    let kept = keep.iter().filter(|&&k| k).count();
+    let mut out = Relation::with_capacity(left.arity(), kept);
+    for (row, _) in left.iter().zip(&keep).filter(|&(_, &k)| k) {
+        out.push_row(row);
     }
     if let Some(order) = left.sort_order() {
         if !out.is_empty() {
@@ -816,6 +889,46 @@ mod tests {
         let par = raw_rows(&par_join(&all_same, &s, &[(1, 0)], 4));
         assert_eq!(par, seq);
         assert_eq!(par.len(), 1, "cross-shard duplicates must collapse");
+    }
+
+    #[test]
+    fn project_propagates_usable_sort_order_prefix() {
+        let r = Relation::from_rows(3, vec![[2, 1, 9], [1, 5, 8], [1, 2, 7]]);
+        let s = r.sorted_by_columns(&[1, 0, 2]);
+        // All order columns survive (reordered): the full order maps through.
+        let p = project(&s, &[1, 0]);
+        assert_eq!(p.sort_order(), Some(&[0, 1][..]));
+        // Only the leading order column survives: the prefix maps through.
+        let q = project(&s, &[1, 2]);
+        assert_eq!(q.sort_order(), Some(&[0][..]));
+        // The leading order column is projected away: nothing usable.
+        let n = project(&s, &[0, 2]);
+        assert_eq!(n.sort_order(), None);
+    }
+
+    #[test]
+    fn selections_propagate_the_sort_order() {
+        let r = Relation::from_rows(2, vec![[2, 1], [1, 5], [1, 2], [2, 3]]);
+        let s = r.sorted_by_columns(&[0, 1]);
+        assert_eq!(select_eq(&s, 0, 1).sort_order(), Some(&[0, 1][..]));
+        assert_eq!(select_where(&s, |row| row[1] >= 2).sort_order(), Some(&[0, 1][..]));
+        // The unsorted input stays unsorted.
+        assert_eq!(select_eq(&r, 0, 1).sort_order(), None);
+    }
+
+    #[test]
+    fn projected_outputs_take_the_sort_merge_path() {
+        let r = Relation::from_rows(3, vec![[4, 1, 0], [3, 2, 0], [2, 1, 1], [1, 3, 1]]);
+        let a = project(&r.sorted_by_columns(&[0, 1]), &[0, 1]);
+        let b = project(&r.sorted_by_columns(&[1, 2]), &[1, 2]);
+        // Both projections carry orders aligning with a join on their first
+        // columns, so the merge path applies …
+        assert!(merge_alignment(&a, &b, &[(0, 0)]).is_some());
+        // … and produces the same result as the hash path on order-free
+        // copies of the same rows.
+        let strip = |rel: &Relation| Relation::from_rows(rel.arity(), rel.iter());
+        let expected = join(&strip(&a), &strip(&b), &[(0, 0)]).canonical_rows();
+        assert_eq!(join(&a, &b, &[(0, 0)]).canonical_rows(), expected);
     }
 
     #[test]
