@@ -1,0 +1,110 @@
+//! Plan-cache A/B: cold planning (cache cleared before every iteration)
+//! versus warm serving (every iteration hits), on repeated and
+//! structurally-isomorphic query workloads.
+//!
+//! The cold/warm gap *is* the planning cost — on cyclic queries the
+//! fhtw/subw LP chains dominate end-to-end time, so a warm run that
+//! skips them is an order of magnitude faster (recorded in
+//! `EXPERIMENTS.md`).  The harness additionally prints the hit/miss
+//! counter deltas of each group so the A/B can be read directly from the
+//! bench output, and finishes with a one-shot cold-vs-warm measurement
+//! of the LP-heaviest workload in the workspace (the projected 5-cycle,
+//! whose `subw` enumerates 197 bag-selector Γ₅ LPs) — too slow to loop
+//! under Criterion, but the headline number for what a hit saves.
+
+use criterion::{criterion_group, Criterion};
+use panda_bench::{lp_bench_config, time_it};
+use panda_core::{plan_cache_clear, plan_cache_stats, Panda};
+use panda_query::{parse_query, ConjunctiveQuery};
+use panda_relation::Database;
+use panda_workloads::{erdos_renyi_db, five_cycle_projected, four_cycle_projected};
+
+fn four_cycle_db() -> Database {
+    erdos_renyi_db(&["R", "S", "T", "U"], 30, 120, 7)
+}
+
+/// The repeated-query workload: the same projected 4-cycle, evaluated
+/// end-to-end (plan + execute), cold vs warm.
+fn bench_repeated(c: &mut Criterion) {
+    let query = four_cycle_projected();
+    let db = four_cycle_db();
+    let mut group = c.benchmark_group("plan_cache_four_cycle");
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            plan_cache_clear();
+            Panda::new(query.clone()).evaluate(&db).len()
+        })
+    });
+    plan_cache_clear();
+    let before = plan_cache_stats();
+    let _ = Panda::new(query.clone()).evaluate(&db);
+    group.bench_function("warm", |b| b.iter(|| Panda::new(query.clone()).evaluate(&db).len()));
+    group.finish();
+    let after = plan_cache_stats();
+    println!(
+        "plan_cache_four_cycle/warm counters: +{} hits, +{} misses",
+        after.hits - before.hits,
+        after.misses - before.misses,
+    );
+}
+
+/// The isomorphic workload: renamed-variable and atom-permuted variants
+/// of the 4-cycle, all served from one cache slot populated by the base
+/// query.
+fn bench_isomorphic(c: &mut Criterion) {
+    let variants: Vec<ConjunctiveQuery> = [
+        "Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)",
+        "P(A,B) :- R(A,B), S(B,C), T(C,D), U(D,A)",
+        "Q(X,Y) :- R(X,Y), S(Y,Z), U(W,X), T(Z,W)",
+        "Q2(N0,N1) :- R(N0,N1), S(N1,N2), T(N2,N3), U(N3,N0)",
+    ]
+    .iter()
+    .map(|q| parse_query(q).expect("valid query"))
+    .collect();
+    let db = four_cycle_db();
+    plan_cache_clear();
+    let _ = Panda::new(variants[0].clone()).evaluate(&db);
+    let before = plan_cache_stats();
+    let mut group = c.benchmark_group("plan_cache_isomorphic");
+    group.bench_function("warm_variants", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % variants.len();
+            Panda::new(variants[i].clone()).evaluate(&db).len()
+        })
+    });
+    group.finish();
+    let after = plan_cache_stats();
+    println!(
+        "plan_cache_isomorphic counters: +{} hits, +{} misses (all variants share one slot)",
+        after.hits - before.hits,
+        after.misses - before.misses,
+    );
+}
+
+/// One-shot: the projected 5-cycle, where `subw` planning alone is tens
+/// of seconds of LP work and execution is a fraction of a second.
+fn five_cycle_one_shot() {
+    let query = five_cycle_projected();
+    let db = erdos_renyi_db(&["R", "S", "T", "U", "V"], 30, 120, 7);
+    plan_cache_clear();
+    let panda = Panda::new(query);
+    let (rows, cold) = time_it(|| panda.evaluate(&db).len());
+    let (_, warm) = time_it(|| panda.evaluate(&db).len());
+    println!(
+        "plan_cache_five_cycle one-shot: cold {cold:.3} s, warm {warm:.3} s \
+         ({:.0}x, {rows} rows)",
+        cold / warm
+    );
+}
+
+fn config() -> Criterion {
+    lp_bench_config()
+}
+
+criterion_group! { name = benches; config = config(); targets = bench_repeated, bench_isomorphic }
+
+fn main() {
+    benches();
+    five_cycle_one_shot();
+}

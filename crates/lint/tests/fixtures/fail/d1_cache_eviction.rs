@@ -1,0 +1,29 @@
+// D1 must fire: a plan cache that derives its eviction order from
+// hash-map iteration.  Whichever key such a cache evicts depends on
+// HashMap's per-process seed, so two identical runs can evict different
+// plans and diverge in their hit/miss reason codes.
+use std::collections::HashMap;
+
+pub struct CachedPlan {
+    pub tick: u64,
+}
+
+pub struct PlanCache {
+    pub entries: HashMap<u64, CachedPlan>,
+}
+
+impl PlanCache {
+    /// Picks a victim by walking the hash map in storage order.
+    pub fn eviction_order(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect() // line 18: D1
+    }
+
+    /// Same leak via an explicit loop feeding a push.
+    pub fn eviction_queue(&self) -> Vec<u64> {
+        let mut order = Vec::new();
+        for key in self.entries.keys() { // line 24: D1 (anchored at the header)
+            order.push(*key);
+        }
+        order
+    }
+}

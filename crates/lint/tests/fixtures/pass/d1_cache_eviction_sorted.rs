@@ -1,0 +1,28 @@
+// D1 must stay silent: the deterministic counterpart of the eviction
+// fixture.  The victim is chosen by the minimum recency tick — a value
+// comparison over the entries, never their hash order — and the only
+// collected key list is sorted before anything observes it.
+use std::collections::HashMap;
+
+pub struct CachedPlan {
+    pub tick: u64,
+}
+
+pub struct PlanCache {
+    pub entries: HashMap<u64, CachedPlan>,
+}
+
+impl PlanCache {
+    /// LRU victim: unique ticks make the minimum well-defined, so the
+    /// choice is independent of iteration order.
+    pub fn victim(&self) -> Option<u64> {
+        self.entries.iter().min_by_key(|(_, plan)| plan.tick).map(|(key, _)| *key)
+    }
+
+    /// Diagnostic key listing, canonicalised before it leaves.
+    pub fn keys_sorted(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}

@@ -75,6 +75,26 @@ fn columnar_kernel_idiom_lints_clean() {
     assert!(diags.is_empty(), "columnar kernel idiom must lint clean: {diags:?}");
 }
 
+#[test]
+fn d1_fires_on_hash_ordered_cache_eviction() {
+    // The plan-cache hazard: eviction order derived from iterating the
+    // cache's key map is seed-dependent, so identical runs could evict
+    // different plans and report diverging hit/miss reason codes.  This
+    // pins why `plan_cache.rs` keeps its entries in a Vec and picks
+    // victims by recency tick.
+    let lines = lines_for(Rule::D1, "crates/demo/src/util.rs", "fail/d1_cache_eviction.rs");
+    assert_eq!(lines, vec![18, 24], "keys().collect eviction order, for-loop eviction queue");
+}
+
+#[test]
+fn d1_silent_on_tick_ordered_eviction() {
+    // The deterministic counterpart: min-by-tick victim selection and a
+    // sorted key listing never expose hash order.
+    let diags =
+        analyze_str("crates/demo/src/util.rs", &fixture("pass/d1_cache_eviction_sorted.rs"));
+    assert!(diags.is_empty(), "tick-ordered eviction must lint clean: {diags:?}");
+}
+
 // ---------------------------------------------------------------- D2 ----
 
 #[test]

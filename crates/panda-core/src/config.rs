@@ -134,6 +134,31 @@ impl Engine {
     }
 }
 
+/// Whether the cross-query plan cache is enabled, from the
+/// `PANDA_PLAN_CACHE` environment variable (read once per process):
+///
+/// * unset, or anything other than the values below — enabled (the
+///   default),
+/// * `off`, `0`, or `false` (case-insensitive) — disabled: every
+///   evaluation plans from scratch, exactly as if the cache had never
+///   existed.
+///
+/// Disabling the cache never changes results: a warm-cache evaluation is
+/// bit-identical to a cold one (the workspace's `plan_cache_differential`
+/// suite pins this); the knob exists so CI can keep the cold path honest
+/// and so operators can rule the cache out when debugging.
+#[must_use]
+pub fn plan_cache_enabled() -> bool {
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| match std::env::var("PANDA_PLAN_CACHE") {
+        Ok(value) => {
+            let v = value.trim();
+            !(v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") || v == "0")
+        }
+        Err(_) => true,
+    })
+}
+
 /// Deterministic resource budgets for planning and strategy selection.
 ///
 /// All budgets are **unlimited by default** and every one is counted in a
@@ -164,7 +189,7 @@ impl Engine {
 /// assert!(!budgets.is_unlimited());
 /// assert!(Budgets::default().is_unlimited());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Budgets {
     /// Cap on the total number of simplex pivots spent on planning LPs
     /// (the fhtw/subw chains), shared across the whole selection.  `None`

@@ -38,6 +38,7 @@ use panda_relation::{stats as rstats, Database, Relation};
 use crate::binding::VarRelation;
 use crate::config::Engine;
 use crate::generic_join::GenericJoin;
+use crate::materialize::{subplan_key, SubplanRegistry};
 use crate::plans::{
     chain_join_estimate, estimate_bag_size, greedy_projection_cover, PartitionSpec,
 };
@@ -211,6 +212,10 @@ impl DdrEvaluator {
         // branch the engine is spent inside the bag materialisation
         // instead.
         let inner_engine = if across_branches { Engine::Sequential } else { engine };
+        // Disjuncts whose body atoms touch no partitioned relation cover
+        // the identical subjoin in every branch that picks them: compute
+        // each once, serve later scans zero-copy (see `crate::materialize`).
+        let registry = SubplanRegistry::new();
         let evaluate_branch = |branch_db: &Database| -> (usize, VarRelation) {
             // Choose the cheapest target for this branch.
             let (best_idx, _) = self
@@ -222,7 +227,11 @@ impl DdrEvaluator {
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("a DDR has at least one head disjunct");
             let bag = self.rule.head()[best_idx];
-            (best_idx, materialize_bag_with_engine(self.rule.body(), branch_db, bag, inner_engine))
+            let atoms: Vec<&Atom> = self.rule.body().iter().collect();
+            let rel = registry.get_or_materialize(subplan_key(bag, &atoms, branch_db), || {
+                materialize_bag_with_engine(self.rule.body(), branch_db, bag, inner_engine)
+            });
+            (best_idx, rel)
         };
         let covered: Vec<(usize, VarRelation)> = if across_branches {
             engine.install(|| {

@@ -49,18 +49,24 @@ pub mod binding;
 pub mod config;
 pub mod ddr_eval;
 pub mod faq;
+pub mod fingerprint;
 pub mod generic_join;
+pub mod materialize;
 pub mod panda;
+pub mod plan_cache;
 pub mod plans;
 pub mod selector;
 pub mod yannakakis;
 
 pub use binary::BinaryJoinPlan;
 pub use binding::VarRelation;
-pub use config::{Budgets, Engine, Layout, Parallelism};
+pub use config::{plan_cache_enabled, Budgets, Engine, Layout, Parallelism};
 pub use ddr_eval::{DdrEvaluator, DdrModel};
+pub use fingerprint::{canonicalize_query, CanonicalQuery};
 pub use generic_join::GenericJoin;
+pub use materialize::MaterializedSubplan;
 pub use panda::{EvaluationStrategy, Explain, Panda, PlanReport, StrategyError};
+pub use plan_cache::{plan_cache_clear, plan_cache_stats, PlanCacheStats, PLAN_CACHE_CAP};
 pub use plans::{PandaEvaluator, StaticTdPlan};
 pub use selector::{BranchBound, Downgrade, ReasonCode, SelectorRule};
 pub use yannakakis::yannakakis_free_connex;

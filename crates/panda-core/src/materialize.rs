@@ -1,0 +1,209 @@
+//! Shared-subplan materialisation across degree branches.
+//!
+//! The adaptive evaluator and the DDR evaluator both fan a query out into
+//! degree branches, and each branch materialises one relation per bag of
+//! its chosen decomposition.  Branch databases differ only in the
+//! *partitioned* relations — every other relation is the same `Arc`-shared
+//! instance across all branches — so a bag whose atoms touch no
+//! partitioned relation produces the **identical** join in every branch
+//! that materialises it.
+//!
+//! The (crate-internal) `SubplanRegistry` detects this at execution time:
+//! bags are keyed
+//! by their variable set plus, per assigned atom, the relation symbol, the
+//! atom's positional variables, and the [storage
+//! identity](panda_relation::Relation::storage_id) of the relation
+//! instance the branch would join.  Equal keys imply value-identical
+//! inputs (same `Arc`, same view window), so the subjoin is computed once
+//! and every later scan is served as a zero-copy clone of the shared
+//! result — the `push_plan_for_materialization`/`num_scans` idea of
+//! materialisation-aware executors, applied to PANDA's degree branches.
+//!
+//! Reuse never changes results: the served relation is the one the branch
+//! would have computed (joins are deterministic functions of their
+//! inputs), so outputs stay bit-identical to unshared evaluation at any
+//! thread count.  Under a parallel engine two branches may race to compute
+//! the same key; both compute the same value and the first insert wins, so
+//! only wall-clock time (and the hit/miss split of the runtime counters —
+//! which is why those counters never reach a
+//! [`PlanReport`](crate::PlanReport)) depends on the interleaving.
+//!
+//! The *plan-time* view of the same sharing — which subplans will be
+//! scanned how many times — is computed deterministically by
+//! [`PandaEvaluator::materialization_plan`](crate::PandaEvaluator::materialization_plan)
+//! and surfaced as [`MaterializedSubplan`] entries in the
+//! [`PlanReport`](crate::PlanReport) and its EXPLAIN rendering.
+
+use std::collections::HashMap;
+// panda-lint: allow(D2) -- the import feeds the registry below: pure
+// memoisation of deterministic subjoins (see the field justification).
+use std::sync::{Mutex, PoisonError};
+
+use panda_query::{Atom, VarSet};
+use panda_relation::Database;
+
+use crate::binding::VarRelation;
+
+/// A subplan the plan will materialise once and scan several times: the
+/// bag's variable set, the relation symbols joined to build it, and the
+/// number of branch scans it serves.  Plan-derived and deterministic —
+/// part of the [`PlanReport`](crate::PlanReport) bit-identity contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializedSubplan {
+    /// The bag (as a variable set) being materialised.
+    pub bag: VarSet,
+    /// The relation symbols of the atoms assigned to the bag, sorted.
+    pub relations: Vec<String>,
+    /// How many branch scans the single materialisation serves (≥ 2).
+    pub num_scans: usize,
+}
+
+/// One atom's identity inside a [`SubplanKey`]: relation symbol,
+/// positional variables, and the storage identity of the branch's
+/// relation instance (`None` when the relation is absent from the
+/// branch database).
+pub(crate) type AtomIdentity = (String, Vec<u32>, Option<(usize, usize, usize)>);
+
+/// The identity of one bag-materialisation job: equal keys imply
+/// value-identical inputs and therefore value-identical outputs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct SubplanKey {
+    /// The bag's variable set (its bits).
+    pub(crate) bag: u32,
+    /// The identities of the atoms assigned to the bag, sorted.
+    pub(crate) atoms: Vec<AtomIdentity>,
+}
+
+/// Builds the key for materialising `bag` from `atoms` against `db`.
+pub(crate) fn subplan_key(bag: VarSet, atoms: &[&Atom], db: &Database) -> SubplanKey {
+    let mut encoded: Vec<AtomIdentity> = atoms
+        .iter()
+        .map(|atom| {
+            (
+                atom.relation.clone(),
+                atom.vars.iter().map(|v| v.0).collect(),
+                db.relation(&atom.relation).map(panda_relation::Relation::storage_id),
+            )
+        })
+        .collect();
+    encoded.sort();
+    SubplanKey { bag: bag.bits(), atoms: encoded }
+}
+
+struct RegistryState {
+    done: HashMap<SubplanKey, VarRelation>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A per-evaluation registry of materialised subplans, shared by all
+/// branches of one adaptive or DDR evaluation (see the module docs).
+pub(crate) struct SubplanRegistry {
+    // panda-lint: allow(D2) -- memoisation only: a subplan is a pure
+    // function of its key (equal keys imply value-identical inputs), so
+    // whichever branch populates a slot, every reader observes an
+    // identical value; the registry affects wall-clock time, never
+    // results.
+    state: Mutex<RegistryState>,
+}
+
+impl SubplanRegistry {
+    /// An empty registry.
+    pub(crate) fn new() -> Self {
+        SubplanRegistry {
+            // panda-lint: allow(D2) -- see the field: pure memoisation.
+            state: Mutex::new(RegistryState { done: HashMap::new(), hits: 0, misses: 0 }),
+        }
+    }
+
+    /// Serves the subplan for `key`, computing it with `compute` on the
+    /// first scan.  Later scans get a zero-copy clone of the shared
+    /// result.  Under a parallel engine, racing first scans may both
+    /// compute; the first insert wins and both compute the same value, so
+    /// results are interleaving-independent.
+    pub(crate) fn get_or_materialize(
+        &self,
+        key: SubplanKey,
+        compute: impl FnOnce() -> VarRelation,
+    ) -> VarRelation {
+        {
+            // panda-lint: allow(D2) -- see the field: pure memoisation.
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(rel) = state.done.get(&key) {
+                let rel = rel.clone();
+                state.hits += 1;
+                return rel;
+            }
+        }
+        let rel = compute();
+        // panda-lint: allow(D2) -- see the field: pure memoisation.
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.misses += 1;
+        match state.done.entry(key) {
+            std::collections::hash_map::Entry::Occupied(slot) => slot.get().clone(),
+            std::collections::hash_map::Entry::Vacant(slot) => slot.insert(rel).clone(),
+        }
+    }
+
+    /// `(hits, misses)` — wall-clock observability for tests.  Under a
+    /// parallel engine the split between the two may vary with the
+    /// interleaving (racing first scans both count as misses); the sum is
+    /// the total number of scans and is deterministic.
+    #[cfg(test)]
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        // panda-lint: allow(D2) -- see the field: pure memoisation.
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        (state.hits, state.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_query::{parse_query, Var};
+    use panda_relation::Relation;
+
+    #[test]
+    fn equal_storage_yields_equal_keys_and_one_materialisation() {
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z)").unwrap();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, vec![[1, 2], [2, 3]]));
+        db.insert("S", Relation::from_rows(2, vec![[2, 5], [3, 5]]));
+        let branch = db.clone(); // shares storage
+        let bag = VarSet::from_iter([Var(0), Var(1)]);
+        let atoms: Vec<&Atom> = q.atoms().iter().filter(|a| a.relation == "R").collect();
+        let k1 = subplan_key(bag, &atoms, &db);
+        let k2 = subplan_key(bag, &atoms, &branch);
+        assert_eq!(k1, k2);
+
+        let registry = SubplanRegistry::new();
+        let mut computed = 0;
+        for key in [k1, k2] {
+            let rel = registry.get_or_materialize(key, || {
+                computed += 1;
+                VarRelation::from_atom(atoms[0], &db)
+            });
+            assert_eq!(rel.len(), 2);
+        }
+        assert_eq!(computed, 1, "the second scan must be served from the registry");
+        assert_eq!(registry.counters(), (1, 1));
+    }
+
+    #[test]
+    fn different_storage_yields_different_keys() {
+        let q = parse_query("Q(X,Y) :- R(X,Y)").unwrap();
+        let mut a = Database::new();
+        a.insert("R", Relation::from_rows(2, vec![[1, 2]]));
+        let mut b = Database::new();
+        // Same contents, different storage: must not be conflated (the
+        // registry key is an *identity*, not a value, so it can only ever
+        // under-share, never wrongly share).
+        b.insert("R", Relation::from_rows(2, vec![[1, 2]]));
+        let bag = VarSet::from_iter([Var(0), Var(1)]);
+        let atoms: Vec<&Atom> = q.atoms().iter().collect();
+        assert_ne!(subplan_key(bag, &atoms, &a), subplan_key(bag, &atoms, &b));
+        // A missing relation is keyed as absent, not skipped.
+        let empty = Database::new();
+        assert_ne!(subplan_key(bag, &atoms, &a), subplan_key(bag, &atoms, &empty));
+    }
+}

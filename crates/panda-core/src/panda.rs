@@ -29,9 +29,11 @@ use crate::binary::BinaryJoinPlan;
 use crate::binding::VarRelation;
 use crate::config::{Budgets, Engine};
 use crate::generic_join::GenericJoin;
+use crate::materialize::MaterializedSubplan;
 use crate::plans::{PandaEvaluator, PartitionSpec, StaticTdPlan};
 use crate::selector::{self, BranchBound, Downgrade, ReasonCode, Selection, SelectorRule};
 use crate::yannakakis::yannakakis_query;
+use crate::{fingerprint, plan_cache};
 
 /// The evaluation strategies exposed by [`Panda`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +115,22 @@ pub struct PlanReport {
     /// Simplex pivots consumed by planning, when an LP pivot budget was
     /// configured.
     pub lp_pivots_used: Option<u64>,
+    /// Subplans the plan materialises once and scans from several degree
+    /// branches ([`MaterializedSubplan`]), in deterministic first-seen
+    /// order; empty for single-branch strategies.  Plan-derived, so it is
+    /// part of the report's bit-identity contract (identical warm or cold,
+    /// at any thread count).
+    pub materializations: Vec<MaterializedSubplan>,
+    /// How the plan cache participated in this report:
+    /// [`ReasonCode::PlanCacheHit`], [`ReasonCode::PlanCacheMiss`] (plus
+    /// [`ReasonCode::PlanCacheEvict`] when the insert evicted an entry), or
+    /// [`ReasonCode::PlanCacheBypass`] when `PANDA_PLAN_CACHE=off`.
+    ///
+    /// This field is **process-state telemetry**, not plan content: it is
+    /// deliberately excluded from the [`Explain`] rendering and from the
+    /// report bit-identity contract (a warm report differs from its cold
+    /// twin in exactly this field).
+    pub cache_events: Vec<ReasonCode>,
 }
 
 /// A [`PlanReport`] bundled with the query's variable names, rendered by
@@ -177,6 +195,21 @@ impl std::fmt::Display for Explain {
                 let certified =
                     if bound.certificate.is_some() { "certified" } else { "uncertified" };
                 writeln!(f, "  {}: {} ({certified})", bags.join(" | "), bound.log_bound)?;
+            }
+        }
+        // Cache events are deliberately NOT rendered: EXPLAIN output is
+        // byte-stable across cold and warm runs (and across the CI
+        // explain-stability matrix), while cache events are process state.
+        if !r.materializations.is_empty() {
+            writeln!(f, "materialised subplans:")?;
+            for m in &r.materializations {
+                writeln!(
+                    f,
+                    "  {}: {} ({} scans, materialised once)",
+                    m.bag.display_with(&self.names),
+                    m.relations.join(" * "),
+                    m.num_scans
+                )?;
             }
         }
         Ok(())
@@ -318,7 +351,12 @@ impl Panda {
     }
 
     /// Builds the full [`PlanReport`] from a completed selection.
-    fn report_from(&self, selection: Selection, stats: &StatisticsSet) -> PlanReport {
+    fn report_from(
+        &self,
+        selection: Selection,
+        stats: &StatisticsSet,
+        cache_events: Vec<ReasonCode>,
+    ) -> PlanReport {
         let branch_bounds = selector::branch_bounds_for(&selection, &self.query, stats);
         let partitions =
             selection.evaluator.as_ref().map(|e| e.partitions.clone()).unwrap_or_default();
@@ -335,7 +373,80 @@ impl Panda {
             branch_count: selection.branch_count,
             branch_bounds,
             lp_pivots_used: selection.lp_pivots_used,
+            materializations: selection.materializations,
+            cache_events,
         }
+    }
+
+    /// Runs the selector through the cross-query plan cache: a hit skips
+    /// planning (all width LPs and certificate chains) and serves the
+    /// cached [`Selection`]; a miss plans as usual and populates the cache.
+    /// Returns the selection plus the cache events that occurred, in order.
+    ///
+    /// Keying is by the *canonical* form of the query (structural
+    /// isomorphism — variable renaming and body-atom permutation), the
+    /// canonical encoding of the statistics the planner would consume, the
+    /// budgets, and the requested strategy.  Thread count is deliberately
+    /// excluded: planning is engine-independent (the explain-stability CI
+    /// matrix proves it), so a plan cached under one engine serves every
+    /// other bit-identically.  With `want_widths` the key also pins the
+    /// exact variable numbering so width reports are always expressed in
+    /// the query's own variables.
+    fn select_cached(
+        &self,
+        stats: &StatisticsSet,
+        db: &Database,
+        requested: EvaluationStrategy,
+        want_widths: bool,
+    ) -> Result<(Selection, Vec<ReasonCode>), BoundError> {
+        if !crate::config::plan_cache_enabled() {
+            let selection = selector::select(
+                &self.query,
+                stats,
+                db,
+                self.budgets,
+                self.engine.threads(),
+                requested,
+                want_widths,
+            )?;
+            return Ok((selection, vec![ReasonCode::PlanCacheBypass]));
+        }
+        let canon = fingerprint::canonicalize_query(&self.query);
+        let stats_enc = fingerprint::canonical_statistics_encoding(stats, &canon.renaming);
+        let key = plan_cache::PlanKey {
+            canon: canon.encoding.clone(),
+            exact: if want_widths { Some(canon.renaming.clone()) } else { None },
+            stats: stats_enc,
+            budgets: self.budgets,
+            requested,
+            want_widths,
+        };
+        // The evaluation path can also be served by a same-numbering
+        // report-path entry: a plan with widths is a superset of a plan
+        // without, so explain-then-evaluate plans exactly once.
+        let fallback = (!want_widths).then(|| plan_cache::PlanKey {
+            exact: Some(canon.renaming.clone()),
+            want_widths: true,
+            ..key.clone()
+        });
+        if let Some(selection) = plan_cache::lookup(&key, fallback.as_ref(), &canon.renaming) {
+            return Ok((selection, vec![ReasonCode::PlanCacheHit]));
+        }
+        let selection = selector::select(
+            &self.query,
+            stats,
+            db,
+            self.budgets,
+            self.engine.threads(),
+            requested,
+            want_widths,
+        )?;
+        let evicted = plan_cache::insert(key, canon.renaming, &selection);
+        let mut events = vec![ReasonCode::PlanCacheMiss];
+        if evicted {
+            events.push(ReasonCode::PlanCacheEvict);
+        }
+        Ok((selection, events))
     }
 
     /// Produces the planning report for the automatic strategy choice on
@@ -363,16 +474,9 @@ impl Panda {
         strategy: EvaluationStrategy,
     ) -> Result<PlanReport, BoundError> {
         let stats = self.stats_for(db);
-        let selection = selector::select(
-            &self.query,
-            &stats,
-            db,
-            self.budgets,
-            self.engine.threads(),
-            strategy,
-            /*want_widths=*/ true,
-        )?;
-        Ok(self.report_from(selection, &stats))
+        let (selection, cache_events) =
+            self.select_cached(&stats, db, strategy, /*want_widths=*/ true)?;
+        Ok(self.report_from(selection, &stats, cache_events))
     }
 
     /// [`Panda::plan_report`] rendered for humans: returns the [`Explain`]
@@ -436,19 +540,17 @@ impl Panda {
         match strategy {
             EvaluationStrategy::Auto => {
                 let stats = self.stats_for(db);
-                let selection = selector::select(
-                    &self.query,
-                    &stats,
-                    db,
-                    self.budgets,
-                    self.engine.threads(),
-                    EvaluationStrategy::Auto,
-                    /*want_widths=*/ false,
-                )
-                .map_err(|source| StrategyError::TdUnavailable {
-                    strategy: EvaluationStrategy::Auto,
-                    source,
-                })?;
+                let (selection, _cache_events) = self
+                    .select_cached(
+                        &stats,
+                        db,
+                        EvaluationStrategy::Auto,
+                        /*want_widths=*/ false,
+                    )
+                    .map_err(|source| StrategyError::TdUnavailable {
+                        strategy: EvaluationStrategy::Auto,
+                        source,
+                    })?;
                 self.execute_selection(db, &selection)
             }
             EvaluationStrategy::Yannakakis => {

@@ -17,7 +17,7 @@
 // same tree decomposition the plan was built from; a miss would mean
 // the TD enumeration itself produced an invalid cover.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use panda_entropy::{FhtwReport, PivotBudget, StatisticsSet, SubwReport};
 use panda_proof::{ProofSequence, ProofStep, TermIdentity};
@@ -27,6 +27,7 @@ use panda_relation::{stats as rstats, Database, Relation};
 use crate::binding::VarRelation;
 use crate::config::Engine;
 use crate::generic_join::GenericJoin;
+use crate::materialize::{subplan_key, MaterializedSubplan, SubplanKey, SubplanRegistry};
 use crate::yannakakis::{empty_result, yannakakis_free_connex};
 
 /// A static query plan built from a single tree decomposition (Section 4.1).
@@ -90,22 +91,26 @@ impl StaticTdPlan {
         db: &Database,
         engine: Engine,
     ) -> VarRelation {
+        self.evaluate_with_engine_shared(query, db, engine, None)
+    }
+
+    /// [`StaticTdPlan::evaluate_with_engine`] with an optional shared
+    /// [`SubplanRegistry`]: when the adaptive evaluator runs this plan once
+    /// per degree branch, bags whose inputs are the identical `Arc`-shared
+    /// relation instances across branches are materialised once and every
+    /// later scan is served zero-copy (see [`crate::materialize`]).
+    pub(crate) fn evaluate_with_engine_shared(
+        &self,
+        query: &ConjunctiveQuery,
+        db: &Database,
+        engine: Engine,
+        registry: Option<&SubplanRegistry>,
+    ) -> VarRelation {
         let bound = VarRelation::bind_all(query, db);
         if bound.iter().any(VarRelation::is_empty) {
             return empty_result(query.free_vars());
         }
-        // Assign every atom to the first bag that contains it.
-        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); self.td.num_bags()];
-        for (i, atom) in query.atoms().iter().enumerate() {
-            let vars = atom.var_set();
-            let bag = self
-                .td
-                .bags()
-                .iter()
-                .position(|b| vars.is_subset_of(*b))
-                .expect("a valid TD contains every atom in some bag");
-            assigned[bag].push(i);
-        }
+        let assigned = self.assign_atoms(query);
         // Materialise each non-empty bag.
         let mut bag_relations: Vec<VarRelation> = Vec::new();
         for (bag_idx, atom_ids) in assigned.iter().enumerate() {
@@ -117,7 +122,15 @@ impl StaticTdPlan {
                 inputs.iter().fold(VarSet::EMPTY, |acc, r| acc.union(r.var_set()));
             let bag_vars = self.td.bags()[bag_idx].intersect(covered);
             let join = GenericJoin::new(covered);
-            let bag_rel = join.join_with_engine(&inputs, &bag_vars.to_vec(), engine);
+            let bag_rel = match registry {
+                Some(registry) => {
+                    let atoms: Vec<&Atom> = atom_ids.iter().map(|&i| &query.atoms()[i]).collect();
+                    registry.get_or_materialize(subplan_key(bag_vars, &atoms, db), || {
+                        join.join_with_engine(&inputs, &bag_vars.to_vec(), engine)
+                    })
+                }
+                None => join.join_with_engine(&inputs, &bag_vars.to_vec(), engine),
+            };
             bag_relations.push(bag_rel);
         }
         // Combine the bags.  Their schemas are sub-sets of the TD bags and
@@ -127,6 +140,29 @@ impl StaticTdPlan {
             return result;
         }
         sequential_join(&bag_relations, query.free_vars())
+    }
+
+    /// Assigns every atom to the first bag that contains it (Eq. 13) — the
+    /// single source of truth shared by execution and the plan-time
+    /// materialisation simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some atom fits no bag (the TD would be invalid for the
+    /// query).
+    fn assign_atoms(&self, query: &ConjunctiveQuery) -> Vec<Vec<usize>> {
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); self.td.num_bags()];
+        for (i, atom) in query.atoms().iter().enumerate() {
+            let vars = atom.var_set();
+            let bag = self
+                .td
+                .bags()
+                .iter()
+                .position(|b| vars.is_subset_of(*b))
+                .expect("a valid TD contains every atom in some bag");
+            assigned[bag].push(i);
+        }
+        assigned
     }
 }
 
@@ -311,10 +347,14 @@ impl PandaEvaluator {
         // Branch workers own the coarse-grained parallelism; with a single
         // branch the engine is spent inside the bag joins instead.
         let inner_engine = if across_branches { Engine::Sequential } else { engine };
+        // Bags whose atoms touch no partitioned relation are identical in
+        // every branch: materialise each once, serve later scans zero-copy.
+        let registry = SubplanRegistry::new();
         let evaluate_branch = |branch_db: &Database| -> Relation {
             let td = self.choose_td_for(query, branch_db);
             let plan = StaticTdPlan::new(td);
-            let out = plan.evaluate_with_engine(query, branch_db, inner_engine);
+            let out =
+                plan.evaluate_with_engine_shared(query, branch_db, inner_engine, Some(&registry));
             out.project_onto(&order).rel
         };
         let outputs: Vec<Relation> = if across_branches {
@@ -331,6 +371,56 @@ impl PandaEvaluator {
         }
         result.rel.dedup();
         result
+    }
+
+    /// Simulates, deterministically at plan time, which bag subplans the
+    /// branches will share: replays the per-branch decomposition choice and
+    /// atom-to-bag assignment of [`PandaEvaluator::evaluate_with_engine`]
+    /// over the given `branches`, computes each bag's
+    /// [`SubplanKey`](crate::materialize), and reports every key scanned by
+    /// two or more branches as a [`MaterializedSubplan`] (first-seen order).
+    ///
+    /// Plan-derived and engine-independent — safe to surface in a
+    /// [`PlanReport`](crate::PlanReport), unlike the registry's runtime
+    /// hit/miss counters whose split can vary with thread interleaving.
+    #[must_use]
+    pub fn materialization_plan(
+        &self,
+        query: &ConjunctiveQuery,
+        branches: &[Database],
+    ) -> Vec<MaterializedSubplan> {
+        let mut counts: BTreeMap<SubplanKey, (VarSet, Vec<String>, usize)> = BTreeMap::new();
+        let mut order: Vec<SubplanKey> = Vec::new();
+        for branch_db in branches {
+            let td = self.choose_td_for(query, branch_db);
+            let plan = StaticTdPlan::new(td);
+            for (bag_idx, atom_ids) in plan.assign_atoms(query).iter().enumerate() {
+                if atom_ids.is_empty() {
+                    continue;
+                }
+                let atoms: Vec<&Atom> = atom_ids.iter().map(|&i| &query.atoms()[i]).collect();
+                let covered = atoms.iter().fold(VarSet::EMPTY, |acc, a| acc.union(a.var_set()));
+                let bag_vars = plan.td.bags()[bag_idx].intersect(covered);
+                let key = subplan_key(bag_vars, &atoms, branch_db);
+                match counts.get_mut(&key) {
+                    Some(entry) => entry.2 += 1,
+                    None => {
+                        let mut relations: Vec<String> =
+                            atoms.iter().map(|a| a.relation.clone()).collect();
+                        relations.sort();
+                        counts.insert(key.clone(), (bag_vars, relations, 1));
+                        order.push(key);
+                    }
+                }
+            }
+        }
+        order
+            .into_iter()
+            .filter_map(|key| {
+                let (bag, relations, num_scans) = counts.remove(&key)?;
+                (num_scans >= 2).then_some(MaterializedSubplan { bag, relations, num_scans })
+            })
+            .collect()
     }
 
     /// Splits the database into branch databases according to the partition

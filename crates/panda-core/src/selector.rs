@@ -59,6 +59,7 @@ use panda_rational::Rat;
 use panda_relation::Database;
 
 use crate::config::Budgets;
+use crate::materialize::MaterializedSubplan;
 use crate::panda::EvaluationStrategy;
 use crate::plans::{estimate_bag_size, PandaEvaluator};
 
@@ -120,6 +121,24 @@ pub enum ReasonCode {
     /// The estimated peak bag-materialisation rows exceeded the memory
     /// budget.
     MemoryBudgetExceeded,
+    /// The selection was served from the cross-query plan cache.
+    PlanCacheHit,
+    /// The selection was planned cold and inserted into the plan cache.
+    PlanCacheMiss,
+    /// The plan cache was disabled (`PANDA_PLAN_CACHE=off`), so the
+    /// selection was planned cold and not cached.
+    PlanCacheBypass,
+    /// Inserting this selection evicted the least-recently-used cache
+    /// entry.
+    PlanCacheEvict,
+    /// The plan materialises at least one shared subplan once for several
+    /// branch scans (see
+    /// [`PlanReport::materializations`](crate::PlanReport::materializations)).
+    SubplanMaterialized,
+    /// Runtime telemetry code for a subplan scan served from an existing
+    /// materialisation (used by logs/tests, never by reports — the runtime
+    /// hit/miss split may vary with thread interleaving).
+    SubplanReused,
 }
 
 impl ReasonCode {
@@ -135,6 +154,12 @@ impl ReasonCode {
             ReasonCode::LpBudgetExhausted => "lp_budget_exhausted",
             ReasonCode::BranchBudgetExceeded => "branch_budget_exceeded",
             ReasonCode::MemoryBudgetExceeded => "memory_budget_exceeded",
+            ReasonCode::PlanCacheHit => "plan_cache_hit",
+            ReasonCode::PlanCacheMiss => "plan_cache_miss",
+            ReasonCode::PlanCacheBypass => "plan_cache_bypass",
+            ReasonCode::PlanCacheEvict => "plan_cache_evict",
+            ReasonCode::SubplanMaterialized => "subplan_materialized",
+            ReasonCode::SubplanReused => "subplan_reused",
         }
     }
 }
@@ -199,10 +224,18 @@ pub(crate) struct Selection {
     pub branch_count: usize,
     /// Simplex pivots consumed by planning, when a pivot budget was set.
     pub lp_pivots_used: Option<u64>,
+    /// Subplans the adaptive plan will materialise once and scan from
+    /// several branches (plan-derived and deterministic; empty for
+    /// single-branch strategies).
+    pub materializations: Vec<MaterializedSubplan>,
 }
 
 impl Selection {
-    fn new(rule: SelectorRule, reason: ReasonCode, strategy: EvaluationStrategy) -> Self {
+    pub(crate) fn new(
+        rule: SelectorRule,
+        reason: ReasonCode,
+        strategy: EvaluationStrategy,
+    ) -> Self {
         Selection {
             rule,
             reason,
@@ -216,6 +249,7 @@ impl Selection {
             evaluator: None,
             branch_count: 1,
             lp_pivots_used: None,
+            materializations: Vec::new(),
         }
     }
 
@@ -394,7 +428,9 @@ pub(crate) fn select(
                 EvaluationStrategy::Adaptive,
             );
             let evaluator = PandaEvaluator::from_reports(query, &subw_report, &fhtw_report);
-            selection.branch_count = evaluator.build_branches(query, db).len();
+            let branches = evaluator.build_branches(query, db);
+            selection.branch_count = branches.len();
+            selection.materializations = evaluator.materialization_plan(query, &branches);
             if let Some(cap) = budgets.branch_budget {
                 if selection.branch_count > cap {
                     selection.downgrade_to(

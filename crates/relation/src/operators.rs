@@ -703,6 +703,17 @@ pub fn reorder(relation: &Relation, permutation: &[usize]) -> Relation {
         }
         out.push_row(&buf);
     }
+    // Row order is preserved, so the longest prefix of the input's recorded
+    // sort order whose columns survive into the output still holds there
+    // (remapped through the permutation) — this keeps reordered inputs on
+    // the sort-merge join path.
+    if let Some(order) = relation.sort_order() {
+        let remapped: Vec<usize> =
+            order.iter().map_while(|&c| permutation.iter().position(|&p| p == c)).collect();
+        if !remapped.is_empty() && !out.is_empty() {
+            out.assume_sort_order(remapped);
+        }
+    }
     out
 }
 
@@ -828,6 +839,38 @@ mod tests {
     }
 
     #[test]
+    fn semijoin_and_antijoin_propagate_the_left_sort_order() {
+        let l = Relation::from_rows(2, vec![[4, 0], [1, 2], [2, 3], [2, 4], [3, 1]])
+            .sorted_by_columns(&[0, 1]);
+        let r = Relation::from_rows(1, vec![[2], [3]]);
+        // The filtered paths re-assemble kept rows in order and must carry
+        // the recorded order through, keeping them on the merge-join path.
+        let semi = semijoin(&l, &r, &[(0, 0)]);
+        assert!(semi.len() < l.len(), "this case must exercise the filtered path");
+        assert_eq!(semi.sort_order(), Some(&[0, 1][..]));
+        let anti = antijoin(&l, &r, &[(0, 0)]);
+        assert!(anti.len() < l.len());
+        assert_eq!(anti.sort_order(), Some(&[0, 1][..]));
+        // The unfiltered (O(1)-clone) path trivially keeps it.
+        let all = semijoin(&l, &Relation::from_rows(1, vec![[1], [2], [3], [4]]), &[(0, 0)]);
+        assert_eq!(all.sort_order(), Some(&[0, 1][..]));
+        // A sorted, filtered semijoin output feeds the sort-merge join: the
+        // result must be identical to joining the unsorted equivalent.
+        let s = Relation::from_rows(2, vec![[2, 7], [3, 8]]);
+        let merged = join(&semi, &s, &[(0, 0)]);
+        let reference = join(&semijoin(&l.clone().deduped(), &r, &[(0, 0)]), &s, &[(0, 0)]);
+        assert_eq!(merged.canonical_rows(), reference.canonical_rows());
+    }
+
+    #[test]
+    fn intersection_and_difference_inherit_left_order() {
+        let a = Relation::from_rows(1, vec![[3], [1], [2]]).sorted_by_columns(&[0]);
+        let b = Relation::from_rows(1, vec![[3], [4]]);
+        assert_eq!(intersection(&a, &b).sort_order(), Some(&[0][..]));
+        assert_eq!(difference(&a, &b).sort_order(), Some(&[0][..]));
+    }
+
+    #[test]
     fn union_difference_intersection() {
         let a = Relation::from_rows(1, vec![[1], [2], [3]]);
         let b = Relation::from_rows(1, vec![[3], [4]]);
@@ -841,6 +884,23 @@ mod tests {
         let r = Relation::from_rows(2, vec![[1, 2]]);
         let out = reorder(&r, &[1, 0, 1]);
         assert_eq!(out.row(0), &[2, 1, 2]);
+    }
+
+    #[test]
+    fn reorder_remaps_the_recorded_sort_order() {
+        let r = Relation::from_rows(2, vec![[3, 1], [1, 2], [2, 2]]).sorted_by_columns(&[1, 0]);
+        // Swap the columns: the order (old cols [1, 0]) becomes [0, 1].
+        let swapped = reorder(&r, &[1, 0]);
+        assert_eq!(swapped.sort_order(), Some(&[0, 1][..]));
+        // Dropping the leading order column truncates the order to the
+        // prefix that survives (here: nothing — col 1 is gone).
+        let dropped = reorder(&r, &[0]);
+        assert_eq!(dropped.sort_order(), None);
+        // Dropping a trailing order column keeps the sorted prefix.
+        let tail = reorder(&r, &[1]);
+        assert_eq!(tail.sort_order(), Some(&[0][..]));
+        // An unsorted input stays unsorted.
+        assert_eq!(reorder(&r_edges(), &[1, 0]).sort_order(), None);
     }
 
     #[test]

@@ -163,8 +163,17 @@ impl Relation {
     /// Materialises a shard view into its own buffer (a one-time copy of
     /// just this shard's rows).  Called by every mutating method so that
     /// copy-on-write never touches rows outside the view.
+    ///
+    /// Materialisation changes the relation's [storage
+    /// identity](Relation::storage_id), so any derived statistics computed
+    /// under the old identity (indexes, distinct counts, column-store
+    /// slices of the parent buffer) are detached here — not only by the
+    /// mutating callers — ensuring a mutation path that reaches
+    /// `make_owned` directly (e.g. [`Relation::reserve`]) can never leave a
+    /// pre-materialisation cache attached to post-materialisation storage.
     fn make_owned(&mut self) {
         if self.view.is_some() {
+            self.invalidate_derived();
             self.data = Arc::new(self.flat().to_vec());
             self.view = None;
         }
@@ -182,6 +191,19 @@ impl Relation {
     #[must_use]
     pub fn shares_storage_with(&self, other: &Relation) -> bool {
         Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// A process-local identity of this relation's *storage*: the address
+    /// of the shared tuple buffer plus the viewed row range.  Two relations
+    /// with equal storage ids hold exactly the same rows (they are O(1)
+    /// clones or identical shard views of one buffer), which is what lets
+    /// the plan layer deduplicate repeated subplans over shared inputs
+    /// without comparing tuple data.  The id is only meaningful while both
+    /// relations are alive and must never be persisted.
+    #[must_use]
+    pub fn storage_id(&self) -> (usize, usize, usize) {
+        let (start, rows) = self.view.unwrap_or((0, self.len()));
+        (Arc::as_ptr(&self.data) as *const u8 as usize, start, rows)
     }
 
     /// Detaches this relation from any cache shared with clones.  Called by
@@ -453,8 +475,13 @@ impl Relation {
         }
     }
 
-    /// Reserves space for `additional` more rows.
+    /// Reserves space for `additional` more rows.  Like every mutating
+    /// method this detaches shared derived statistics first: reserving
+    /// re-allocates shared storage (new [storage
+    /// identity](Relation::storage_id)), and the subsequent writes the
+    /// caller is preparing for must start from a clean cache.
     pub fn reserve(&mut self, additional: usize) {
+        self.invalidate_derived();
         self.make_owned();
         Arc::make_mut(&mut self.data).reserve(additional * self.arity.max(1));
     }
@@ -901,6 +928,43 @@ mod tests {
         // The parent and the sibling shard are untouched.
         assert_eq!(r.len(), 4);
         assert_eq!(shards[0].canonical_rows(), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn make_owned_detaches_stale_derived_statistics() {
+        // Regression: `reserve` reaches `make_owned` without going through
+        // a row-mutating method, so the view materialisation itself must
+        // detach derived statistics — a cache built for the old storage
+        // identity must never survive onto the new one.
+        let r = Relation::from_rows(2, vec![[1, 10], [2, 20], [3, 30], [4, 40]]);
+        let mut shard = r.partitioned(2).pop().unwrap();
+        let before = shard.storage_id();
+        let _ = shard.index_for(&[0]);
+        let _ = shard.distinct_count();
+        assert!(shard.try_cached_index(&[0]).is_some());
+        shard.reserve(8);
+        assert_ne!(shard.storage_id(), before, "materialisation re-homes storage");
+        assert!(
+            shard.try_cached_index(&[0]).is_none(),
+            "derived statistics must be detached when the storage identity changes"
+        );
+        // The rows themselves are intact and re-derived stats are correct.
+        assert_eq!(shard.canonical_rows(), vec![vec![3, 30], vec![4, 40]]);
+        assert_eq!(shard.distinct_count(), 2);
+    }
+
+    #[test]
+    fn storage_id_distinguishes_views_and_tracks_sharing() {
+        let r = Relation::from_rows(1, vec![[0], [1], [2], [3]]);
+        let clone = r.clone();
+        assert_eq!(r.storage_id(), clone.storage_id(), "O(1) clones share identity");
+        let shards = r.partitioned(2);
+        assert_ne!(shards[0].storage_id(), shards[1].storage_id());
+        assert_ne!(shards[0].storage_id(), r.storage_id());
+        // Equal shard views of the same range agree.
+        assert_eq!(shards[1].storage_id(), r.partitioned(2)[1].storage_id());
+        let owned = Relation::from_rows(1, vec![[0], [1], [2], [3]]);
+        assert_ne!(owned.storage_id(), r.storage_id(), "distinct buffers differ");
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Cold/warm plan-cache differential suite: a warm (cached) run must be
+//! **bit-identical** to a cold one — same result rows in the same storage
+//! order, the same [`PlanReport`] (up to the `cache_events` telemetry
+//! field, which records hit/miss and is deliberately excluded from the
+//! bit-identity contract and from EXPLAIN), and byte-identical EXPLAIN
+//! text — across both engines, both storage layouts, and structurally
+//! isomorphic query variants.
+//!
+//! Coverage mirrors the parallel-determinism suite's two corpora: the
+//! E1–E15 experiment workloads at reduced sizes and a proptest random
+//! operator corpus, plus plan-cache-specific pins (isomorphic hits across
+//! variable renamings and body-atom permutations, cross-engine serving,
+//! deterministic LRU eviction).
+//!
+//! The plan cache is process-wide, so every test in this binary holds
+//! `CACHE_LOCK` while it manipulates cache state; other test binaries are
+//! separate processes with their own cache.
+
+// panda-lint: allow(D2) -- test-only serialisation of this binary's tests
+// around the process-wide plan cache; ordering affects which test runs
+// first, never any engine output.
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use panda::config::{Engine, Parallelism};
+use panda::prelude::*;
+use panda::workloads;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// panda-lint: allow(D2) -- see above: test serialisation only.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn cache_guard() -> MutexGuard<'static, ()> {
+    // panda-lint: allow(D2) -- see above: test serialisation only.
+    CACHE_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Raw rows in storage order — the bit-level comparison.
+fn raw_rows(rel: &VarRelation) -> Vec<Vec<u64>> {
+    rel.rel.iter().map(<[u64]>::to_vec).collect()
+}
+
+/// A report rendered for comparison with `cache_events` cleared: the one
+/// field in which a warm report may differ from its cold twin.
+fn report_modulo_cache_events(report: &PlanReport) -> String {
+    let mut r = report.clone();
+    r.cache_events = Vec::new();
+    format!("{r:?}")
+}
+
+/// A deep copy of `db` with a column store attached to every relation (the
+/// `PANDA_LAYOUT=columnar` state) — same construction as the
+/// parallel-determinism suite.
+fn columnar_copy(db: &Database) -> Database {
+    let mut out = Database::new();
+    for (name, rel) in db.iter() {
+        let mut copy = panda::relation::Relation::from_rows(rel.arity(), rel.iter());
+        if let Some(order) = rel.sort_order() {
+            copy = copy.sorted_by_columns(order);
+        }
+        let _ = copy.column_store();
+        out.insert(name, copy);
+    }
+    out
+}
+
+fn random_graph_db(names: &[&str], n: u64, edges: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for name in names {
+        let rel = panda::relation::Relation::from_rows(
+            2,
+            (0..edges).map(|_| [rng.gen_range(0..n), rng.gen_range(0..n)]),
+        )
+        .deduped();
+        db.insert(*name, rel);
+    }
+    db
+}
+
+/// One cold run followed by one warm run of the same query/database/
+/// engine cell, asserting the full bit-identity contract.  Returns the
+/// cold (report, explain, rows) triple for cross-cell comparisons.
+fn assert_cold_warm_identical(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    engine: Engine,
+    label: &str,
+) -> (PlanReport, String, Vec<Vec<u64>>) {
+    plan_cache_clear();
+    let panda = Panda::new(query.clone()).with_engine(engine);
+
+    let cold_report = panda.plan_report(db).unwrap();
+    let cold_explain = panda.explain(db).unwrap().to_string();
+    let cold_rows = raw_rows(&panda.evaluate(db));
+
+    let warm_report = panda.plan_report(db).unwrap();
+    let warm_explain = panda.explain(db).unwrap().to_string();
+    let warm_rows = raw_rows(&panda.evaluate(db));
+
+    assert_eq!(cold_rows, warm_rows, "{label}: warm rows must be bit-identical to cold");
+    assert_eq!(cold_explain, warm_explain, "{label}: warm EXPLAIN must be byte-identical to cold");
+    assert_eq!(
+        report_modulo_cache_events(&cold_report),
+        report_modulo_cache_events(&warm_report),
+        "{label}: warm report must equal cold up to cache_events"
+    );
+    if cache_on() {
+        assert_eq!(
+            cold_report.cache_events.first(),
+            Some(&ReasonCode::PlanCacheMiss),
+            "{label}: the first cold report is a miss"
+        );
+        assert_eq!(
+            warm_report.cache_events,
+            vec![ReasonCode::PlanCacheHit],
+            "{label}: the warm report is a pure hit"
+        );
+    } else {
+        // PANDA_PLAN_CACHE=off (the CI plan-cache-off leg): every report
+        // carries the bypass marker and the bit-identity above is the
+        // cold path agreeing with itself.
+        assert_eq!(cold_report.cache_events, vec![ReasonCode::PlanCacheBypass]);
+        assert_eq!(warm_report.cache_events, vec![ReasonCode::PlanCacheBypass]);
+    }
+    (cold_report, cold_explain, cold_rows)
+}
+
+/// Whether the plan cache is enabled in this process (`PANDA_PLAN_CACHE`):
+/// the counter- and hit/miss-event assertions only apply when it is.
+fn cache_on() -> bool {
+    panda::config::plan_cache_enabled()
+}
+
+/// The E-workload matrix: every (workload, engine, layout) cell is
+/// cold/warm bit-identical, and the cells of one workload agree with each
+/// other on rows and EXPLAIN bytes (planning is engine- and
+/// layout-independent, cached or not).
+#[test]
+fn e_workloads_cold_and_warm_runs_are_bit_identical() {
+    let _guard = cache_guard();
+    let cases: Vec<(ConjunctiveQuery, Database, &str)> = vec![
+        // E1: Figure 2's example instance under the projected 4-cycle.
+        (workloads::four_cycle_projected(), workloads::figure2_db(), "figure2"),
+        // E7/E8: the fhtw-hard double star (heavy/light case splits).
+        (workloads::four_cycle_projected(), workloads::double_star_db(24), "double_star"),
+        (workloads::four_cycle_full(), workloads::double_star_db(16), "double_star_full"),
+        // E9: the triangle query on an Erdős–Rényi graph.
+        (
+            workloads::triangle_query(),
+            workloads::erdos_renyi_db(&["R", "S", "T"], 40, 300, 9),
+            "erdos_renyi",
+        ),
+        // E13: a free-connex acyclic path query.
+        (workloads::two_path_projected(), random_graph_db(&["R", "S"], 30, 200, 11), "path"),
+    ];
+    let engines = [Engine::Sequential, Engine::Parallel(Parallelism::threads(2))];
+    for (query, db, label) in &cases {
+        let columnar = columnar_copy(db);
+        let mut reference: Option<(String, Vec<Vec<u64>>)> = None;
+        for engine in engines {
+            for (layout, ldb) in [("row-major", db), ("columnar", &columnar)] {
+                let cell = format!("{label}/{layout}/{}threads", engine.threads());
+                let (_, explain, rows) = assert_cold_warm_identical(query, ldb, engine, &cell);
+                match &reference {
+                    None => reference = Some((explain, rows)),
+                    Some((ref_explain, ref_rows)) => {
+                        assert_eq!(ref_explain, &explain, "{cell}: EXPLAIN is cell-independent");
+                        assert_eq!(ref_rows, &rows, "{cell}: rows are cell-independent");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A plan cached under the sequential engine serves a parallel evaluator
+/// (and vice versa) bit-identically: the cache key excludes the thread
+/// count because planning is engine-independent.
+#[test]
+fn cached_plans_serve_across_engines() {
+    let _guard = cache_guard();
+    let query = workloads::four_cycle_projected();
+    let db = workloads::double_star_db(24);
+
+    plan_cache_clear();
+    let seq = Panda::new(query.clone()).with_engine(Engine::Sequential);
+    let cold_report = seq.plan_report(&db).unwrap();
+    let cold_explain = seq.explain(&db).unwrap().to_string();
+    let cold_rows = raw_rows(&seq.evaluate(&db));
+
+    let par = Panda::new(query).with_engine(Engine::Parallel(Parallelism::threads(4)));
+    let warm_report = par.plan_report(&db).unwrap();
+    let warm_explain = par.explain(&db).unwrap().to_string();
+    let warm_rows = raw_rows(&par.evaluate(&db));
+
+    if cache_on() {
+        assert_eq!(cold_report.cache_events.first(), Some(&ReasonCode::PlanCacheMiss));
+        assert_eq!(warm_report.cache_events, vec![ReasonCode::PlanCacheHit]);
+    }
+    assert_eq!(cold_explain, warm_explain);
+    assert_eq!(cold_rows, warm_rows);
+    assert_eq!(report_modulo_cache_events(&cold_report), report_modulo_cache_events(&warm_report));
+}
+
+/// Structurally isomorphic queries — same structure under renamed
+/// variables, permuted body atoms, a different query name — share one
+/// cache slot, and a warm isomorphic run is bit-identical to its own cold
+/// run.
+#[test]
+fn isomorphic_queries_share_a_slot_and_stay_bit_identical() {
+    let _guard = cache_guard();
+    let base = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+    // Renamed variables and a renamed head; first-occurrence numbering is
+    // unchanged, so the cached selection serves as-is.
+    let renamed = parse_query("P(A,B) :- R(A,B), S(B,C), T(C,D), U(D,A)").unwrap();
+    // Body atoms permuted; X,Y,Z,W still first occur in that order, so
+    // the first-occurrence numbering is again unchanged.
+    let permuted = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), U(W,X), T(Z,W)").unwrap();
+    let db = workloads::double_star_db(24);
+
+    // Cold references, one per variant, with the cache disabled-by-clear
+    // before each so every reference is genuinely cold.
+    let mut cold = Vec::new();
+    for q in [&base, &renamed, &permuted] {
+        plan_cache_clear();
+        let p = Panda::new(q.clone());
+        cold.push((p.explain(&db).unwrap().to_string(), raw_rows(&p.evaluate(&db))));
+    }
+
+    // Warm pass: plan the base query once, then every variant must hit.
+    plan_cache_clear();
+    let before = plan_cache_stats();
+    let base_panda = Panda::new(base.clone());
+    let _ = base_panda.plan_report(&db).unwrap();
+    let _ = base_panda.evaluate(&db);
+    for (q, (cold_explain, cold_rows)) in [&base, &renamed, &permuted].into_iter().zip(&cold) {
+        let p = Panda::new(q.clone());
+        let report = p.plan_report(&db).unwrap();
+        if cache_on() {
+            assert_eq!(
+                report.cache_events,
+                vec![ReasonCode::PlanCacheHit],
+                "isomorphic variant must hit the plan cache"
+            );
+        }
+        assert_eq!(&p.explain(&db).unwrap().to_string(), cold_explain);
+        assert_eq!(&raw_rows(&p.evaluate(&db)), cold_rows);
+    }
+    if cache_on() {
+        let after = plan_cache_stats();
+        // Base: 1 report miss; its evaluation is served by the report-path
+        // entry (the fallback tier).  Variants: all hits.
+        assert_eq!(after.misses - before.misses, 1);
+        assert!(after.hits - before.hits >= 6);
+    }
+}
+
+/// An isomorphic query whose variables first occur in a *different order*
+/// (σ ≠ identity) is served on the evaluation path by renaming the cached
+/// plan's execution artifacts — and the served execution is bit-identical
+/// to that query's own cold evaluation.
+#[test]
+fn renumbered_isomorphic_queries_evaluate_identically() {
+    let _guard = cache_guard();
+    // Triangle with rotated body: numbering by first occurrence gives the
+    // second query a genuinely different variable numbering.
+    let q1 = parse_query("Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(Z,X)").unwrap();
+    let q2 = parse_query("Q(Y,Z,X) :- S(Y,Z), T(Z,X), R(X,Y)").unwrap();
+    let db = workloads::erdos_renyi_db(&["R", "S", "T"], 40, 300, 9);
+
+    plan_cache_clear();
+    let cold_rows = raw_rows(&Panda::new(q2.clone()).evaluate(&db));
+
+    plan_cache_clear();
+    let before = plan_cache_stats();
+    let _ = Panda::new(q1).evaluate(&db);
+    let warm_rows = raw_rows(&Panda::new(q2).evaluate(&db));
+    let after = plan_cache_stats();
+
+    assert_eq!(cold_rows, warm_rows, "renamed served plan must match cold evaluation");
+    if cache_on() {
+        assert_eq!(after.misses - before.misses, 1, "q1 plans cold");
+        assert_eq!(after.hits - before.hits, 1, "q2 is served from q1's slot");
+    }
+}
+
+/// LRU eviction is deterministic in access counts: filling the cache past
+/// capacity evicts exactly the least-recently-used entry, the eviction is
+/// surfaced as a `PlanCacheEvict` event, and the evicted key re-plans as a
+/// miss.
+#[test]
+fn lru_eviction_is_deterministic_and_observable() {
+    let _guard = cache_guard();
+    if !cache_on() {
+        return; // nothing to evict with the cache disabled
+    }
+    let query = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z)").unwrap();
+    plan_cache_clear();
+    let before = plan_cache_stats();
+    // Distinct databases give distinct statistics, hence distinct keys for
+    // the same query.  Capacity + 1 inserts forces exactly one eviction.
+    let dbs: Vec<Database> = (0..=panda::core::PLAN_CACHE_CAP)
+        .map(|i| random_graph_db(&["R", "S"], 10 + i as u64, 20 + i, i as u64))
+        .collect();
+    let mut evict_seen = false;
+    for db in &dbs {
+        let report = Panda::new(query.clone()).plan_report(db).unwrap();
+        evict_seen |= report.cache_events.contains(&ReasonCode::PlanCacheEvict);
+    }
+    let mid = plan_cache_stats();
+    assert!(evict_seen, "the capacity+1'th insert reports PlanCacheEvict");
+    assert_eq!(mid.evictions - before.evictions, 1);
+    assert_eq!(mid.entries, panda::core::PLAN_CACHE_CAP);
+    // The victim was the first (least recently used) database's entry.
+    let report = Panda::new(query.clone()).plan_report(&dbs[0]).unwrap();
+    assert_eq!(report.cache_events.first(), Some(&ReasonCode::PlanCacheMiss));
+    // Every later entry is still resident.
+    let report = Panda::new(query).plan_report(&dbs[2]).unwrap();
+    assert_eq!(report.cache_events, vec![ReasonCode::PlanCacheHit]);
+}
+
+proptest! {
+    // Random operator corpus: on random graph databases, cold and warm
+    // runs of a cyclic (triangle) and an acyclic (projected path) query
+    // are bit-identical; the engine alternates with the seed so both are
+    // exercised across the corpus.
+    #[test]
+    fn random_databases_are_cold_warm_identical(
+        n in 4u64..24,
+        edges in 1usize..120,
+        seed in 0u64..1_000,
+    ) {
+        let _guard = cache_guard();
+        let queries = [workloads::triangle_query(), workloads::two_path_projected()];
+        let db = random_graph_db(&["R", "S", "T"], n, edges, seed);
+        let engine = if seed % 2 == 0 {
+            Engine::Sequential
+        } else {
+            Engine::Parallel(Parallelism::threads(2))
+        };
+        for (i, query) in queries.iter().enumerate() {
+            let label = format!("query#{i} seed={seed}");
+            assert_cold_warm_identical(query, &db, engine, &label);
+        }
+    }
+}
