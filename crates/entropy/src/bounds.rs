@@ -45,6 +45,12 @@ pub enum BoundError {
     /// an expected, recoverable outcome: the caller asked for bounded
     /// planning work and should fall back to a cheaper plan.
     PivotBudgetExhausted,
+    /// A [`CancelToken`](panda_lp::CancelToken) attached to the supplied
+    /// [`PivotBudget`] was cancelled mid-computation.  Expected and
+    /// recoverable, but — unlike [`BoundError::PivotBudgetExhausted`] —
+    /// never absorbed into a fail-soft fallback: the caller asked for the
+    /// work to stop, not for a cheaper substitute.
+    Cancelled,
 }
 
 impl std::fmt::Display for BoundError {
@@ -57,6 +63,9 @@ impl std::fmt::Display for BoundError {
             BoundError::Solver(msg) => write!(f, "LP solver failure: {msg}"),
             BoundError::PivotBudgetExhausted => {
                 write!(f, "the LP pivot budget was exhausted before the bound was computed")
+            }
+            BoundError::Cancelled => {
+                write!(f, "the computation was cancelled before the bound was computed")
             }
         }
     }
@@ -349,6 +358,7 @@ impl GammaLp {
         };
         let (outcome, basis) = solved.map_err(|e| match e {
             LpError::PivotBudgetExhausted { .. } => BoundError::PivotBudgetExhausted,
+            LpError::Cancelled => BoundError::Cancelled,
             other => BoundError::Solver(other.to_string()),
         })?;
         let solution =

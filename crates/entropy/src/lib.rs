@@ -57,6 +57,6 @@ pub use elemental::Elemental;
 // re-exported here so `panda-core` and callers above it need no direct
 // solver dependency to use budgeted width computations.
 pub use mm::{mm_cost_log, omega_subw_square, MATRIX_MULT_OMEGA};
-pub use panda_lp::PivotBudget;
+pub use panda_lp::{CancelToken, PivotBudget};
 pub use shannon::{CondTerm, IntegralShannonFlow, ShannonFlow};
 pub use varspace::EntropyVarSpace;

@@ -1,0 +1,18 @@
+// A wall-clock request timeout in the serving layer: exactly what the
+// cooperative CancelToken exists to avoid.  D3 must fire on the clock
+// reads even though they are dressed up as "server hygiene" — a timed-out
+// request aborts at a wall-clock-dependent point, so reruns of the same
+// script would produce different transcripts.
+use std::time::Instant; // line 6: D3 (use Instant)
+
+pub fn handle_with_deadline(lines: &[String], millis: u128) -> usize {
+    let started = Instant::now(); // line 9: D3 (Instant::now)
+    let mut handled = 0;
+    for line in lines {
+        if started.elapsed().as_millis() > millis {
+            break; // nondeterministic abort point
+        }
+        handled += line.len();
+    }
+    handled
+}

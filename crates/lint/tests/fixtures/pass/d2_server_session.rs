@@ -1,0 +1,55 @@
+//! The serving layer's concurrency idiom, fully justified: a one-way
+//! atomic cancel flag, a mutex/condvar bounded hand-off queue and one
+//! reader thread per connection.  Every primitive carries a scheduling
+//! justification, so the file must lint clean under D2 (and every other
+//! rule).  This pins the exact shape `crates/server/src/serve.rs` uses.
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+// panda-lint: allow(D2) -- one-way cancel flag: a request observes it at
+// deterministic pivot counters; flipping it can only abort, never reorder
+use std::sync::atomic::{AtomicBool, Ordering};
+// panda-lint: allow(D2) -- bounded FIFO hand-off between reader and
+// worker: scheduling delays responses but never reorders them
+use std::sync::{Condvar, Mutex};
+
+pub struct CancelFlag {
+    // panda-lint: allow(D2) -- the flag is set-once; readers poll at
+    // deterministic counters, so no ordering-dependent behaviour escapes
+    fired: AtomicBool,
+}
+
+impl CancelFlag {
+    pub fn fire(&self) {
+        self.fired.store(true, Ordering::Release);
+    }
+
+    pub fn is_fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+pub struct BoundedQueue {
+    // panda-lint: allow(D2) -- the queue is drained by a single worker in
+    // arrival order; the lock protects capacity accounting only
+    jobs: Mutex<VecDeque<String>>,
+    // panda-lint: allow(D2) -- wakeups only unblock a full/empty wait;
+    // they carry no data and cannot affect response bytes
+    ready: Condvar,
+}
+
+impl BoundedQueue {
+    pub fn push(&self, job: String) {
+        if let Ok(mut jobs) = self.jobs.lock() {
+            jobs.push_back(job);
+            self.ready.notify_all();
+        }
+    }
+}
+
+pub fn spawn_reader(queue: &'static BoundedQueue) {
+    // panda-lint: allow(D2) -- one reader thread per connection; requests
+    // are executed strictly in arrival order by a single worker
+    let handle = std::thread::spawn(move || queue.push(String::new()));
+    drop(handle);
+}

@@ -111,6 +111,32 @@ fn d2_exempts_the_config_module() {
     assert!(diags.iter().all(|d| d.rule != Rule::D2), "config.rs is D2-exempt by policy");
 }
 
+#[test]
+fn d2_accepts_the_justified_server_idiom() {
+    // The serving layer's exact shape — atomic cancel flag, mutex/condvar
+    // bounded queue, reader thread — lints clean because every primitive
+    // carries a scheduling justification.
+    let diags = analyze_str("crates/server/src/serve.rs", &fixture("pass/d2_server_session.rs"));
+    assert!(diags.is_empty(), "justified server idiom must lint clean: {diags:?}");
+}
+
+#[test]
+fn d2_directives_in_the_server_idiom_are_load_bearing() {
+    // Stripping the justifications must re-fire D2 on every primitive:
+    // the pass fixture is clean because of the directives, not because
+    // the rule misses the serving idiom.
+    let stripped: String = fixture("pass/d2_server_session.rs")
+        .lines()
+        .filter(|l| !l.contains("panda-lint:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let d2: Vec<_> = analyze_str("crates/server/src/serve.rs", &stripped)
+        .into_iter()
+        .filter(|d| d.rule == Rule::D2)
+        .collect();
+    assert!(d2.len() >= 5, "imports, both struct fields and the spawn must all fire: {d2:?}");
+}
+
 // ---------------------------------------------------------------- D3 ----
 
 #[test]
@@ -130,6 +156,17 @@ fn d3_silent_on_pivot_count_budgets() {
         diags.iter().all(|d| d.rule != Rule::D3),
         "pivot-count budgets must not trip D3: {diags:?}"
     );
+}
+
+#[test]
+fn d3_fires_on_a_wall_clock_request_timeout() {
+    // The serving-layer hazard: an Instant-based request deadline makes
+    // the abort point wall-clock-dependent, so identical scripts could
+    // produce different transcripts.  Cancellation must stay counter-based
+    // (CancelToken polled at pivot counters) — D3 fires on both clock
+    // touches in the unjustified timeout.
+    let lines = lines_for(Rule::D3, "crates/server/src/session.rs", "fail/d3_server_instant.rs");
+    assert_eq!(lines, vec![6, 9], "use Instant, Instant::now");
 }
 
 #[test]

@@ -70,7 +70,7 @@ mod revised;
 mod simplex;
 mod solution;
 
-pub use budget::PivotBudget;
+pub use budget::{CancelToken, PivotBudget};
 pub use problem::{Basis, Constraint, ConstraintOp, LinearProgram, SimplexEngine};
 pub use solution::{LpOutcome, Solution};
 
@@ -89,6 +89,7 @@ const _: () = {
     assert_send_sync::<LpOutcome>();
     assert_send_sync::<LpError>();
     assert_send_sync::<PivotBudget>();
+    assert_send_sync::<CancelToken>();
 };
 
 /// Errors reported by the solver.
@@ -119,6 +120,12 @@ pub enum LpError {
         /// The budget's total pivot allowance.
         limit: u64,
     },
+    /// A [`CancelToken`] attached to the solve's [`PivotBudget`] was
+    /// cancelled.  Like [`LpError::PivotBudgetExhausted`] this is expected
+    /// and recoverable — but it must never be absorbed into a fail-soft
+    /// fallback: the caller asked for the work to *stop*, not to be
+    /// replaced by cheaper work.
+    Cancelled,
 }
 
 impl std::fmt::Display for LpError {
@@ -136,6 +143,9 @@ impl std::fmt::Display for LpError {
             }
             LpError::PivotBudgetExhausted { limit } => {
                 write!(f, "pivot budget of {limit} exhausted before reaching optimality")
+            }
+            LpError::Cancelled => {
+                write!(f, "the solve was cancelled before reaching optimality")
             }
         }
     }

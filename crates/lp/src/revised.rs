@@ -404,6 +404,9 @@ impl<'a> RevisedSimplex<'a> {
                 return Ok(Phase::Unbounded);
             };
             if let Some(b) = budget.as_deref_mut() {
+                if b.is_cancelled() {
+                    return Err(LpError::Cancelled);
+                }
                 if !b.consume() {
                     return Err(LpError::PivotBudgetExhausted { limit: b.limit() });
                 }

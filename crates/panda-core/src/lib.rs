@@ -60,12 +60,16 @@ pub mod yannakakis;
 
 pub use binary::BinaryJoinPlan;
 pub use binding::VarRelation;
+// The cooperative cancellation token lives in `panda-lp` (the pivot loop
+// is its polling point); re-exported here because serving layers attach it
+// through the `Panda` facade.
 pub use config::{plan_cache_enabled, Budgets, Engine, Layout, Parallelism};
 pub use ddr_eval::{DdrEvaluator, DdrModel};
 pub use fingerprint::{canonicalize_query, CanonicalQuery};
 pub use generic_join::GenericJoin;
 pub use materialize::MaterializedSubplan;
 pub use panda::{EvaluationStrategy, Explain, Panda, PlanReport, StrategyError};
+pub use panda_entropy::CancelToken;
 pub use plan_cache::{plan_cache_clear, plan_cache_stats, PlanCacheStats, PLAN_CACHE_CAP};
 pub use plans::{PandaEvaluator, StaticTdPlan};
 pub use selector::{BranchBound, Downgrade, ReasonCode, SelectorRule};

@@ -20,7 +20,7 @@
 //! [`Downgrade`]s forced by the configured [`Budgets`] — and
 //! [`Panda::explain`] renders it as a stable, human-readable EXPLAIN.
 
-use panda_entropy::{BoundError, StatisticsSet};
+use panda_entropy::{BoundError, CancelToken, StatisticsSet};
 use panda_query::{ConjunctiveQuery, TreeDecomposition};
 use panda_rational::Rat;
 use panda_relation::Database;
@@ -242,6 +242,15 @@ pub enum StrategyError {
         /// Which budget was exceeded.
         reason: ReasonCode,
     },
+    /// The attached [`CancelToken`] was cancelled before or during the
+    /// request.  Unlike budget exhaustion this is never absorbed fail-soft
+    /// — a cancelled request aborts under `Auto` too — and it is a
+    /// property of the *request*, not the plan: retrying with a fresh
+    /// token re-plans (or serves the cached plan) normally.
+    Cancelled {
+        /// The strategy that was requested.
+        strategy: EvaluationStrategy,
+    },
 }
 
 impl std::fmt::Display for StrategyError {
@@ -259,6 +268,9 @@ impl std::fmt::Display for StrategyError {
                     "budget exceeded ({reason}) while planning {strategy}, which has no \
                      fallback (Auto downgrades fail-soft instead)"
                 )
+            }
+            StrategyError::Cancelled { strategy } => {
+                write!(f, "the request was cancelled while running {strategy}")
             }
         }
     }
@@ -280,6 +292,7 @@ pub struct Panda {
     statistics: Option<StatisticsSet>,
     engine: Engine,
     budgets: Budgets,
+    cancel: Option<CancelToken>,
 }
 
 impl Panda {
@@ -291,7 +304,13 @@ impl Panda {
     /// [`Budgets`] are unlimited unless set with [`Panda::with_budgets`].
     #[must_use]
     pub fn new(query: ConjunctiveQuery) -> Self {
-        Panda { query, statistics: None, engine: Engine::from_env(), budgets: Budgets::default() }
+        Panda {
+            query,
+            statistics: None,
+            engine: Engine::from_env(),
+            budgets: Budgets::default(),
+            cancel: None,
+        }
     }
 
     /// Uses the given statistics for planning instead of measuring them.
@@ -321,6 +340,24 @@ impl Panda {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`] checked at the start of every
+    /// planning and evaluation request, and — when an LP pivot budget is
+    /// configured — polled at every simplex pivot during planning.
+    ///
+    /// Cancellation is **cooperative and best-effort**: work that completes
+    /// before the next poll returns its normal, bit-identical result, and a
+    /// never-cancelled token changes nothing at all (polls consume no
+    /// budget).  When the token fires mid-request, planning aborts with
+    /// [`BoundError::Cancelled`] / [`StrategyError::Cancelled`] and nothing
+    /// is inserted into the plan cache, so the cache never holds partial
+    /// state.  Unlike budgets, cancellation is never absorbed into a
+    /// fail-soft downgrade — `Auto` aborts too.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The configured execution engine.
     #[must_use]
     pub fn engine(&self) -> Engine {
@@ -341,6 +378,21 @@ impl Panda {
 
     fn stats_for(&self, db: &Database) -> StatisticsSet {
         self.statistics.clone().unwrap_or_else(|| StatisticsSet::measure(&self.query, db))
+    }
+
+    /// `true` iff an attached [`CancelToken`] has fired.
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Builds a [`PivotBudget`](panda_entropy::PivotBudget) for an explicit
+    /// budgeted planning path, attaching the cancel token when one is set.
+    fn pivot_budget(&self, limit: u64) -> panda_entropy::PivotBudget {
+        let budget = panda_entropy::PivotBudget::new(limit);
+        match &self.cancel {
+            Some(token) => budget.with_cancel_token(token.clone()),
+            None => budget,
+        }
     }
 
     /// `true` iff the query is acyclic *and* free-connex, i.e. eligible for
@@ -408,6 +460,7 @@ impl Panda {
                 self.engine.threads(),
                 requested,
                 want_widths,
+                self.cancel.as_ref(),
             )?;
             return Ok((selection, vec![ReasonCode::PlanCacheBypass]));
         }
@@ -440,7 +493,10 @@ impl Panda {
             self.engine.threads(),
             requested,
             want_widths,
+            self.cancel.as_ref(),
         )?;
+        // Only completed selections reach the cache: a cancelled (or
+        // otherwise failed) plan returned above leaves the cache untouched.
         let evicted = plan_cache::insert(key, canon.renaming, &selection);
         let mut events = vec![ReasonCode::PlanCacheMiss];
         if evicted {
@@ -473,6 +529,9 @@ impl Panda {
         db: &Database,
         strategy: EvaluationStrategy,
     ) -> Result<PlanReport, BoundError> {
+        if self.is_cancelled() {
+            return Err(BoundError::Cancelled);
+        }
         let stats = self.stats_for(db);
         let (selection, cache_events) =
             self.select_cached(&stats, db, strategy, /*want_widths=*/ true)?;
@@ -537,42 +596,58 @@ impl Panda {
         db: &Database,
         strategy: EvaluationStrategy,
     ) -> Result<VarRelation, StrategyError> {
+        self.try_evaluate_with_events(db, strategy).map(|(result, _events)| result)
+    }
+
+    /// [`Panda::try_evaluate_with`] that also reports the plan-cache events
+    /// of the request (in order), so serving layers can account cache
+    /// hits, misses and evictions per session.
+    ///
+    /// Only `Auto` consults the cross-query plan cache on the evaluation
+    /// path; explicit strategies plan directly and report no events.  Like
+    /// [`PlanReport::cache_events`] these are process-state telemetry, not
+    /// part of the result's bit-identity contract.
+    pub fn try_evaluate_with_events(
+        &self,
+        db: &Database,
+        strategy: EvaluationStrategy,
+    ) -> Result<(VarRelation, Vec<ReasonCode>), StrategyError> {
+        if self.is_cancelled() {
+            return Err(StrategyError::Cancelled { strategy });
+        }
         match strategy {
             EvaluationStrategy::Auto => {
                 let stats = self.stats_for(db);
-                let (selection, _cache_events) = self
+                let (selection, cache_events) = self
                     .select_cached(
                         &stats,
                         db,
                         EvaluationStrategy::Auto,
                         /*want_widths=*/ false,
                     )
-                    .map_err(|source| StrategyError::TdUnavailable {
-                        strategy: EvaluationStrategy::Auto,
-                        source,
-                    })?;
-                self.execute_selection(db, &selection)
+                    .map_err(|source| self.planning_error(EvaluationStrategy::Auto, source))?;
+                Ok((self.execute_selection(db, &selection)?, cache_events))
             }
-            EvaluationStrategy::Yannakakis => {
-                yannakakis_query(&self.query, db).ok_or(StrategyError::CyclicYannakakis)
-            }
+            EvaluationStrategy::Yannakakis => yannakakis_query(&self.query, db)
+                .map(|result| (result, Vec::new()))
+                .ok_or(StrategyError::CyclicYannakakis),
             EvaluationStrategy::StaticTd => {
                 let stats = self.stats_for(db);
                 let result = match self.budgets.lp_pivot_budget {
                     Some(limit) => {
-                        let mut budget = panda_entropy::PivotBudget::new(limit);
+                        let mut budget = self.pivot_budget(limit);
                         StaticTdPlan::best_for_budgeted(&self.query, &stats, &mut budget)
                     }
                     None => StaticTdPlan::best_for(&self.query, &stats),
                 };
                 let plan = result.map_err(|e| self.planning_error(strategy, e))?;
-                Ok(plan.evaluate_with_engine(&self.query, db, self.engine))
+                Ok((plan.evaluate_with_engine(&self.query, db, self.engine), Vec::new()))
             }
             EvaluationStrategy::Adaptive => {
                 let stats = self.stats_for(db);
                 let result = match self.budgets.lp_pivot_budget {
                     Some(limit) => {
-                        let mut budget = panda_entropy::PivotBudget::new(limit);
+                        let mut budget = self.pivot_budget(limit);
                         PandaEvaluator::plan_budgeted(&self.query, &stats, &mut budget)
                     }
                     None => PandaEvaluator::plan(&self.query, &stats),
@@ -584,14 +659,15 @@ impl Panda {
                 if let Some(cap) = self.budgets.branch_budget {
                     evaluator.max_branches = evaluator.max_branches.min(cap);
                 }
-                Ok(evaluator.evaluate_with_engine(&self.query, db, self.engine))
+                Ok((evaluator.evaluate_with_engine(&self.query, db, self.engine), Vec::new()))
             }
             EvaluationStrategy::GenericJoin => {
-                Ok(GenericJoin::evaluate_with_engine(&self.query, db, self.engine))
+                Ok((GenericJoin::evaluate_with_engine(&self.query, db, self.engine), Vec::new()))
             }
-            EvaluationStrategy::BinaryJoin => {
-                Ok(BinaryJoinPlan::new().evaluate_with_engine(&self.query, db, self.engine))
-            }
+            EvaluationStrategy::BinaryJoin => Ok((
+                BinaryJoinPlan::new().evaluate_with_engine(&self.query, db, self.engine),
+                Vec::new(),
+            )),
         }
     }
 
@@ -602,6 +678,7 @@ impl Panda {
             BoundError::PivotBudgetExhausted => {
                 StrategyError::BudgetExceeded { strategy, reason: ReasonCode::LpBudgetExhausted }
             }
+            BoundError::Cancelled => StrategyError::Cancelled { strategy },
             source => StrategyError::TdUnavailable { strategy, source },
         }
     }
@@ -809,6 +886,75 @@ mod tests {
         ] {
             assert!(panda.try_evaluate_with(&db, strategy).is_ok(), "strategy {strategy:?}");
         }
+    }
+
+    #[test]
+    fn a_cancelled_token_aborts_requests_with_structured_errors() {
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let db = random_db(9, 45, 7);
+        let token = CancelToken::new();
+        let panda = Panda::new(q).with_cancel_token(token.clone());
+
+        // An un-cancelled token changes nothing: results and reports are
+        // bit-identical to a token-free evaluator.
+        let plain = Panda::new(panda.query().clone());
+        let order: Vec<Var> = panda.query().free_vars().to_vec();
+        assert_eq!(
+            panda.evaluate(&db).canonical_rows_ordered(&order),
+            plain.evaluate(&db).canonical_rows_ordered(&order),
+        );
+        assert_eq!(
+            panda.explain(&db).unwrap().to_string(),
+            plain.explain(&db).unwrap().to_string(),
+        );
+
+        // Once the token fires, every entry point reports cancellation —
+        // including Auto, which never absorbs a cancel into a downgrade.
+        token.cancel();
+        for strategy in [
+            EvaluationStrategy::Auto,
+            EvaluationStrategy::Yannakakis,
+            EvaluationStrategy::GenericJoin,
+        ] {
+            let err = panda.try_evaluate_with(&db, strategy).expect_err("cancelled");
+            assert_eq!(err, StrategyError::Cancelled { strategy });
+            assert!(err.to_string().contains("cancelled"));
+        }
+        assert!(matches!(panda.plan_report(&db), Err(BoundError::Cancelled)));
+
+        // Cancellation is per-token, not per-query: a fresh evaluator for
+        // the same query still runs normally.
+        assert!(plain.try_evaluate_with(&db, EvaluationStrategy::Auto).is_ok());
+    }
+
+    #[test]
+    fn a_mid_planning_cancel_aborts_at_the_next_pivot() {
+        // Attach a pre-cancelled token *and* a pivot budget: planning then
+        // has in-loop polling points and must abort inside the LP chain
+        // (exercised via the explicit strategy, which skips the entry check
+        // only in the sense that planning starts before any pivot runs).
+        let q = parse_query("Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)").unwrap();
+        let db = random_db(9, 45, 8);
+        let token = CancelToken::new();
+        token.cancel();
+        let panda = Panda::new(q)
+            .with_budgets(Budgets::unlimited().with_lp_pivot_budget(u64::MAX))
+            .with_cancel_token(token);
+        // The entry check fires first here; drop to the planning internals
+        // by calling the budgeted planner directly.
+        let stats = panda.stats_for(&db);
+        let mut budget =
+            panda_entropy::PivotBudget::new(u64::MAX).with_cancel_token(CancelToken::new());
+        assert!(StaticTdPlan::best_for_budgeted(panda.query(), &stats, &mut budget).is_ok());
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let mut budget = panda_entropy::PivotBudget::new(u64::MAX).with_cancel_token(cancelled);
+        assert!(matches!(
+            StaticTdPlan::best_for_budgeted(panda.query(), &stats, &mut budget),
+            Err(BoundError::Cancelled)
+        ));
+        // The poll consumed no pivots before aborting.
+        assert_eq!(budget.used(), 0);
     }
 
     #[test]

@@ -51,7 +51,8 @@
 //! pivots/branches/rows — never wall-clock time.
 
 use panda_entropy::{
-    BoundError, BoundReport, FhtwReport, PivotBudget, ShannonFlow, StatisticsSet, SubwReport,
+    BoundError, BoundReport, CancelToken, FhtwReport, PivotBudget, ShannonFlow, StatisticsSet,
+    SubwReport,
 };
 use panda_query::hypergraph::is_acyclic;
 use panda_query::{ConjunctiveQuery, TreeDecomposition, VarSet};
@@ -334,9 +335,19 @@ fn attach_informational_widths(
 /// itself; the evaluation path leaves it off so e.g. acyclic queries never
 /// solve an LP.
 ///
-/// Only [`BoundError::Solver`] — an LP solver *bug* — propagates as an
-/// error; `Unbounded` and `PivotBudgetExhausted` are absorbed into the
-/// selection as fallbacks or downgrades (that is the fail-soft contract).
+/// Only [`BoundError::Solver`] — an LP solver *bug* — and
+/// [`BoundError::Cancelled`] propagate as errors; `Unbounded` and
+/// `PivotBudgetExhausted` are absorbed into the selection as fallbacks or
+/// downgrades (that is the fail-soft contract).  Cancellation is
+/// deliberately *not* fail-soft: the caller asked for the work to stop,
+/// not for a cheaper plan to run instead.
+///
+/// `cancel` attaches a cooperative [`CancelToken`] to the pivot budget
+/// when one is configured; the token is polled at every pivot, so a
+/// cancelled token aborts planning at the next counting point.  With no
+/// pivot budget there are no counting points — the caller's entry-level
+/// cancellation checks are then the only cancellation granularity.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn select(
     query: &ConjunctiveQuery,
     stats: &StatisticsSet,
@@ -345,6 +356,7 @@ pub(crate) fn select(
     threads: usize,
     requested: EvaluationStrategy,
     want_widths: bool,
+    cancel: Option<&CancelToken>,
 ) -> Result<Selection, BoundError> {
     // Rule 1: explicit override.
     if requested != EvaluationStrategy::Auto {
@@ -370,7 +382,10 @@ pub(crate) fn select(
     }
 
     let tds = TreeDecomposition::enumerate(query);
-    let mut budget = budgets.lp_pivot_budget.map(PivotBudget::new);
+    let mut budget = budgets.lp_pivot_budget.map(|limit| match cancel {
+        Some(token) => PivotBudget::new(limit).with_cancel_token(token.clone()),
+        None => PivotBudget::new(limit),
+    });
 
     // fhtw: parallel chains when unbudgeted (optimal values are unique, so
     // the result is engine-independent either way); the budgeted chain is

@@ -35,6 +35,6 @@ pub mod var;
 pub use cq::{Atom, ConjunctiveQuery};
 pub use ddr::{BagSelector, DisjunctiveRule};
 pub use hypergraph::{Hypergraph, JoinTree};
-pub use parser::{parse_query, ParseError};
+pub use parser::{parse_query, parse_statement, ParseError, Parsed};
 pub use td::TreeDecomposition;
 pub use var::{Var, VarSet};

@@ -155,6 +155,86 @@ pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, ParseError> {
     Ok(ConjunctiveQuery::build(name, var_names, free, atoms))
 }
 
+/// The outcome of [`parse_statement`] on a (possibly partial) buffer.
+///
+/// `consumed` is always the byte offset *past the statement's terminator*,
+/// so callers resume with `&buffer[consumed..]` — after a [`Parsed::Malformed`]
+/// statement too, which is what lets a line-oriented session survive a bad
+/// request and parse the next one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// A complete, well-formed statement was parsed.
+    Statement {
+        /// The parsed query.
+        query: ConjunctiveQuery,
+        /// Bytes consumed from the buffer, including the terminator.
+        consumed: usize,
+    },
+    /// A complete but malformed statement: the buffer up to the terminator
+    /// does not parse.  `consumed` still advances past the terminator so
+    /// the caller can report the error and resume with the next statement.
+    Malformed {
+        /// Why the statement did not parse.
+        error: ParseError,
+        /// Bytes consumed from the buffer, including the terminator.
+        consumed: usize,
+    },
+    /// No statement terminator has arrived yet; feed more input and retry
+    /// with the same (extended) buffer.
+    Incomplete,
+}
+
+/// Parses the first complete statement out of a streaming buffer.
+///
+/// A statement is terminated by a newline or a `;`.  Leading whitespace
+/// and *empty* statements (terminators with nothing before them) are
+/// skipped — their bytes count toward `consumed` — so blank lines and
+/// stray `;;` are free.  Without a terminator the buffer is
+/// [`Parsed::Incomplete`]: nothing is consumed, and the caller retries
+/// once more bytes arrive.  This is the resumable entry point the serving
+/// layer uses; [`parse_query`] remains the whole-string form, and on any
+/// single terminated statement the two agree exactly.
+///
+/// ```
+/// use panda_query::{parse_statement, Parsed};
+///
+/// // A terminator completes the statement and reports the bytes consumed.
+/// let buffer = "Q(X,Y) :- R(X,Y), S(Y,Z)\nQ2(A) :- T(A,B)\n";
+/// let Parsed::Statement { query, consumed } = parse_statement(buffer) else {
+///     panic!("complete statement")
+/// };
+/// assert_eq!(query.to_string(), "Q(X,Y) :- R(X,Y), S(Y,Z)");
+/// assert_eq!(&buffer[consumed..], "Q2(A) :- T(A,B)\n");
+///
+/// // Partial input is not an error: it is a request for more bytes.
+/// assert_eq!(parse_statement("Q(X,Y) :- R(X,"), Parsed::Incomplete);
+/// ```
+#[must_use]
+pub fn parse_statement(buffer: &str) -> Parsed {
+    let mut offset = 0;
+    loop {
+        // panda-lint: allow(P1) -- `offset` only ever advances past a
+        // one-byte ASCII terminator found below, so it stays in range and
+        // on a char boundary
+        let rest = &buffer[offset..];
+        let Some(i) = rest.find(['\n', ';']) else {
+            return Parsed::Incomplete;
+        };
+        // panda-lint: allow(P1) -- `i` comes from `find` on `rest`, so it
+        // is a valid char-boundary index into `rest`
+        let segment = &rest[..i];
+        let consumed = offset + i + 1;
+        if segment.trim().is_empty() {
+            offset = consumed;
+            continue;
+        }
+        return match parse_query(segment) {
+            Ok(query) => Parsed::Statement { query, consumed },
+            Err(error) => Parsed::Malformed { error, consumed },
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +288,79 @@ mod tests {
         assert!(parse_query(":- R(X)").is_err());
         assert!(parse_query("Q(X) :- R(X").is_err());
         assert!(parse_query("Q(X) :- R(X,)").is_err());
+    }
+
+    #[test]
+    fn statements_resume_across_chunks() {
+        // Feeding the same text in arbitrary chunks converges on the same
+        // parse: Incomplete until the terminator arrives, then Statement.
+        let text = "Q(X,Y) :- R(X,Y), S(Y,Z)\n";
+        for split in 0..text.len() - 1 {
+            assert_eq!(parse_statement(&text[..split]), Parsed::Incomplete, "split {split}");
+        }
+        let Parsed::Statement { query, consumed } = parse_statement(text) else {
+            panic!("terminated statement must parse");
+        };
+        assert_eq!(consumed, text.len());
+        assert_eq!(query, parse_query(text.trim_end()).unwrap());
+    }
+
+    #[test]
+    fn semicolons_terminate_and_blank_statements_are_skipped() {
+        let buffer = " \n ; Q() :- R(A,B); rest";
+        let Parsed::Statement { query, consumed } = parse_statement(buffer) else {
+            panic!("semicolon-terminated statement must parse");
+        };
+        assert!(query.is_boolean());
+        assert_eq!(&buffer[consumed..], " rest");
+    }
+
+    #[test]
+    fn malformed_statements_still_consume_through_the_terminator() {
+        // Trailing garbage after a well-formed prefix is a parse error for
+        // the whole statement, but the buffer still advances so the next
+        // statement is reachable.
+        let buffer = "Q(A) :- R(A,B) garbage\nQ2(A) :- R(A,B)\n";
+        let Parsed::Malformed { error, consumed } = parse_statement(buffer) else {
+            panic!("trailing garbage must be malformed");
+        };
+        assert!(!error.message.is_empty());
+        let Parsed::Statement { query, .. } = parse_statement(&buffer[consumed..]) else {
+            panic!("parsing must resume after a malformed statement");
+        };
+        assert_eq!(query.to_string(), "Q2(A) :- R(A,B)");
+    }
+
+    #[test]
+    fn incomplete_never_consumes_and_terminator_only_buffers_stay_incomplete() {
+        assert_eq!(parse_statement(""), Parsed::Incomplete);
+        assert_eq!(parse_statement("   "), Parsed::Incomplete);
+        assert_eq!(parse_statement("\n\n ; \n"), Parsed::Incomplete);
+        assert_eq!(parse_statement("Q(X) :- R(X,Y)"), Parsed::Incomplete);
+    }
+
+    #[test]
+    fn parse_statement_agrees_with_parse_query_on_single_statements() {
+        for text in [
+            "Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)",
+            "Tri() :- E(A,B), E(B,C), E(A,C)",
+            "Q(X,Y)",
+            ":- R(X)",
+            "Q(X) :- R(X",
+        ] {
+            let direct = parse_query(text);
+            match parse_statement(&format!("{text}\n")) {
+                Parsed::Statement { query, consumed } => {
+                    assert_eq!(Ok(query), direct);
+                    assert_eq!(consumed, text.len() + 1);
+                }
+                Parsed::Malformed { error, consumed } => {
+                    assert_eq!(Err(error), direct);
+                    assert_eq!(consumed, text.len() + 1);
+                }
+                Parsed::Incomplete => panic!("terminated input cannot be incomplete: {text}"),
+            }
+        }
     }
 
     #[test]

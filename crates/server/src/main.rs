@@ -1,0 +1,82 @@
+//! The `panda-server` binary: serve the PANDA engine over TCP or stdio.
+//!
+//! ```text
+//! panda-server --listen 127.0.0.1:4860   # TCP; prints `listening on <addr>`
+//! panda-server --listen 127.0.0.1:0      # pick a free port (printed)
+//! panda-server --stdio                   # one sequential session on stdio
+//! panda-server --listen ... --once       # serve one connection, then exit
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use panda_server::serve::{serve, serve_stdio, ServeOptions};
+
+const USAGE: &str = "usage: panda-server [--listen <addr>] [--stdio] [--once]";
+
+fn main() -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut stdio = false;
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = Some(addr),
+                None => {
+                    eprintln!("--listen needs an address\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stdio" => stdio = true,
+            "--once" => once = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if stdio {
+        return match serve_stdio() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("panda-server: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let addr = listen.unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("panda-server: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => {
+            // Announce the bound address (port 0 resolves here) so scripts
+            // can connect; flush so readers see it before the first accept.
+            println!("listening on {local}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("panda-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match serve(&listener, ServeOptions { once }) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("panda-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! One serving session: a database, a strategy, budgets, and the
+//! deterministic request → response state machine.
+//!
+//! [`Session::handle_line`] is the **single implementation** of the
+//! protocol semantics.  The concurrent TCP server ([`mod@crate::serve`]), the
+//! stdio mode, the embedded `panda-shell` REPL and the in-process
+//! conformance tests all drive this same function, which is what makes
+//! their transcripts byte-identical: the serving layer adds transport and
+//! scheduling around the session, never behaviour.
+//!
+//! Responses are pure functions of the session history (the sequence of
+//! lines handled so far) plus the two documented exceptions: `STATS
+//! GLOBAL` reads process-wide cache counters, and a request whose
+//! [`CancelToken`] fires mid-flight answers `ERR cancelled` instead of its
+//! normal response.  Everything else — row order, EXPLAIN bytes, error
+//! texts — is bit-stable across engines, thread counts and runs.
+
+use std::collections::BTreeSet;
+
+use panda_core::{
+    plan_cache_stats, Budgets, CancelToken, EvaluationStrategy, Panda, ReasonCode, StrategyError,
+};
+use panda_entropy::BoundError;
+use panda_query::{parse_query, Var};
+use panda_relation::{Database, Relation, Value};
+
+use crate::protocol::{parse_request, BudgetPatch, Command, ErrorCode, WireError, MAX_LINE_BYTES};
+
+/// The response to one request line: zero or more response lines (header
+/// first, then exactly the body the header's `lines=` field announces),
+/// plus whether the session asked to end.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Reply {
+    /// The response lines, in order.  Empty for blank input lines.
+    pub lines: Vec<String>,
+    /// `true` after `QUIT`: the transport should close after writing.
+    pub quit: bool,
+}
+
+impl Reply {
+    fn none() -> Reply {
+        Reply::default()
+    }
+
+    fn line(text: String) -> Reply {
+        Reply { lines: vec![text], quit: false }
+    }
+
+    fn error(err: WireError) -> Reply {
+        Reply::line(err.render())
+    }
+}
+
+/// Session-local plan-cache counters, accumulated from the cache events of
+/// this session's own requests (so they are deterministic per session,
+/// unlike the process-wide [`plan_cache_stats`] shared by every session).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCacheStats {
+    /// Requests whose plan came from the cross-query plan cache.
+    pub hits: u64,
+    /// Requests that planned cold and populated the cache.
+    pub misses: u64,
+    /// Inserts by this session that evicted an entry.
+    pub evictions: u64,
+    /// Requests that bypassed the cache (`PANDA_PLAN_CACHE=off`).
+    pub bypasses: u64,
+}
+
+impl SessionCacheStats {
+    fn absorb(&mut self, events: &[ReasonCode]) {
+        for event in events {
+            match event {
+                ReasonCode::PlanCacheHit => self.hits += 1,
+                ReasonCode::PlanCacheMiss => self.misses += 1,
+                ReasonCode::PlanCacheEvict => self.evictions += 1,
+                ReasonCode::PlanCacheBypass => self.bypasses += 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// An open `LOAD` block: rows accumulate until `END`; the first bad data
+/// line poisons the block (remaining lines are still consumed so the
+/// stream stays in sync) and `END` then reports the error and discards.
+#[derive(Debug, Clone)]
+struct LoadState {
+    relation: String,
+    arity: usize,
+    rows: Vec<Vec<Value>>,
+    error: Option<WireError>,
+}
+
+/// A serving session.  See the module docs for the determinism contract.
+#[derive(Debug, Default)]
+pub struct Session {
+    db: Database,
+    strategy: Option<EvaluationStrategy>,
+    budgets: Budgets,
+    load: Option<LoadState>,
+    /// Tags cancelled before their request arrived: the request, when it
+    /// does arrive, answers `ERR cancelled` deterministically.
+    pending_cancels: BTreeSet<u64>,
+    /// Tags whose request has already been answered.
+    done: BTreeSet<u64>,
+    stats: SessionCacheStats,
+}
+
+impl Session {
+    /// A fresh session: empty database, `auto` strategy, unlimited budgets.
+    #[must_use]
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// The session's plan-cache counters (the `STATS` response data).
+    #[must_use]
+    pub fn cache_stats(&self) -> SessionCacheStats {
+        self.stats
+    }
+
+    fn strategy(&self) -> EvaluationStrategy {
+        self.strategy.unwrap_or(EvaluationStrategy::Auto)
+    }
+
+    /// Handles one request line with no external cancellation attached.
+    pub fn handle_line(&mut self, raw: &str) -> Reply {
+        self.handle_line_with(raw, None)
+    }
+
+    /// Handles one request line.  `cancel`, when supplied by a concurrent
+    /// transport, is attached to the request's planner so an out-of-band
+    /// `CANCEL` can abort it mid-flight.
+    pub fn handle_line_with(&mut self, raw: &str, cancel: Option<&CancelToken>) -> Reply {
+        if raw.len() > MAX_LINE_BYTES {
+            return Reply::error(WireError::new(
+                ErrorCode::LineTooLong,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+        }
+        let line = raw.trim_end_matches(['\r', '\n']);
+        if self.load.is_some() && !is_cancel_line(line) {
+            return self.handle_load_line(line);
+        }
+        if line.trim().is_empty() {
+            return Reply::none();
+        }
+        let request = match parse_request(line) {
+            Ok(request) => request,
+            Err(err) => return Reply::error(err),
+        };
+        if let Command::Cancel { id } = request.command {
+            return self.handle_cancel(id);
+        }
+        // A tag cancelled before its request arrived aborts deterministically.
+        if let Some(id) = request.id {
+            if self.pending_cancels.remove(&id) {
+                self.done.insert(id);
+                return Reply::error(WireError::new(
+                    ErrorCode::Cancelled,
+                    format!("request #{id} was cancelled before it started"),
+                ));
+            }
+        }
+        let reply = match request.command {
+            Command::Ping => Reply::line("OK pong".to_string()),
+            Command::Load { relation, arity } => {
+                self.load = Some(LoadState { relation, arity, rows: Vec::new(), error: None });
+                Reply::none()
+            }
+            Command::End => Reply::error(WireError::new(
+                ErrorCode::MalformedRequest,
+                "END outside a LOAD block",
+            )),
+            Command::Clear => {
+                self.db = Database::new();
+                Reply::line("OK cleared".to_string())
+            }
+            Command::Query { text } => self.run_query(&text, cancel),
+            Command::Explain { text } => self.run_explain(&text, cancel),
+            Command::Strategy { name } => self.set_strategy(name.as_deref()),
+            Command::Budget(patch) => self.patch_budgets(patch),
+            Command::Stats { global } => self.render_stats(global),
+            Command::Cancel { .. } => Reply::none(), // handled above
+            Command::Quit => Reply { lines: vec!["OK bye".to_string()], quit: true },
+        };
+        if let Some(id) = request.id {
+            self.done.insert(id);
+        }
+        reply
+    }
+
+    fn handle_load_line(&mut self, line: &str) -> Reply {
+        let trimmed = line.trim();
+        if trimmed == "END" {
+            let Some(load) = self.load.take() else {
+                return Reply::none(); // unreachable: guarded by the caller
+            };
+            if let Some(err) = load.error {
+                return Reply::error(err);
+            }
+            let relation = Relation::from_rows(load.arity, load.rows).deduped();
+            let rows = relation.len();
+            self.db.insert(&load.relation, relation);
+            return Reply::line(format!("OK loaded rel={} rows={rows}", load.relation));
+        }
+        let Some(load) = self.load.as_mut() else {
+            return Reply::none(); // unreachable: guarded by the caller
+        };
+        if load.error.is_some() || trimmed.is_empty() {
+            return Reply::none();
+        }
+        let mut row: Vec<Value> = Vec::with_capacity(load.arity);
+        for token in trimmed.split_whitespace() {
+            match token.parse::<Value>() {
+                Ok(v) => row.push(v),
+                Err(_) => {
+                    load.error = Some(WireError::new(
+                        ErrorCode::LoadError,
+                        format!("non-integer value `{token}` in LOAD {}", load.relation),
+                    ));
+                    return Reply::none();
+                }
+            }
+        }
+        if row.len() != load.arity {
+            load.error = Some(WireError::new(
+                ErrorCode::LoadError,
+                format!(
+                    "row has {} values but LOAD {} declared arity {}",
+                    row.len(),
+                    load.relation,
+                    load.arity
+                ),
+            ));
+            return Reply::none();
+        }
+        load.rows.push(row);
+        Reply::none()
+    }
+
+    fn handle_cancel(&mut self, id: u64) -> Reply {
+        let state = if self.done.contains(&id) {
+            "done"
+        } else {
+            self.pending_cancels.insert(id);
+            "pending"
+        };
+        Reply::line(format!("OK cancel id={id} state={state}"))
+    }
+
+    fn panda_for(&self, text: &str, cancel: Option<&CancelToken>) -> Result<Panda, WireError> {
+        let query =
+            parse_query(text).map_err(|e| WireError::new(ErrorCode::ParseError, e.to_string()))?;
+        let mut panda = Panda::new(query).with_budgets(self.budgets);
+        if let Some(token) = cancel {
+            panda = panda.with_cancel_token(token.clone());
+        }
+        Ok(panda)
+    }
+
+    fn run_query(&mut self, text: &str, cancel: Option<&CancelToken>) -> Reply {
+        let panda = match self.panda_for(text, cancel) {
+            Ok(panda) => panda,
+            Err(err) => return Reply::error(err),
+        };
+        match panda.try_evaluate_with_events(&self.db, self.strategy()) {
+            Ok((result, events)) => {
+                self.stats.absorb(&events);
+                let query = panda.query();
+                if query.is_boolean() {
+                    let truth = if result.is_empty() { "false" } else { "true" };
+                    return Reply {
+                        lines: vec![
+                            format!("OK rows n={} vars=() lines=1", result.len()),
+                            truth.to_string(),
+                        ],
+                        quit: false,
+                    };
+                }
+                let order: Vec<Var> = query.free_vars().to_vec();
+                let names: Vec<&str> = order
+                    .iter()
+                    .map(|v| query.var_names().get(v.0 as usize).map_or("?", String::as_str))
+                    .collect();
+                let rows = result.canonical_rows_ordered(&order);
+                let mut lines = Vec::with_capacity(rows.len() + 1);
+                lines.push(format!(
+                    "OK rows n={} vars={} lines={}",
+                    rows.len(),
+                    names.join(","),
+                    rows.len()
+                ));
+                for row in rows {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    lines.push(cells.join(" "));
+                }
+                Reply { lines, quit: false }
+            }
+            Err(err) => Reply::error(wire_strategy_error(&err)),
+        }
+    }
+
+    fn run_explain(&mut self, text: &str, cancel: Option<&CancelToken>) -> Reply {
+        let panda = match self.panda_for(text, cancel) {
+            Ok(panda) => panda,
+            Err(err) => return Reply::error(err),
+        };
+        match panda.explain_with(&self.db, self.strategy()) {
+            Ok(explain) => {
+                self.stats.absorb(&explain.report.cache_events);
+                let text = explain.to_string();
+                let body: Vec<String> = text.lines().map(str::to_string).collect();
+                let mut lines = Vec::with_capacity(body.len() + 1);
+                lines.push(format!("OK explain lines={}", body.len()));
+                lines.extend(body);
+                Reply { lines, quit: false }
+            }
+            Err(err) => Reply::error(wire_bound_error(&err)),
+        }
+    }
+
+    fn set_strategy(&mut self, name: Option<&str>) -> Reply {
+        if let Some(name) = name {
+            match crate::protocol::strategy_from_name(name) {
+                Some(strategy) => self.strategy = Some(strategy),
+                None => {
+                    return Reply::error(WireError::new(
+                        ErrorCode::MalformedRequest,
+                        format!("unknown strategy `{name}`"),
+                    ))
+                }
+            }
+        }
+        Reply::line(format!("OK strategy={}", self.strategy().name()))
+    }
+
+    fn patch_budgets(&mut self, patch: BudgetPatch) -> Reply {
+        if let Some(pivots) = patch.pivots {
+            self.budgets.lp_pivot_budget = pivots;
+        }
+        if let Some(branches) = patch.branches {
+            self.budgets.branch_budget = branches;
+        }
+        if let Some(rows) = patch.rows {
+            self.budgets.memory_rows_budget = rows;
+        }
+        Reply::line(format!(
+            "OK budgets pivots={} branches={} rows={}",
+            fmt_opt(self.budgets.lp_pivot_budget),
+            fmt_opt(self.budgets.branch_budget.map(|b| b as u64)),
+            fmt_opt(self.budgets.memory_rows_budget),
+        ))
+    }
+
+    fn render_stats(&self, global: bool) -> Reply {
+        if global {
+            let s = plan_cache_stats();
+            return Reply::line(format!(
+                "OK stats-global hits={} misses={} evictions={} entries={}",
+                s.hits, s.misses, s.evictions, s.entries
+            ));
+        }
+        let s = self.stats;
+        Reply::line(format!(
+            "OK stats hits={} misses={} evictions={} bypasses={}",
+            s.hits, s.misses, s.evictions, s.bypasses
+        ))
+    }
+}
+
+/// `true` when a line is a `CANCEL` command — the one command that stays a
+/// command even inside a `LOAD` data block (its keyword cannot be numeric
+/// data, so reserving it costs nothing).
+fn is_cancel_line(line: &str) -> bool {
+    matches!(parse_request(line), Ok(req) if matches!(req.command, Command::Cancel { .. }))
+}
+
+fn fmt_opt(value: Option<u64>) -> String {
+    value.map_or_else(|| "none".to_string(), |n| n.to_string())
+}
+
+fn wire_strategy_error(err: &StrategyError) -> WireError {
+    match err {
+        StrategyError::CyclicYannakakis => {
+            WireError::new(ErrorCode::CyclicYannakakis, err.to_string())
+        }
+        StrategyError::TdUnavailable { source: BoundError::Solver(_), .. } => {
+            WireError::new(ErrorCode::SolverError, err.to_string())
+        }
+        StrategyError::TdUnavailable { .. } => {
+            WireError::new(ErrorCode::TdUnavailable, err.to_string())
+        }
+        StrategyError::BudgetExceeded { reason, .. } => {
+            WireError::new(ErrorCode::BudgetExceeded, format!("reason={} {err}", reason.code()))
+        }
+        StrategyError::Cancelled { .. } => WireError::new(ErrorCode::Cancelled, err.to_string()),
+    }
+}
+
+fn wire_bound_error(err: &BoundError) -> WireError {
+    match err {
+        BoundError::Cancelled => WireError::new(ErrorCode::Cancelled, err.to_string()),
+        BoundError::PivotBudgetExhausted => {
+            WireError::new(ErrorCode::BudgetExceeded, format!("reason=lp_budget_exhausted {err}"))
+        }
+        BoundError::Solver(_) => WireError::new(ErrorCode::SolverError, err.to_string()),
+        BoundError::Unbounded => WireError::new(ErrorCode::TdUnavailable, err.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(session: &mut Session, lines: &[&str]) -> Vec<String> {
+        let mut out = Vec::new();
+        for line in lines {
+            out.extend(session.handle_line(line).lines);
+        }
+        out
+    }
+
+    #[test]
+    fn a_session_loads_queries_and_explains() {
+        let mut session = Session::new();
+        let out = feed(
+            &mut session,
+            &[
+                "PING",
+                "LOAD R 2",
+                "1 2",
+                "2 3",
+                "1 2",
+                "END",
+                "LOAD S 2",
+                "2 4",
+                "3 5",
+                "END",
+                "QUERY Q(A,C) :- R(A,B), S(B,C)",
+            ],
+        );
+        assert_eq!(
+            out,
+            vec![
+                "OK pong",
+                "OK loaded rel=R rows=2",
+                "OK loaded rel=S rows=2",
+                "OK rows n=2 vars=A,C lines=2",
+                "1 4",
+                "2 5",
+            ]
+        );
+        let explain = session.handle_line("EXPLAIN Q(A,B) :- R(A,B), S(B,C)");
+        let header = explain.lines.first().cloned().unwrap_or_default();
+        assert!(header.starts_with("OK explain lines="), "{header}");
+        assert_eq!(crate::protocol::body_lines(&header), explain.lines.len() - 1);
+        assert!(explain.lines.iter().any(|l| l == "strategy: yannakakis"));
+    }
+
+    #[test]
+    fn boolean_queries_answer_true_or_false() {
+        let mut session = Session::new();
+        feed(&mut session, &["LOAD E 2", "1 2", "2 3", "1 3", "END"]);
+        let yes = session.handle_line("QUERY Tri() :- E(A,B), E(B,C), E(A,C)");
+        assert_eq!(yes.lines, vec!["OK rows n=1 vars=() lines=1", "true"]);
+        let no = session.handle_line("QUERY Q() :- E(A,A)");
+        assert_eq!(no.lines, vec!["OK rows n=0 vars=() lines=1", "false"]);
+    }
+
+    #[test]
+    fn load_errors_poison_the_block_and_leave_the_session_usable() {
+        let mut session = Session::new();
+        let out = feed(&mut session, &["LOAD R 2", "1 2", "1 nope", "3 4", "END"]);
+        assert_eq!(out.len(), 1);
+        assert!(out.iter().all(|l| l.starts_with("ERR load_error")), "{out:?}");
+        // The bad block was discarded; a clean reload works.
+        let out = feed(&mut session, &["LOAD R 2", "7 8", "END", "QUERY Q(A,B) :- R(A,B)"]);
+        assert_eq!(out, vec!["OK loaded rel=R rows=1", "OK rows n=1 vars=A,B lines=1", "7 8"]);
+    }
+
+    #[test]
+    fn cancel_before_start_is_deterministic() {
+        let mut session = Session::new();
+        feed(&mut session, &["LOAD R 2", "1 2", "END"]);
+        let ack = session.handle_line("CANCEL 7");
+        assert_eq!(ack.lines, vec!["OK cancel id=7 state=pending"]);
+        let reply = session.handle_line("#7 QUERY Q(A,B) :- R(A,B)");
+        assert_eq!(reply.lines.len(), 1);
+        assert!(reply.lines.iter().all(|l| l.starts_with("ERR cancelled")), "{reply:?}");
+        // The tag is now done; cancelling again reports that, and the
+        // session still answers queries.
+        let ack = session.handle_line("CANCEL 7");
+        assert_eq!(ack.lines, vec!["OK cancel id=7 state=done"]);
+        let reply = session.handle_line("#8 QUERY Q(A,B) :- R(A,B)");
+        assert_eq!(reply.lines, vec!["OK rows n=1 vars=A,B lines=1", "1 2"]);
+    }
+
+    #[test]
+    fn a_fired_token_cancels_the_request_but_not_the_session() {
+        let mut session = Session::new();
+        feed(&mut session, &["LOAD R 2", "1 2", "END"]);
+        let token = CancelToken::new();
+        token.cancel();
+        let reply = session.handle_line_with("QUERY Q(A,B) :- R(A,B)", Some(&token));
+        assert!(reply.lines.iter().all(|l| l.starts_with("ERR cancelled")), "{reply:?}");
+        let reply = session.handle_line("QUERY Q(A,B) :- R(A,B)");
+        assert_eq!(reply.lines, vec!["OK rows n=1 vars=A,B lines=1", "1 2"]);
+    }
+
+    #[test]
+    fn strategy_budget_and_stats_round_trip() {
+        let mut session = Session::new();
+        assert_eq!(session.handle_line("STRATEGY").lines, vec!["OK strategy=auto"]);
+        assert_eq!(
+            session.handle_line("STRATEGY generic-join").lines,
+            vec!["OK strategy=generic-join"]
+        );
+        assert_eq!(
+            session.handle_line("STRATEGY warp-drive").lines,
+            vec!["ERR malformed_request unknown strategy `warp-drive`"]
+        );
+        assert_eq!(
+            session.handle_line("BUDGET pivots=100 rows=50").lines,
+            vec!["OK budgets pivots=100 branches=none rows=50"]
+        );
+        assert_eq!(
+            session.handle_line("BUDGET pivots=none").lines,
+            vec!["OK budgets pivots=none branches=none rows=50"]
+        );
+        let stats = session.handle_line("STATS");
+        assert_eq!(stats.lines, vec!["OK stats hits=0 misses=0 evictions=0 bypasses=0"]);
+        let global = session.handle_line("STATS GLOBAL");
+        assert_eq!(global.lines.len(), 1);
+        assert!(global.lines.iter().all(|l| l.starts_with("OK stats-global hits=")));
+    }
+
+    #[test]
+    fn quit_sets_the_quit_flag() {
+        let mut session = Session::new();
+        let reply = session.handle_line("QUIT");
+        assert_eq!(reply.lines, vec!["OK bye"]);
+        assert!(reply.quit);
+    }
+
+    #[test]
+    fn explain_matches_the_library_rendering_byte_for_byte() {
+        let mut session = Session::new();
+        feed(
+            &mut session,
+            &[
+                "LOAD R 2", "1 2", "2 3", "END", "LOAD S 2", "2 3", "3 4", "END", "LOAD T 2",
+                "3 4", "END", "LOAD U 2", "4 1", "END",
+            ],
+        );
+        let text = "Q(X,Y) :- R(X,Y), S(Y,Z), T(Z,W), U(W,X)";
+        let reply = session.handle_line(&format!("EXPLAIN {text}"));
+        let via_wire = reply.lines.get(1..).map(<[String]>::to_vec).unwrap_or_default();
+
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, vec![[1, 2], [2, 3]]));
+        db.insert("S", Relation::from_rows(2, vec![[2, 3], [3, 4]]));
+        db.insert("T", Relation::from_rows(2, vec![[3, 4]]));
+        db.insert("U", Relation::from_rows(2, vec![[4, 1]]));
+        let library = Panda::new(parse_query(text).unwrap()).explain(&db).unwrap().to_string();
+        let library_lines: Vec<String> = library.lines().map(str::to_string).collect();
+        assert_eq!(via_wire, library_lines);
+    }
+}

@@ -68,15 +68,18 @@ pub use panda_proof as proof;
 pub use panda_query as query;
 pub use panda_rational as rational;
 pub use panda_relation as relation;
+pub use panda_server as server;
+pub use panda_shell as shell;
 pub use panda_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use panda_core::{
         canonicalize_query, plan_cache_clear, plan_cache_stats, BinaryJoinPlan, BranchBound,
-        Budgets, CanonicalQuery, DdrEvaluator, Downgrade, Engine, EvaluationStrategy, Explain,
-        GenericJoin, MaterializedSubplan, Panda, PandaEvaluator, Parallelism, PlanCacheStats,
-        PlanReport, ReasonCode, SelectorRule, StaticTdPlan, StrategyError, VarRelation,
+        Budgets, CancelToken, CanonicalQuery, DdrEvaluator, Downgrade, Engine, EvaluationStrategy,
+        Explain, GenericJoin, MaterializedSubplan, Panda, PandaEvaluator, Parallelism,
+        PlanCacheStats, PlanReport, ReasonCode, SelectorRule, StaticTdPlan, StrategyError,
+        VarRelation,
     };
     pub use panda_entropy::{
         agm_bound, ddr_polymatroid_bound, fhtw, polymatroid_bound, subw, ShannonFlow, Statistic,
@@ -84,8 +87,8 @@ pub mod prelude {
     };
     pub use panda_proof::{ProofSequence, ProofStep, TermIdentity};
     pub use panda_query::{
-        parse_query, Atom, BagSelector, ConjunctiveQuery, DisjunctiveRule, TreeDecomposition, Var,
-        VarSet,
+        parse_query, parse_statement, Atom, BagSelector, ConjunctiveQuery, DisjunctiveRule, Parsed,
+        TreeDecomposition, Var, VarSet,
     };
     pub use panda_rational::Rat;
     pub use panda_relation::{Database, Relation};

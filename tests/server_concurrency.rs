@@ -1,0 +1,332 @@
+//! Concurrent-session determinism: N clients hammering one TCP server get
+//! byte-for-byte the transcripts a sequential in-process [`Session`] gives
+//! for the same scripts — concurrency, shared plan cache, backpressure and
+//! a warm cache must all be invisible in the bytes.
+//!
+//! The one deliberately racy path, out-of-band `CANCEL`, is tested for its
+//! *envelope* instead: the target request answers either its full correct
+//! result or `ERR cancelled`, the ack names a legal state, and the session
+//! keeps serving afterwards.
+//!
+//! This binary runs in the CI matrix (engines × layouts × thread counts)
+//! and in the plan-cache-off job, covering cache-on and cache-off modes.
+
+// panda-lint: allow-file(D2) -- this test IS the concurrency harness for
+// the serving layer: it needs real client threads against a real TCP
+// server to exercise the reader/worker hand-off.  Determinism is the
+// property under test, not a casualty: every assertion compares against a
+// sequential reference transcript.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::thread;
+
+use panda::server::session::Session;
+use panda::server::{body_lines, serve, ServeOptions, QUEUE_CAP};
+
+/// Boots a server on an ephemeral port and leaves it accepting in a
+/// detached thread for the lifetime of the test process.
+fn spawn_server() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    thread::spawn(move || {
+        let _ = serve(&listener, ServeOptions::default());
+    });
+    addr
+}
+
+/// Runs a script over one TCP connection, fully pipelined: writes every
+/// request, half-closes, and reads response lines until the server closes.
+fn run_client(addr: std::net::SocketAddr, script: &[String]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let reader = BufReader::new(stream);
+    let mut payload = String::new();
+    for line in script {
+        payload.push_str(line);
+        payload.push('\n');
+    }
+    writer.write_all(payload.as_bytes()).expect("write script");
+    writer.flush().expect("flush script");
+    let _ = stream_shutdown_write(&writer);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        out.push(line.expect("read response line"));
+    }
+    out
+}
+
+fn stream_shutdown_write(stream: &TcpStream) -> std::io::Result<()> {
+    stream.shutdown(Shutdown::Write)
+}
+
+/// The sequential reference: the same script through a fresh in-process
+/// session, no sockets and no threads.
+fn reference(script: &[String]) -> Vec<String> {
+    let mut session = Session::new();
+    let mut out = Vec::new();
+    for line in script {
+        out.extend(session.handle_line(line).lines);
+    }
+    out
+}
+
+fn s(lines: &[&str]) -> Vec<String> {
+    lines.iter().map(ToString::to_string).collect()
+}
+
+/// Six deliberately different workloads: happy-path joins, EXPLAIN,
+/// strategy switches, budget downgrades and structured errors, so the
+/// interleaving mixes cheap and expensive requests and error paths.
+fn workloads(tag: usize) -> Vec<String> {
+    let base = [
+        s(&[
+            "LOAD CcR 2",
+            "1 2",
+            "2 3",
+            "3 4",
+            "END",
+            "LOAD CcS 2",
+            "2 9",
+            "3 9",
+            "END",
+            "QUERY Q(A,C) :- CcR(A,B), CcS(B,C)",
+            "EXPLAIN Q(A,C) :- CcR(A,B), CcS(B,C)",
+        ]),
+        s(&[
+            "LOAD CcE 2",
+            "1 2",
+            "2 3",
+            "1 3",
+            "END",
+            "QUERY Tri() :- CcE(A,B), CcE(B,C), CcE(A,C)",
+            "STRATEGY generic-join",
+            "QUERY Q(A,B,C) :- CcE(A,B), CcE(B,C), CcE(A,C)",
+        ]),
+        s(&[
+            "LOAD CcX 2",
+            "1 2",
+            "END",
+            "LOAD CcY 2",
+            "2 3",
+            "END",
+            "LOAD CcZ 2",
+            "3 4",
+            "END",
+            "LOAD CcW 2",
+            "4 1",
+            "END",
+            "BUDGET pivots=1",
+            "EXPLAIN Q(X,Y) :- CcX(X,Y), CcY(Y,Z), CcZ(Z,W), CcW(W,X)",
+            "QUERY Q(X,Y) :- CcX(X,Y), CcY(Y,Z), CcZ(Z,W), CcW(W,X)",
+        ]),
+        s(&[
+            "LOAD CcC 2",
+            "1 2",
+            "2 1",
+            "END",
+            "STRATEGY yannakakis",
+            "QUERY Tri() :- CcC(A,B), CcC(B,C), CcC(C,A)",
+            "STRATEGY auto",
+            "QUERY Q(A,B) :- CcC(A,B)",
+        ]),
+        s(&[
+            "PING",
+            "QUERY nonsense",
+            "LOAD CcB 2",
+            "1 oops",
+            "END",
+            "QUERY Q(A,B) :- CcB(A,B)",
+            "BUDGET pivots=zero",
+            "PING",
+        ]),
+        s(&[
+            "LOAD CcP 3",
+            "1 2 3",
+            "4 5 6",
+            "END",
+            "QUERY Q(A,B,C) :- CcP(A,B,C)",
+            "STRATEGY binary-join",
+            "QUERY Q(A,C) :- CcP(A,B,C)",
+        ]),
+    ];
+    base.get(tag % base.len()).cloned().unwrap_or_default()
+}
+
+#[test]
+fn concurrent_clients_match_the_sequential_reference() {
+    let addr = spawn_server();
+    let scripts: Vec<Vec<String>> = (0..6).map(workloads).collect();
+    let expected: Vec<Vec<String>> = scripts.iter().map(|sc| reference(sc)).collect();
+
+    // Cold pass: all six clients at once, then a warm pass to pin that a
+    // warm process-wide plan cache changes no bytes.
+    for pass in ["cold", "warm"] {
+        let handles: Vec<_> = scripts
+            .iter()
+            .cloned()
+            .map(|script| thread::spawn(move || run_client(addr, &script)))
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let transcript = handle.join().expect("client thread");
+            assert_eq!(
+                transcript, expected[i],
+                "{pass} client {i} diverged from the sequential reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn backpressure_preserves_order_beyond_the_queue_capacity() {
+    // 5× the bounded queue, fully pipelined: the reader must block, not
+    // drop or reorder, so the response stream is exactly N pongs.
+    let addr = spawn_server();
+    let n = QUEUE_CAP * 5;
+    let script: Vec<String> = (0..n).map(|_| "PING".to_string()).collect();
+    let transcript = run_client(addr, &script);
+    assert_eq!(transcript, vec!["OK pong".to_string(); n]);
+}
+
+#[test]
+fn oversized_lines_resync_at_the_next_newline() {
+    let addr = spawn_server();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut payload = Vec::new();
+    payload.extend_from_slice(b"PING\n");
+    payload.extend_from_slice(&vec![b'x'; 80 * 1024]);
+    payload.extend_from_slice(b"\nPING\n");
+    writer.write_all(&payload).expect("write");
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut text = String::new();
+    BufReader::new(stream).read_to_string(&mut text).expect("read");
+    // The line_too_long error is written by the reader out-of-band, so its
+    // position relative to the pongs is not pinned — the multiset is.
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "framing must resync after the oversized line: {lines:?}");
+    assert_eq!(lines.iter().filter(|l| **l == "OK pong").count(), 2, "{lines:?}");
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with("ERR line_too_long")).count(),
+        1,
+        "oversized line must be answered with a structured error: {lines:?}"
+    );
+}
+
+/// Splits a raw response-line stream into framed replies using the
+/// protocol's own `lines=` rule.
+fn frame(lines: &[String]) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(header) = lines.get(i) {
+        let body = body_lines(header);
+        out.push(lines.get(i..=i + body).map(<[String]>::to_vec).unwrap_or_default());
+        i += body + 1;
+    }
+    out
+}
+
+#[test]
+fn mid_query_cancel_is_race_free_in_outcome() {
+    // The cancel itself is racy (queued / inflight / already done); the
+    // *outcome* must not be: the target answers its full correct result or
+    // `ERR cancelled`, and the session keeps serving either way.
+    let addr = spawn_server();
+    let script = s(&[
+        "LOAD CnR 2",
+        "1 2",
+        "2 3",
+        "3 1",
+        "END",
+        "BUDGET pivots=10000",
+        "STRATEGY adaptive",
+        "#1 QUERY Q(A,B,C) :- CnR(A,B), CnR(B,C), CnR(C,A)",
+        "CANCEL 1",
+        "STRATEGY auto",
+        "QUERY Q(A,B) :- CnR(A,B)",
+    ]);
+    // The follow-up query's exact bytes, from a session that never cancels.
+    let tail_expected =
+        reference(&s(&["LOAD CnR 2", "1 2", "2 3", "3 1", "END", "QUERY Q(A,B) :- CnR(A,B)"]));
+    let tail_expected = &tail_expected[1..]; // drop the LOAD ack
+    let full_expected = reference(&s(&[
+        "LOAD CnR 2",
+        "1 2",
+        "2 3",
+        "3 1",
+        "END",
+        "BUDGET pivots=10000",
+        "STRATEGY adaptive",
+        "QUERY Q(A,B,C) :- CnR(A,B), CnR(B,C), CnR(C,A)",
+    ]));
+    let full_expected = &full_expected[3..]; // the target's success reply
+
+    for round in 0..25 {
+        let transcript = run_client(addr, &script);
+        let replies = frame(&transcript);
+        // LOAD + BUDGET + STRATEGY, target, cancel ack, STRATEGY, tail = 7.
+        assert_eq!(replies.len(), 7, "round {round}: {transcript:?}");
+        // The ack may interleave anywhere between whole replies (the
+        // reader writes it out-of-band), so classify by content.
+        let mut target = None;
+        let mut ack = None;
+        let mut tail = None;
+        for reply in &replies {
+            let header = reply.first().map(String::as_str).unwrap_or_default();
+            if header.starts_with("OK cancel id=1") {
+                ack = Some(reply.clone());
+            } else if reply[..] == *tail_expected {
+                tail = Some(reply.clone());
+            } else if reply[..] == *full_expected || header.starts_with("ERR cancelled") {
+                target = Some(reply.clone());
+            }
+        }
+        let target =
+            target.unwrap_or_else(|| panic!("round {round}: no target reply in {transcript:?}"));
+        let ack = ack.unwrap_or_else(|| panic!("round {round}: no cancel ack in {transcript:?}"));
+        let tail = tail.unwrap_or_else(|| panic!("round {round}: no tail reply in {transcript:?}"));
+
+        // Envelope for the racy target: all-or-nothing.
+        if target[0].starts_with("OK") {
+            assert_eq!(&target[..], full_expected, "round {round}: partial result leaked");
+        } else {
+            assert!(
+                target[0].starts_with("ERR cancelled "),
+                "round {round}: unexpected target error {target:?}"
+            );
+        }
+        // The ack names one of the legal states.
+        let legal = ["queued", "inflight", "done", "pending"]
+            .iter()
+            .any(|st| ack[0] == format!("OK cancel id=1 state={st}"));
+        assert!(legal, "round {round}: bad ack {ack:?}");
+        // The session survives: the follow-up is byte-exact.
+        assert_eq!(&tail[..], tail_expected, "round {round}");
+    }
+}
+
+#[test]
+fn a_session_after_cancellation_still_caches_and_explains() {
+    // Cancellation must not poison the process-wide plan cache: after a
+    // cancelled request, the same query from a fresh connection must give
+    // the exact sequential-reference bytes.
+    let addr = spawn_server();
+    let cancel_script = s(&[
+        "LOAD CpR 2",
+        "1 2",
+        "2 3",
+        "END",
+        "#5 QUERY Q(A,C) :- CpR(A,B), CpR(B,C)",
+        "CANCEL 5",
+    ]);
+    let _ = run_client(addr, &cancel_script);
+    let follow_script = s(&[
+        "LOAD CpR 2",
+        "1 2",
+        "2 3",
+        "END",
+        "QUERY Q(A,C) :- CpR(A,B), CpR(B,C)",
+        "EXPLAIN Q(A,C) :- CpR(A,B), CpR(B,C)",
+    ]);
+    assert_eq!(run_client(addr, &follow_script), reference(&follow_script));
+}

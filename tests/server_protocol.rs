@@ -1,0 +1,395 @@
+//! Protocol conformance: golden request/response transcripts for every
+//! command, error, downgrade and cancellation path of `panda-server`.
+//!
+//! Transcripts are asserted byte for byte, and this binary runs in the CI
+//! build-test matrix (PANDA_THREADS × PANDA_LAYOUT) and in the
+//! plan-cache-off job, so the goldens are pinned across engines, layouts,
+//! thread counts and cache modes.  Responses never encode the engine, so
+//! one golden serves every matrix cell; the only cache-mode-dependent
+//! response (`STATS`) branches on [`plan_cache_enabled`] explicitly.
+//!
+//! Relation names are unique per test: the plan cache is process-wide and
+//! the tests run concurrently, so distinct cache keys are what keep each
+//! test's hit/miss accounting deterministic.
+
+use panda::core::plan_cache_enabled;
+use panda::prelude::*;
+use panda::server::session::Session;
+use panda::server::{body_lines, Reply};
+
+/// Runs a scripted session line by line, collecting all response lines and
+/// asserting the framing invariant (`lines=` announces the body exactly).
+fn transcript(lines: &[&str]) -> Vec<String> {
+    let mut session = Session::new();
+    let mut out = Vec::new();
+    for line in lines {
+        let reply = session.handle_line(line);
+        check_framing(&reply);
+        out.extend(reply.lines);
+    }
+    out
+}
+
+fn check_framing(reply: &Reply) {
+    if let Some(header) = reply.lines.first() {
+        assert!(
+            header.starts_with("OK") || header.starts_with("ERR"),
+            "header must start with OK/ERR: {header}"
+        );
+        assert_eq!(
+            body_lines(header),
+            reply.lines.len() - 1,
+            "lines= must announce the body exactly: {:?}",
+            reply.lines
+        );
+    }
+}
+
+#[test]
+fn golden_basic_commands() {
+    assert_eq!(
+        transcript(&["PING", "CLEAR", "STRATEGY", "STRATEGY adaptive", "STRATEGY"]),
+        vec![
+            "OK pong",
+            "OK cleared",
+            "OK strategy=auto",
+            "OK strategy=adaptive",
+            "OK strategy=adaptive",
+        ]
+    );
+}
+
+#[test]
+fn golden_budget_state_machine() {
+    assert_eq!(
+        transcript(&[
+            "BUDGET",
+            "BUDGET pivots=100 branches=4 rows=1000000",
+            "BUDGET branches=none",
+            "BUDGET",
+        ]),
+        vec![
+            "OK budgets pivots=none branches=none rows=none",
+            "OK budgets pivots=100 branches=4 rows=1000000",
+            "OK budgets pivots=100 branches=none rows=1000000",
+            "OK budgets pivots=100 branches=none rows=1000000",
+        ]
+    );
+}
+
+#[test]
+fn golden_load_query_rows() {
+    assert_eq!(
+        transcript(&[
+            "LOAD PaR 2",
+            "1 2",
+            "2 3",
+            "1 2", // duplicate: deduped on END
+            "END",
+            "LOAD PaS 2",
+            "2 10",
+            "3 11",
+            "END",
+            "QUERY Q(A,C) :- PaR(A,B), PaS(B,C)",
+            // Rows are rendered in canonical variable order, independent of
+            // the head's syntactic order — same bytes for Q(C,A).
+            "QUERY Q(C,A) :- PaR(A,B), PaS(B,C)",
+        ]),
+        vec![
+            "OK loaded rel=PaR rows=2",
+            "OK loaded rel=PaS rows=2",
+            "OK rows n=2 vars=A,C lines=2",
+            "1 10",
+            "2 11",
+            "OK rows n=2 vars=A,C lines=2",
+            "1 10",
+            "2 11",
+        ]
+    );
+}
+
+#[test]
+fn golden_boolean_queries() {
+    assert_eq!(
+        transcript(&[
+            "LOAD PbE 2",
+            "1 2",
+            "2 3",
+            "1 3",
+            "END",
+            "QUERY Tri() :- PbE(A,B), PbE(B,C), PbE(A,C)",
+            "QUERY Q() :- PbE(X,X)",
+        ]),
+        vec![
+            "OK loaded rel=PbE rows=3",
+            "OK rows n=1 vars=() lines=1",
+            "true",
+            "OK rows n=0 vars=() lines=1",
+            "false",
+        ]
+    );
+}
+
+#[test]
+fn golden_error_responses() {
+    assert_eq!(
+        transcript(&[
+            "FROBNICATE",
+            "#x PING",
+            "LOAD bad-name 2",
+            "LOAD PcR 0",
+            "BUDGET pivots=soon",
+            "STATS SOMETIMES",
+            "CANCEL tomorrow",
+            "END",
+            "QUERY Q(A)",
+            "QUERY Q(A) :- R(A",
+        ]),
+        vec![
+            "ERR unknown_command unknown command `FROBNICATE`",
+            "ERR malformed_request request tag `#x` is not an integer",
+            "ERR malformed_request invalid relation name `bad-name`",
+            "ERR malformed_request invalid arity `0` (want 1..=32)",
+            "ERR malformed_request budget value `soon` is neither an integer nor `none`",
+            "ERR malformed_request unknown STATS argument `SOMETIMES`",
+            "ERR malformed_request CANCEL needs an integer id, got `tomorrow`",
+            "ERR malformed_request END outside a LOAD block",
+            "ERR parse_error query parse error: missing `:-` separator",
+            "ERR parse_error query parse error: expected `)` at the end of `R(A`",
+        ]
+    );
+}
+
+#[test]
+fn golden_load_error_poisons_and_discards() {
+    assert_eq!(
+        transcript(&["LOAD PdR 2", "1 2", "1 nope", "3 4 5", "END", "QUERY Q(A,B) :- PdR(A,B)",]),
+        vec![
+            "ERR load_error non-integer value `nope` in LOAD PdR",
+            // The block was discarded, so the query sees no relation — an
+            // unknown relation binds as empty.
+            "OK rows n=0 vars=A,B lines=0",
+        ]
+    );
+}
+
+#[test]
+fn golden_strategy_errors() {
+    assert_eq!(
+        transcript(&[
+            "LOAD PeR 2",
+            "1 2",
+            "2 1",
+            "END",
+            "STRATEGY yannakakis",
+            "QUERY Tri() :- PeR(A,B), PeR(B,C), PeR(C,A)",
+        ]),
+        vec![
+            "OK loaded rel=PeR rows=2",
+            "OK strategy=yannakakis",
+            "ERR cyclic_yannakakis Yannakakis requires an acyclic query",
+        ]
+    );
+}
+
+#[test]
+fn golden_budget_exceeded_under_explicit_strategy() {
+    assert_eq!(
+        transcript(&[
+            "LOAD PfR 2",
+            "1 2",
+            "END",
+            "LOAD PfS 2",
+            "2 3",
+            "END",
+            "LOAD PfT 2",
+            "3 4",
+            "END",
+            "LOAD PfU 2",
+            "4 1",
+            "END",
+            "STRATEGY adaptive",
+            "BUDGET pivots=1",
+            "QUERY Q(X,Y) :- PfR(X,Y), PfS(Y,Z), PfT(Z,W), PfU(W,X)",
+        ]),
+        vec![
+            "OK loaded rel=PfR rows=1",
+            "OK loaded rel=PfS rows=1",
+            "OK loaded rel=PfT rows=1",
+            "OK loaded rel=PfU rows=1",
+            "OK strategy=adaptive",
+            "OK budgets pivots=1 branches=none rows=none",
+            "ERR budget_exceeded reason=lp_budget_exhausted budget exceeded \
+             (lp_budget_exhausted) while planning adaptive, which has no fallback \
+             (Auto downgrades fail-soft instead)",
+        ]
+    );
+}
+
+#[test]
+fn golden_downgrade_appears_in_explain() {
+    // Under Auto the same exhausted pivot budget downgrades fail-soft: the
+    // wire EXPLAIN records the lp_budget_exhausted reason and the
+    // generic-join fallback, byte for byte.
+    assert_eq!(
+        transcript(&[
+            "LOAD PgR 2",
+            "1 2",
+            "END",
+            "LOAD PgS 2",
+            "2 3",
+            "END",
+            "LOAD PgT 2",
+            "3 4",
+            "END",
+            "LOAD PgU 2",
+            "4 1",
+            "END",
+            "BUDGET pivots=1",
+            "EXPLAIN Q(X,Y) :- PgR(X,Y), PgS(Y,Z), PgT(Z,W), PgU(W,X)",
+        ]),
+        vec![
+            "OK loaded rel=PgR rows=1",
+            "OK loaded rel=PgS rows=1",
+            "OK loaded rel=PgT rows=1",
+            "OK loaded rel=PgU rows=1",
+            "OK budgets pivots=1 branches=none rows=none",
+            "OK explain lines=9",
+            "query: Q(X,Y) :- PgR(X,Y), PgS(Y,Z), PgT(Z,W), PgU(W,X)",
+            "strategy: generic-join",
+            "selected: generic-join",
+            "rule: generic-default",
+            "reason: lp_budget_exhausted",
+            "widths: (not computed)",
+            "branches: 1",
+            "lp pivots used: 1",
+            "downgrades: (none)",
+        ]
+    );
+}
+
+#[test]
+fn golden_cancellation_lifecycle() {
+    assert_eq!(
+        transcript(&[
+            "LOAD PhR 2",
+            "1 2",
+            "END",
+            "CANCEL 7",
+            "#7 QUERY Q(A,B) :- PhR(A,B)",
+            "CANCEL 7",
+            "#8 QUERY Q(A,B) :- PhR(A,B)",
+            "CANCEL 8",
+        ]),
+        vec![
+            "OK loaded rel=PhR rows=1",
+            "OK cancel id=7 state=pending",
+            "ERR cancelled request #7 was cancelled before it started",
+            "OK cancel id=7 state=done",
+            "OK rows n=1 vars=A,B lines=1",
+            "1 2",
+            "OK cancel id=8 state=done",
+        ]
+    );
+}
+
+#[test]
+fn golden_quit() {
+    let mut session = Session::new();
+    let reply = session.handle_line("QUIT");
+    assert_eq!(reply.lines, vec!["OK bye"]);
+    assert!(reply.quit);
+}
+
+#[test]
+fn stats_account_the_sessions_own_cache_traffic() {
+    // Unique relation names give this test its own plan-cache keys, so
+    // the second identical query is deterministically a hit (cache on) or
+    // a bypass (PANDA_PLAN_CACHE=off) — the explicit branch below is what
+    // keeps this golden valid in the CI plan-cache-off job.
+    let out = transcript(&[
+        "LOAD PiR 2",
+        "1 2",
+        "END",
+        "LOAD PiS 2",
+        "2 3",
+        "END",
+        "QUERY Q(X,Z) :- PiR(X,Y), PiS(Y,Z)",
+        "QUERY Q(X,Z) :- PiR(X,Y), PiS(Y,Z)",
+        "STATS",
+    ]);
+    let stats = out.last().cloned().unwrap_or_default();
+    if plan_cache_enabled() {
+        assert_eq!(stats, "OK stats hits=1 misses=1 evictions=0 bypasses=0");
+    } else {
+        assert_eq!(stats, "OK stats hits=0 misses=0 evictions=0 bypasses=2");
+    }
+    let global = transcript(&["STATS GLOBAL"]);
+    assert_eq!(global.len(), 1);
+    assert!(global[0].starts_with("OK stats-global hits="), "{global:?}");
+}
+
+#[test]
+fn wire_explain_is_byte_identical_to_the_library_path() {
+    // The acceptance criterion of the serving layer: EXPLAIN over the wire
+    // is the identical bytes of `Panda::explain`, for an acyclic query, a
+    // static plan and the adaptive 4-cycle.
+    let mut db = Database::new();
+    db.insert("PjR", Relation::from_rows(2, vec![[1, 2], [2, 3], [3, 1]]));
+    db.insert("PjS", Relation::from_rows(2, vec![[2, 4], [3, 5]]));
+    db.insert("PjT", Relation::from_rows(2, vec![[4, 6], [5, 6]]));
+    db.insert("PjU", Relation::from_rows(2, vec![[6, 1]]));
+
+    let mut session = Session::new();
+    let mut load = Vec::new();
+    for name in db.relation_names() {
+        let rel = db.relation(&name).unwrap();
+        load.push(format!("LOAD {name} {}", rel.arity()));
+        for row in rel.canonical_rows() {
+            let cells: Vec<String> = row.iter().map(u64::to_string).collect();
+            load.push(cells.join(" "));
+        }
+        load.push("END".to_string());
+    }
+    for line in &load {
+        session.handle_line(line);
+    }
+
+    for text in [
+        "Q(A,B) :- PjR(A,B), PjS(B,C)",
+        "Q(A,C) :- PjR(A,B), PjS(B,C)",
+        "Q(X,Y) :- PjR(X,Y), PjS(Y,Z), PjT(Z,W), PjU(W,X)",
+        "Q() :- PjR(A,B), PjR(B,C), PjR(C,A)",
+    ] {
+        let reply = session.handle_line(&format!("EXPLAIN {text}"));
+        check_framing(&reply);
+        let wire_body = reply.lines[1..].join("\n");
+        let library = Panda::new(parse_query(text).unwrap()).explain(&db).unwrap().to_string();
+        assert_eq!(wire_body, library.trim_end_matches('\n'), "EXPLAIN diverges for {text}");
+    }
+}
+
+#[test]
+fn transcripts_are_identical_on_a_warm_rerun() {
+    // Replaying the same script in a fresh session must give the same
+    // bytes even though the process-wide plan cache is now warm — row
+    // output and EXPLAIN never depend on cache state.
+    let script = [
+        "LOAD PkR 2",
+        "1 2",
+        "2 3",
+        "3 4",
+        "END",
+        "LOAD PkS 2",
+        "2 5",
+        "3 6",
+        "END",
+        "QUERY Q(A,C) :- PkR(A,B), PkS(B,C)",
+        "EXPLAIN Q(A,C) :- PkR(A,B), PkS(B,C)",
+        "STRATEGY generic-join",
+        "QUERY Q(A,C) :- PkR(A,B), PkS(B,C)",
+    ];
+    let cold = transcript(&script);
+    let warm = transcript(&script);
+    assert_eq!(cold, warm);
+}
